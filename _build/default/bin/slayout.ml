@@ -1,0 +1,466 @@
+(* slayout: the semi-automatic structure layout tool (paper Figure 3).
+
+   Subcommands:
+     parse     parse + typecheck a minic file, print the program or CFGs
+     affinity  profile a file and print a struct's affinity graph
+     fmf       print the field mapping file (line -> fields accessed)
+     suggest   full pipeline: profile, simulate, build the FLG, print the
+               layout report and the suggested layouts
+     dot       emit the FLG in Graphviz format
+     sdet      run the built-in SDET-like kernel benchmark
+
+   For arbitrary input files the tool needs a concurrency harness: `suggest`
+   runs every procedure on every CPU against shared instances (one per
+   struct), which exposes the file's sharing behaviour without needing a
+   workload description. Point it at a real workload by writing the driver
+   against the library API instead (see examples/). *)
+
+module Ast = Slo_ir.Ast
+module Parser = Slo_ir.Parser
+module Typecheck = Slo_ir.Typecheck
+module Cfg = Slo_ir.Cfg
+module Pretty = Slo_ir.Pretty
+module Interp = Slo_profile.Interp
+module Counts = Slo_profile.Counts
+module Machine = Slo_sim.Machine
+module Topology = Slo_sim.Topology
+module Sample = Slo_concurrency.Sample
+module Fmf = Slo_concurrency.Fmf
+module Affinity_graph = Slo_affinity.Affinity_graph
+module Group = Slo_affinity.Group
+module Layout = Slo_layout.Layout
+module Pipeline = Slo_core.Pipeline
+module Report = Slo_core.Report
+module Flg = Slo_core.Flg
+module Sgraph = Slo_graph.Sgraph
+module Prng = Slo_util.Prng
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared plumbing *)
+
+let load_program ?(inline = false) file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let p = Typecheck.check (Parser.parse_program ~file src) in
+  if inline then Slo_ir.Inline.program p else p
+
+let or_die f =
+  try f () with
+  | Parser.Error (msg, loc) | Interp.Runtime_error (msg, loc) ->
+    Printf.eprintf "%s: %s\n" (Slo_ir.Loc.to_string loc) msg;
+    exit 1
+  | Slo_ir.Lexer.Error (msg, loc) ->
+    Printf.eprintf "%s: %s\n" (Slo_ir.Loc.to_string loc) msg;
+    exit 1
+  | Typecheck.Error e ->
+    Format.eprintf "%a@." Typecheck.pp_error e;
+    exit 1
+  | Invalid_argument msg | Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+(* Run every procedure [rounds] times through the interpreter, binding
+   struct-pointer parameters to scratch instances and integer parameters to
+   [int_arg]. *)
+let generic_profile program ~int_arg ~rounds =
+  let counts = Counts.create () in
+  let ctx = Interp.make_ctx program in
+  let prng = Prng.create ~seed:11 in
+  let scratch = Hashtbl.create 8 in
+  let instance_of name =
+    match Hashtbl.find_opt scratch name with
+    | Some i -> i
+    | None ->
+      let i = Interp.make_instance program ~struct_name:name in
+      Hashtbl.replace scratch name i;
+      i
+  in
+  List.iter
+    (fun (pd : Ast.proc_decl) ->
+      for round = 0 to rounds - 1 do
+        let args =
+          List.map
+            (fun p ->
+              match p with
+              | Ast.Pstruct { struct_name; _ } ->
+                Interp.Ainst (instance_of struct_name)
+              | Ast.Pint _ -> Interp.Aint (int_arg + round))
+            pd.Ast.pd_params
+        in
+        Interp.run ctx ~counts ~prng ~proc:pd.Ast.pd_name args
+      done)
+    program.Ast.procs;
+  counts
+
+(* Generic concurrency harness: every CPU cycles through all procedures
+   against machine-wide shared instances. *)
+let generic_samples program ~cpus ~period ~reps ~int_arg =
+  let topology = Topology.superdome ~cpus () in
+  let machine =
+    Machine.create
+      { (Machine.default_config topology) with
+        Machine.sample_period = Some period; seed = 3 }
+      program
+  in
+  let shared = Hashtbl.create 8 in
+  List.iter
+    (fun (sd : Ast.struct_decl) ->
+      Hashtbl.replace shared sd.Ast.sd_name
+        (Machine.alloc machine ~struct_name:sd.Ast.sd_name))
+    program.Ast.structs;
+  let procs = Array.of_list program.Ast.procs in
+  if Array.length procs = 0 then []
+  else begin
+    for cpu = 0 to cpus - 1 do
+      let work = ref [] in
+      for r = 0 to reps - 1 do
+        let pd = procs.((cpu + r) mod Array.length procs) in
+        let args =
+          List.map
+            (fun p ->
+              match p with
+              | Ast.Pstruct { struct_name; _ } ->
+                Machine.Ainst (Hashtbl.find shared struct_name)
+              | Ast.Pint _ -> Machine.Aint (int_arg + (cpu mod 8)))
+            pd.Ast.pd_params
+        in
+        work := (pd.Ast.pd_name, args) :: !work
+      done;
+      Machine.add_thread machine ~cpu ~work:!work
+    done;
+    let result = Machine.run machine in
+    List.map
+      (fun (s : Machine.sample) ->
+        { Sample.cpu = s.Machine.s_cpu; itc = s.Machine.s_itc;
+          line = s.Machine.s_line })
+      result.Machine.samples
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Arguments *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"minic source file")
+
+let struct_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "s"; "struct" ] ~docv:"NAME" ~doc:"target struct")
+
+let int_arg_t =
+  Arg.(
+    value & opt int 16
+    & info [ "int-arg" ] ~docv:"N"
+        ~doc:"value for integer parameters when driving procedures")
+
+let rounds_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "rounds" ] ~docv:"N" ~doc:"profiling rounds per procedure")
+
+let cpus_collect_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "cpus" ] ~docv:"N" ~doc:"CPUs of the simulated collection machine")
+
+let period_arg =
+  Arg.(
+    value & opt int 400
+    & info [ "period" ] ~docv:"CYCLES" ~doc:"PMU sampling period")
+
+let k1_arg = Arg.(value & opt float 1.0 & info [ "k1" ] ~doc:"CycleGain scale")
+let k2_arg = Arg.(value & opt float 2.0 & info [ "k2" ] ~doc:"CycleLoss scale")
+
+let interval_arg =
+  Arg.(
+    value & opt int 4000
+    & info [ "interval" ] ~docv:"CYCLES" ~doc:"CodeConcurrency interval")
+
+let line_size_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "line-size" ] ~docv:"BYTES"
+        ~doc:"cache line (coherence block) size")
+
+let inline_arg =
+  Arg.(
+    value & flag
+    & info [ "inline" ]
+        ~doc:
+          "inline all calls before the analysis (recovers cross-procedure \
+           affinity, paper §3.1)")
+
+(* ------------------------------------------------------------------ *)
+(* Commands *)
+
+let parse_cmd =
+  let run file show_cfg =
+    or_die (fun () ->
+        let program = load_program file in
+        if show_cfg then
+          List.iter
+            (fun (_, cfg) -> Format.printf "%a@.@." Cfg.pp cfg)
+            (Cfg.of_program program)
+        else Format.printf "%a@." Pretty.pp_program program)
+  in
+  let cfg_flag = Arg.(value & flag & info [ "cfg" ] ~doc:"print lowered CFGs") in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"parse and typecheck a minic file")
+    Term.(const run $ file_arg $ cfg_flag)
+
+let affinity_cmd =
+  let run file struct_name int_arg rounds inline =
+    or_die (fun () ->
+        let program = load_program ~inline file in
+        let counts = generic_profile program ~int_arg ~rounds in
+        let groups = Group.of_program program counts ~struct_name in
+        List.iter (fun g -> Format.printf "%a@.@." Group.pp g) groups;
+        let ag = Affinity_graph.build program counts ~struct_name in
+        Format.printf "%a@." Affinity_graph.pp ag)
+  in
+  Cmd.v
+    (Cmd.info "affinity" ~doc:"print a struct's affinity groups and graph")
+    Term.(const run $ file_arg $ struct_arg $ int_arg_t $ rounds_arg $ inline_arg)
+
+let fmf_cmd =
+  let run file =
+    or_die (fun () ->
+        let program = load_program file in
+        Format.printf "%a@." Fmf.pp (Fmf.of_program program))
+  in
+  Cmd.v
+    (Cmd.info "fmf" ~doc:"print the field mapping file (line -> fields)")
+    Term.(const run $ file_arg)
+
+let analyze ?inline ?profile_file ?samples_file file struct_name int_arg rounds
+    cpus period k1 k2 interval line_size =
+  let program = load_program ?inline file in
+  let counts =
+    match profile_file with
+    | Some path -> Slo_persist.Persist.load_counts ~path
+    | None -> generic_profile program ~int_arg ~rounds
+  in
+  let samples =
+    match samples_file with
+    | Some path -> Slo_persist.Persist.load_samples ~path
+    | None -> generic_samples program ~cpus ~period ~reps:(rounds * 8) ~int_arg
+  in
+  let params =
+    { Pipeline.default_params with
+      Pipeline.k1; k2; cc_interval = interval; line_size }
+  in
+  let flg = Pipeline.analyze ~params ~program ~counts ~samples ~struct_name () in
+  (program, params, flg)
+
+let profile_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "profile" ] ~docv:"FILE" ~doc:"load profile counts from FILE (see $(b,collect))")
+
+let samples_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "samples" ] ~docv:"FILE" ~doc:"load PMU samples from FILE (see $(b,collect))")
+
+let suggest_cmd =
+  let run file struct_name int_arg rounds cpus period k1 k2 interval line_size
+      inline profile_file samples_file =
+    or_die (fun () ->
+        let program, params, flg =
+          analyze ~inline ?profile_file ?samples_file file struct_name int_arg
+            rounds cpus period k1 k2 interval line_size
+        in
+        print_endline (Report.render (Pipeline.report ~params flg));
+        Format.printf "@.%a@." Slo_core.Advisor.pp (Slo_core.Advisor.analyze flg);
+        let declared =
+          Layout.of_struct (Option.get (Ast.find_struct program struct_name))
+        in
+        Format.printf "@.--- declared layout ---@.%a@."
+          (Layout.pp_lines ~line_size) declared;
+        Format.printf
+          "@.--- incremental layout (constraints on declared) ---@.%a@."
+          (Layout.pp_lines ~line_size)
+          (Pipeline.incremental_layout ~params flg ~baseline:declared))
+  in
+  Cmd.v
+    (Cmd.info "suggest" ~doc:"run the full pipeline and print the layout report")
+    Term.(
+      const run $ file_arg $ struct_arg $ int_arg_t $ rounds_arg
+      $ cpus_collect_arg $ period_arg $ k1_arg $ k2_arg $ interval_arg
+      $ line_size_arg $ inline_arg $ profile_file_arg $ samples_file_arg)
+
+let collect_cmd =
+  let run file int_arg rounds cpus period out_prefix =
+    or_die (fun () ->
+        let program = load_program file in
+        let counts = generic_profile program ~int_arg ~rounds in
+        let samples =
+          generic_samples program ~cpus ~period ~reps:(rounds * 8) ~int_arg
+        in
+        let prof_path = out_prefix ^ ".prof" in
+        let samples_path = out_prefix ^ ".samples" in
+        Slo_persist.Persist.save_counts ~path:prof_path counts;
+        Slo_persist.Persist.save_samples ~path:samples_path samples;
+        Printf.printf "wrote %s (%d records' worth of counts)\n" prof_path
+          (List.length program.Ast.procs);
+        Printf.printf "wrote %s (%d samples)\n" samples_path
+          (List.length samples))
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "slo-collect"
+      & info [ "o"; "output" ] ~docv:"PREFIX"
+          ~doc:"output prefix for the .prof and .samples files")
+  in
+  Cmd.v
+    (Cmd.info "collect"
+       ~doc:"run the collection phase and persist profile + samples files")
+    Term.(
+      const run $ file_arg $ int_arg_t $ rounds_arg $ cpus_collect_arg
+      $ period_arg $ out_arg)
+
+let dot_cmd =
+  let run file struct_name int_arg rounds cpus period k1 k2 interval line_size =
+    or_die (fun () ->
+        let _, _, flg =
+          analyze file struct_name int_arg rounds cpus period k1 k2 interval
+            line_size
+        in
+        print_string (Sgraph.to_dot ~name:struct_name flg.Flg.graph))
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"emit the FLG as Graphviz")
+    Term.(
+      const run $ file_arg $ struct_arg $ int_arg_t $ rounds_arg
+      $ cpus_collect_arg $ period_arg $ k1_arg $ k2_arg $ interval_arg
+      $ line_size_arg)
+
+let simulate_cmd =
+  let run file cpus period int_arg rounds =
+    or_die (fun () ->
+        let program = load_program file in
+        let topology = Topology.superdome ~cpus () in
+        let machine =
+          Machine.create
+            { (Machine.default_config topology) with
+              Machine.sample_period = (if period = 0 then None else Some period);
+              seed = 3 }
+            program
+        in
+        let shared = Hashtbl.create 8 in
+        List.iter
+          (fun (sd : Ast.struct_decl) ->
+            Hashtbl.replace shared sd.Ast.sd_name
+              (Machine.alloc machine ~struct_name:sd.Ast.sd_name))
+          program.Ast.structs;
+        let procs = Array.of_list program.Ast.procs in
+        if Array.length procs = 0 then failwith "no procedures to run";
+        for cpu = 0 to cpus - 1 do
+          let work = ref [] in
+          for r = 0 to (rounds * 8) - 1 do
+            let pd = procs.((cpu + r) mod Array.length procs) in
+            let args =
+              List.map
+                (fun p ->
+                  match p with
+                  | Ast.Pstruct { struct_name; _ } ->
+                    Machine.Ainst (Hashtbl.find shared struct_name)
+                  | Ast.Pint _ -> Machine.Aint (int_arg + (cpu mod 8)))
+                pd.Ast.pd_params
+            in
+            work := (pd.Ast.pd_name, args) :: !work
+          done;
+          Machine.add_thread machine ~cpu ~work:!work
+        done;
+        let r = Machine.run machine in
+        Printf.printf "machine: %s\n" (Topology.describe topology);
+        Printf.printf "makespan: %d cycles, %d work items, throughput %.1f \
+                       items/Mcycle\n\n" r.Machine.makespan r.Machine.invocations
+          (Machine.throughput r);
+        Format.printf "%a@." Slo_sim.Sim_stats.pp r.Machine.stats;
+        if r.Machine.samples <> [] then begin
+          (* top sampled source lines: the profile a Caliper user reads *)
+          let hist = Hashtbl.create 64 in
+          List.iter
+            (fun (smp : Machine.sample) ->
+              let k = smp.Machine.s_line in
+              Hashtbl.replace hist k
+                (1 + try Hashtbl.find hist k with Not_found -> 0))
+            r.Machine.samples;
+          let rows =
+            Hashtbl.fold (fun l n acc -> (n, l) :: acc) hist []
+            |> List.sort compare |> List.rev
+          in
+          Printf.printf "\nhottest source lines (%d samples total):\n"
+            (List.length r.Machine.samples);
+          List.iteri
+            (fun i (n, l) ->
+              if i < 10 then Printf.printf "  %s:%-5d %6d samples\n" file l n)
+            rows
+        end)
+  in
+  let cpus_arg =
+    Arg.(value & opt int 8 & info [ "cpus" ] ~docv:"N" ~doc:"machine size")
+  in
+  let period_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "period" ] ~docv:"CYCLES" ~doc:"sampling period (0 disables)")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"run the generic concurrency harness and print machine statistics")
+    Term.(const run $ file_arg $ cpus_arg $ period_arg $ int_arg_t $ rounds_arg)
+
+let sdet_cmd =
+  let run cpus bus runs =
+    or_die (fun () ->
+        let module Exp = Slo_workload.Experiments in
+        let topology =
+          if bus then Topology.bus ~cpus () else Topology.superdome ~cpus ()
+        in
+        Printf.printf "machine: %s\n%!" (Topology.describe topology);
+        let layouts = Exp.analyze_all () in
+        let rows = Exp.measure_machine ~runs topology layouts in
+        Printf.printf "%-8s %12s %12s %12s\n" "struct" "automatic" "hotness"
+          "incremental";
+        List.iter
+          (fun (m : Exp.measurement) ->
+            Printf.printf "%-8s %+11.2f%% %+11.2f%% %+11.2f%%\n" m.Exp.m_struct
+              m.Exp.m_automatic m.Exp.m_hotness m.Exp.m_incremental)
+          rows)
+  in
+  let bus_flag =
+    Arg.(value & flag & info [ "bus" ] ~doc:"bus topology instead of Superdome")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "runs" ] ~docv:"N" ~doc:"measured runs per configuration")
+  in
+  let cpus_arg =
+    Arg.(value & opt int 32 & info [ "cpus" ] ~docv:"N" ~doc:"machine size")
+  in
+  Cmd.v
+    (Cmd.info "sdet" ~doc:"run the built-in SDET-like kernel benchmark")
+    Term.(const run $ cpus_arg $ bus_flag $ runs_arg)
+
+let () =
+  let doc = "structure layout optimization for multithreaded programs" in
+  let info = Cmd.info "slayout" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            parse_cmd; affinity_cmd; fmf_cmd; collect_cmd; suggest_cmd;
+            dot_cmd; simulate_cmd; sdet_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/affinity_demo.ml: Format List Printf Slo_affinity Slo_ir Slo_profile Slo_util

@@ -1,0 +1,1 @@
+examples/affinity_demo.mli:

@@ -1,0 +1,1 @@
+examples/false_sharing.ml: Buffer Format List Printf Slo_concurrency Slo_core Slo_ir Slo_layout Slo_profile Slo_sim Slo_util

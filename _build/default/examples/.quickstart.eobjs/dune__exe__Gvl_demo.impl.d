@@ -1,0 +1,1 @@
+examples/gvl_demo.ml: Format List Option Printf Slo_concurrency Slo_core Slo_ir Slo_layout Slo_profile Slo_sim Slo_util

@@ -1,0 +1,1 @@
+examples/gvl_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Option Slo_concurrency Slo_core Slo_ir Slo_layout Slo_profile Slo_sim Slo_util

@@ -1,0 +1,1 @@
+examples/sdet_run.ml: Array List Printf Slo_layout Slo_sim Slo_util Slo_workload Sys

@@ -1,0 +1,1 @@
+examples/sdet_run.mli:

@@ -1,0 +1,55 @@
+(* Run the full SDET-like kernel workload under each layout policy.
+
+   Usage:
+     dune exec examples/sdet_run.exe            # 32-CPU machine
+     dune exec examples/sdet_run.exe -- 128     # pick the machine size
+     dune exec examples/sdet_run.exe -- 4 bus   # 4-way bus machine
+
+   This is the same machinery the benchmark harness uses for Figures 8-10,
+   exposed as a small driver so you can poke at machine sizes and watch
+   coherence statistics per layout. *)
+
+module Exp = Slo_workload.Experiments
+module Sdet = Slo_workload.Sdet
+module Kernel = Slo_workload.Kernel
+module Topology = Slo_sim.Topology
+module Machine = Slo_sim.Machine
+module Sim_stats = Slo_sim.Sim_stats
+module Layout = Slo_layout.Layout
+module Stats = Slo_util.Stats
+
+let () =
+  let cpus =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 32
+  in
+  let topology =
+    if Array.length Sys.argv > 2 && Sys.argv.(2) = "bus" then
+      Topology.bus ~cpus ()
+    else Topology.superdome ~cpus ()
+  in
+  Printf.printf "machine: %s\n" (Topology.describe topology);
+  Printf.printf "analyzing kernel structs (profile + sampling + FLG)...\n%!";
+  let layouts = Exp.analyze_all () in
+  let cfg = Sdet.default_config topology in
+  let baseline = Sdet.measure cfg ~runs:5 in
+  Printf.printf "baseline throughput: %.1f scripts-ops/Mcycle\n\n" baseline;
+  List.iter
+    (fun (l : Exp.layouts) ->
+      Printf.printf "struct %s (baseline %d lines):\n" l.Exp.struct_name
+        (Layout.lines_used l.Exp.baseline ~line_size:Kernel.line_size);
+      List.iter
+        (fun (name, layout) ->
+          let m = Sdet.measure { cfg with overrides = [ layout ] } ~runs:5 in
+          let r = Sdet.run_once { cfg with overrides = [ layout ] } in
+          Printf.printf
+            "  %-12s %2d lines  speedup %+6.2f%%  (false-sharing misses %d)\n%!"
+            name
+            (Layout.lines_used layout ~line_size:Kernel.line_size)
+            (Stats.speedup_percent ~baseline ~measured:m)
+            r.Machine.stats.Sim_stats.false_sharing_misses)
+        [
+          ("automatic", l.Exp.automatic);
+          ("hotness", l.Exp.hotness);
+          ("incremental", l.Exp.incremental);
+        ])
+    layouts

@@ -1,0 +1,1 @@
+lib/affinity/affinity_graph.ml: Format Group Hashtbl List Printf Slo_graph Slo_ir Slo_profile String

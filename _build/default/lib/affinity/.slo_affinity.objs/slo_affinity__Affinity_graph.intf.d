@@ -1,0 +1,1 @@
+lib/affinity/affinity_graph.mli: Format Group Slo_graph Slo_ir Slo_profile

@@ -1,0 +1,1 @@
+lib/affinity/group.ml: Array Format Hashtbl List Printf Slo_ir Slo_profile String

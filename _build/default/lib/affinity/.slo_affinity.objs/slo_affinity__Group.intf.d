@@ -1,0 +1,1 @@
+lib/affinity/group.mli: Format Slo_ir Slo_profile

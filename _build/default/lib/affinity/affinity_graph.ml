@@ -1,0 +1,86 @@
+module Sgraph = Slo_graph.Sgraph
+module Counts = Slo_profile.Counts
+module Ast = Slo_ir.Ast
+
+type t = {
+  struct_name : string;
+  graph : Sgraph.t;
+  hotness : (string * int) list;
+  rw : (string * Counts.rw) list;
+}
+
+let add_group_edges ~require_read g (group : Group.t) =
+  (* All unordered pairs of fields referenced in the group. *)
+  let rec pairs acc = function
+    | [] -> acc
+    | (f1, rw1) :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc (f2, rw2) -> ((f1, rw1), (f2, rw2)) :: acc)
+          acc rest
+      in
+      pairs acc rest
+  in
+  List.fold_left
+    (fun g ((f1, rw1), (f2, rw2)) ->
+      (* Minimum Heuristic: the dynamic weight of the acyclic path containing
+         both fields is upper-bounded by the smaller reference count. *)
+      let w = min (Group.refs rw1) (Group.refs rw2) in
+      let no_gain =
+        require_read && rw1.Counts.reads = 0 && rw2.Counts.reads = 0
+      in
+      if w <= 0 || no_gain then g
+      else Sgraph.add_edge g f1 f2 (float_of_int w))
+    g
+    (pairs [] group.g_fields)
+
+let of_groups ?(require_read = false) ~struct_name ~all_fields groups =
+  let g = List.fold_left Sgraph.add_node Sgraph.empty all_fields in
+  let graph = List.fold_left (add_group_edges ~require_read) g groups in
+  let totals = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace totals f { Counts.reads = 0; writes = 0 }) all_fields;
+  List.iter
+    (fun (group : Group.t) ->
+      List.iter
+        (fun (f, (rw : Counts.rw)) ->
+          let cur =
+            try Hashtbl.find totals f
+            with Not_found -> { Counts.reads = 0; writes = 0 }
+          in
+          Hashtbl.replace totals f
+            {
+              Counts.reads = cur.Counts.reads + rw.Counts.reads;
+              writes = cur.Counts.writes + rw.Counts.writes;
+            })
+        group.Group.g_fields)
+    groups;
+  let rw =
+    Hashtbl.fold (fun f c l -> (f, c) :: l) totals []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let hotness = List.map (fun (f, c) -> (f, Group.refs c)) rw in
+  { struct_name; graph; hotness; rw }
+
+let build ?require_read program counts ~struct_name =
+  let all_fields =
+    match Ast.find_struct program struct_name with
+    | Some sd -> List.map (fun (fd : Ast.field_decl) -> fd.Ast.fd_name) sd.Ast.sd_fields
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Affinity_graph.build: unknown struct %S" struct_name)
+  in
+  let groups = Group.of_program program counts ~struct_name in
+  of_groups ?require_read ~struct_name ~all_fields groups
+
+let hotness_of t f = match List.assoc_opt f t.hotness with Some h -> h | None -> 0
+let affinity t f1 f2 = Sgraph.weight0 t.graph f1 f2
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>affinity graph for struct %s@,%a@,hotness:" t.struct_name
+    Sgraph.pp t.graph;
+  List.iter
+    (fun (f, h) ->
+      let rw = List.assoc f t.rw in
+      Format.fprintf ppf "@,  %s: h=%d R=%d W=%d" f h rw.Counts.reads rw.Counts.writes)
+    t.hotness;
+  Format.fprintf ppf "@]"

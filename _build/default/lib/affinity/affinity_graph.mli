@@ -1,0 +1,41 @@
+(** The affinity graph (§4.1, Figures 4-5): nodes are the fields of one
+    struct, edge weights are affinities computed with the {e Minimum
+    Heuristic} — within each affinity group, the affinity contribution of a
+    field pair is the minimum of the two fields' dynamic reference counts in
+    that group; contributions sum across groups.
+
+    Hotness of a field is its total dynamic reference count. For the code
+    in Figure 4, this module produces exactly Figure 5: edge (f1,f3) = N,
+    edge (f1,f2) = n, h(f1) = N + n, R(f3) = 2N, W(f3) = N. *)
+
+type t = {
+  struct_name : string;
+  graph : Slo_graph.Sgraph.t;  (** affinity edge weights *)
+  hotness : (string * int) list;  (** per field, total refs, sorted by name *)
+  rw : (string * Slo_profile.Counts.rw) list;  (** total R/W per field *)
+}
+
+val build :
+  ?require_read:bool ->
+  Slo_ir.Ast.program ->
+  Slo_profile.Counts.t ->
+  struct_name:string ->
+  t
+(** Build from affinity groups over the whole program. Fields never
+    referenced still appear as isolated nodes (they must end up in the
+    layout). [require_read] (default [false], matching the implemented
+    Minimum Heuristic of §4.1) suppresses the affinity of pairs whose
+    references within a group are all writes — the model's rule that
+    store-store proximity yields no CycleGain (§2). *)
+
+val of_groups :
+  ?require_read:bool ->
+  struct_name:string ->
+  all_fields:string list ->
+  Group.t list ->
+  t
+(** Same, from precomputed groups (for tests and the CLI). *)
+
+val hotness_of : t -> string -> int
+val affinity : t -> string -> string -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/concurrency/code_concurrency.ml: Array Format Hashtbl List Sample

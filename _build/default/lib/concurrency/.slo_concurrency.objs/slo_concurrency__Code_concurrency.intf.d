@@ -1,0 +1,1 @@
+lib/concurrency/code_concurrency.mli: Format Sample

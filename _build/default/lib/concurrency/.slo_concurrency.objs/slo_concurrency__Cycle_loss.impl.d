@@ -1,0 +1,1 @@
+lib/concurrency/cycle_loss.ml: Code_concurrency Fmf Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/concurrency/cycle_loss.mli: Code_concurrency Fmf Format

@@ -1,0 +1,1 @@
+lib/concurrency/fmf.ml: Format Hashtbl List Slo_ir String

@@ -1,0 +1,1 @@
+lib/concurrency/fmf.mli: Format Slo_ir

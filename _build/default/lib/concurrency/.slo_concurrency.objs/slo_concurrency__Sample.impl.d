@@ -1,0 +1,1 @@
+lib/concurrency/sample.ml: Hashtbl List

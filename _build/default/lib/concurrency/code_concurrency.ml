@@ -1,0 +1,101 @@
+type t = { tbl : ((int * int), int) Hashtbl.t }
+
+let key l1 l2 = if l1 <= l2 then (l1, l2) else (l2, l1)
+
+let cc t l1 l2 = try Hashtbl.find t.tbl (key l1 l2) with Not_found -> 0
+
+let add t l1 l2 v =
+  if v > 0 then begin
+    let k = key l1 l2 in
+    let cur = try Hashtbl.find t.tbl k with Not_found -> 0 in
+    Hashtbl.replace t.tbl k (cur + v)
+  end
+
+(* Per-line per-interval frequency vector, sorted ascending, with prefix
+   sums: prefix.(i) = sum of the first i entries. *)
+type vec = { cpus : int array; counts : int array; prefix : int array; total : int }
+
+let vec_of_freqs freqs =
+  let arr = Array.of_list freqs in
+  Array.sort (fun (_, a) (_, b) -> compare a b) arr;
+  let n = Array.length arr in
+  let cpus = Array.map fst arr and counts = Array.map snd arr in
+  let prefix = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) + counts.(i)
+  done;
+  { cpus; counts; prefix; total = prefix.(n) }
+
+(* Σ_n min(x, b_n) via binary search for the first entry > x. *)
+let sum_min_against b x =
+  let n = Array.length b.counts in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if b.counts.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  b.prefix.(!lo) + (x * (n - !lo))
+
+(* Σ_{m,n} min(a_m, b_n) over all index pairs (including same-cpu). *)
+let sum_min_all a b =
+  Array.fold_left (fun acc x -> acc + sum_min_against b x) 0 a.counts
+
+(* Σ over cpus present in both vectors of min(a_cpu, b_cpu). *)
+let sum_min_same_cpu a b =
+  let bmap = Hashtbl.create 16 in
+  Array.iteri (fun i cpu -> Hashtbl.replace bmap cpu b.counts.(i)) b.cpus;
+  let acc = ref 0 in
+  Array.iteri
+    (fun i cpu ->
+      match Hashtbl.find_opt bmap cpu with
+      | Some bc -> acc := !acc + min a.counts.(i) bc
+      | None -> ())
+    a.cpus;
+  !acc
+
+let cc_of_interval t tbl =
+  let lines = Sample.lines tbl in
+  let vecs =
+    List.map (fun line -> (line, vec_of_freqs (Sample.cpu_freqs tbl ~line))) lines
+  in
+  let rec over_pairs = function
+    | [] -> ()
+    | (l1, v1) :: rest ->
+      (* Diagonal: two different CPUs executing the same line. *)
+      add t l1 l1 (sum_min_all v1 v1 - v1.total);
+      List.iter
+        (fun (l2, v2) ->
+          let v = sum_min_all v1 v2 - sum_min_same_cpu v1 v2 in
+          add t l1 l2 v)
+        rest;
+      over_pairs rest
+  in
+  over_pairs vecs
+
+let compute ~interval samples =
+  let t = { tbl = Hashtbl.create 256 } in
+  List.iter (cc_of_interval t) (Sample.bin ~interval samples);
+  t
+
+let pairs t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+  |> List.sort (fun (k1, v1) (k2, v2) ->
+         match compare v2 v1 with 0 -> compare k1 k2 | c -> c)
+
+let top t ~k = List.filteri (fun i _ -> i < k) (pairs t)
+
+let lines t =
+  Hashtbl.fold (fun (l1, l2) _ acc -> l1 :: l2 :: acc) t.tbl []
+  |> List.sort_uniq compare
+
+let merge a b =
+  let t = { tbl = Hashtbl.copy a.tbl } in
+  Hashtbl.iter (fun (l1, l2) v -> add t l1 l2 v) b.tbl;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>concurrency map (%d pairs):" (Hashtbl.length t.tbl);
+  List.iter
+    (fun ((l1, l2), v) -> Format.fprintf ppf "@,lines %d x %d: %d" l1 l2 v)
+    (pairs t);
+  Format.fprintf ppf "@]"

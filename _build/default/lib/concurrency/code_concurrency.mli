@@ -1,0 +1,37 @@
+(** CodeConcurrency (§3.2): a sampling-based estimate of how often two
+    pieces of code execute {e at the same time on different processors}.
+
+    For an interval I and lines Li, Lj:
+    {v CC_I(Li,Lj) = Σ_{Pm ≠ Pn} min(F_I(Pm,Li), F_I(Pn,Lj)) v}
+    and CC(Li,Lj) = Σ_I CC_I(Li,Lj). The result is the paper's
+    {e Concurrency Map}: unordered line pairs (including the diagonal,
+    which captures two CPUs running the same line concurrently) mapped to
+    their CC value.
+
+    The inner double sum over CPU pairs is computed in
+    O(|cpus| log |cpus|) per line pair using sorted frequency vectors and
+    prefix sums: Σ_{m,n} min(a_m, b_n) − Σ_m min(a_m, b_m). *)
+
+type t
+(** A concurrency map. *)
+
+val compute : interval:int -> Sample.t list -> t
+(** Bin samples and accumulate CC over all intervals.
+    @raise Invalid_argument if [interval <= 0]. *)
+
+val cc : t -> int -> int -> int
+(** [cc t l1 l2] — symmetric; 0 when never concurrent. *)
+
+val pairs : t -> ((int * int) * int) list
+(** All line pairs with non-zero CC, [(l1 <= l2)], sorted by decreasing
+    CC. *)
+
+val top : t -> k:int -> ((int * int) * int) list
+
+val lines : t -> int list
+(** Lines participating in any pair, sorted. *)
+
+val merge : t -> t -> t
+(** Pointwise sum (combining collection runs). *)
+
+val pp : Format.formatter -> t -> unit

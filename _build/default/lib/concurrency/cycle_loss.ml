@@ -1,0 +1,54 @@
+type t = {
+  sname : string;
+  tbl : (string * string, float) Hashtbl.t;  (* name-ordered field pairs *)
+}
+
+let key f1 f2 = if String.compare f1 f2 <= 0 then (f1, f2) else (f2, f1)
+
+let add t f1 f2 v =
+  if v > 0.0 && not (String.equal f1 f2) then begin
+    let k = key f1 f2 in
+    let cur = try Hashtbl.find t.tbl k with Not_found -> 0.0 in
+    Hashtbl.replace t.tbl k (cur +. v)
+  end
+
+let compute ~cm ~fmf ~struct_name =
+  let t = { sname = struct_name; tbl = Hashtbl.create 64 } in
+  let contribute l1 l2 cc =
+    let fs1 = Fmf.fields_at fmf ~line:l1 ~struct_name in
+    let fs2 = Fmf.fields_at fmf ~line:l2 ~struct_name in
+    List.iter
+      (fun (f1, w1) ->
+        List.iter
+          (fun (f2, w2) ->
+            (* False sharing needs a writer on at least one side. *)
+            if w1 || w2 then add t f1 f2 (float_of_int cc))
+          fs2)
+      fs1
+  in
+  List.iter
+    (fun ((l1, l2), cc) ->
+      contribute l1 l2 cc;
+      (* Both orientations for distinct lines; fields_at is per-line so the
+         diagonal needs no second pass. *)
+      if l1 <> l2 then contribute l2 l1 cc)
+    (Code_concurrency.pairs cm);
+  t
+
+let loss t f1 f2 =
+  if String.equal f1 f2 then 0.0
+  else try Hashtbl.find t.tbl (key f1 f2) with Not_found -> 0.0
+
+let pairs t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+  |> List.sort (fun (k1, v1) (k2, v2) ->
+         match compare v2 v1 with 0 -> compare k1 k2 | c -> c)
+
+let struct_name t = t.sname
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cycle loss for struct %s:" t.sname;
+  List.iter
+    (fun ((f1, f2), v) -> Format.fprintf ppf "@,%s x %s: %.0f" f1 f2 v)
+    (pairs t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,33 @@
+(** CycleLoss (§3.2): the estimated false-sharing penalty of colocating two
+    fields, derived from the concurrency map and the field mapping file.
+
+    {v CycleLoss(f1,f2) = k2 · Σ CC(L1,L2) v}
+    over line pairs where f1 is accessed at L1, f2 at L2, and {e at least
+    one} of those two accesses is a write. Both orientations of a line pair
+    contribute (f1@L1 with f2@L2, and f1@L2 with f2@L1); the diagonal
+    L1 = L2 contributes once.
+
+    As the paper notes, this over-approximates false sharing: concurrent
+    accesses to fields of {e different instances} of the struct also count.
+    The [per-instance] refinement the paper assigns to alias analysis is
+    out of scope for line-granular samples. *)
+
+type t
+(** CycleLoss values for the fields of one struct, symmetric. *)
+
+val compute :
+  cm:Code_concurrency.t ->
+  fmf:Fmf.t ->
+  struct_name:string ->
+  t
+
+val loss : t -> string -> string -> float
+(** Raw (un-scaled) loss between two fields; 0 when never concurrent.
+    Symmetric; 0 on the diagonal. *)
+
+val pairs : t -> ((string * string) * float) list
+(** Non-zero pairs, name-ordered within the pair, sorted by decreasing
+    loss. *)
+
+val struct_name : t -> string
+val pp : Format.formatter -> t -> unit

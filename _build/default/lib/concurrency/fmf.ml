@@ -1,0 +1,67 @@
+module Cfg = Slo_ir.Cfg
+module Loc = Slo_ir.Loc
+
+type access = { f_struct : string; f_field : string; f_is_write : bool }
+
+type t = { by_line : (int, access list) Hashtbl.t }
+
+let add t line access =
+  let cur = try Hashtbl.find t.by_line line with Not_found -> [] in
+  if not (List.mem access cur) then Hashtbl.replace t.by_line line (access :: cur)
+
+let of_cfgs cfgs =
+  let t = { by_line = Hashtbl.create 64 } in
+  List.iter
+    (fun cfg ->
+      List.iter
+        (fun (a : Cfg.access) ->
+          add t (Loc.line a.Cfg.a_loc)
+            { f_struct = a.Cfg.a_struct; f_field = a.Cfg.a_field;
+              f_is_write = a.Cfg.a_is_write })
+        (Cfg.accesses cfg))
+    cfgs;
+  t
+
+let of_program program = of_cfgs (List.map snd (Cfg.of_program program))
+
+let accesses_at t ~line =
+  try List.rev (Hashtbl.find t.by_line line) with Not_found -> []
+
+let fields_at t ~line ~struct_name =
+  accesses_at t ~line
+  |> List.filter_map (fun a ->
+         if String.equal a.f_struct struct_name then
+           Some (a.f_field, a.f_is_write)
+         else None)
+
+let lines_accessing t ~struct_name =
+  Hashtbl.fold
+    (fun line accs acc ->
+      if List.exists (fun a -> String.equal a.f_struct struct_name) accs then
+        line :: acc
+      else acc)
+    t.by_line []
+  |> List.sort_uniq compare
+
+let writes_field_at t ~line ~struct_name ~field =
+  accesses_at t ~line
+  |> List.exists (fun a ->
+         String.equal a.f_struct struct_name
+         && String.equal a.f_field field && a.f_is_write)
+
+let pp ppf t =
+  let lines =
+    Hashtbl.fold (fun line _ acc -> line :: acc) t.by_line []
+    |> List.sort_uniq compare
+  in
+  Format.fprintf ppf "@[<v>field mapping:";
+  List.iter
+    (fun line ->
+      Format.fprintf ppf "@,line %d:" line;
+      List.iter
+        (fun a ->
+          Format.fprintf ppf " %s.%s[%s]" a.f_struct a.f_field
+            (if a.f_is_write then "W" else "R"))
+        (accesses_at t ~line))
+    lines;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** The Field Mapping File (§4.3): which struct fields are accessed, and
+    how, by the code on each source line.
+
+    Built directly from the lowered CFGs: every load/store instruction
+    carries its source location, so the map from line to
+    (struct, field, read/write) is exact — the compiler-emitted FMF of the
+    paper without the lossy IP-to-source round trip. *)
+
+type access = { f_struct : string; f_field : string; f_is_write : bool }
+
+type t
+
+val of_program : Slo_ir.Ast.program -> t
+(** The program must be typechecked. *)
+
+val of_cfgs : Slo_ir.Cfg.t list -> t
+
+val accesses_at : t -> line:int -> access list
+(** Accesses on a line (deduplicated; a field appears at most twice — once
+    as read, once as write). Empty for lines without field accesses. *)
+
+val fields_at : t -> line:int -> struct_name:string -> (string * bool) list
+(** (field, is_write) pairs for one struct on one line. *)
+
+val lines_accessing : t -> struct_name:string -> int list
+(** Lines touching any field of the struct, sorted. *)
+
+val writes_field_at : t -> line:int -> struct_name:string -> field:string -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type t = { cpu : int; itc : int; line : int }
+
+type interval_table = {
+  freqs : (int * int, int) Hashtbl.t;  (* (cpu, line) -> count *)
+  mutable total : int;
+}
+
+let freq tbl ~cpu ~line =
+  try Hashtbl.find tbl.freqs (cpu, line) with Not_found -> 0
+
+let lines tbl =
+  Hashtbl.fold (fun (_, line) _ acc -> line :: acc) tbl.freqs []
+  |> List.sort_uniq compare
+
+let cpu_freqs tbl ~line =
+  Hashtbl.fold
+    (fun (cpu, l) count acc -> if l = line then (cpu, count) :: acc else acc)
+    tbl.freqs []
+  |> List.sort compare
+
+let total_samples tbl = tbl.total
+
+let bin ~interval samples =
+  if interval <= 0 then invalid_arg "Sample.bin: interval <= 0";
+  let by_interval : (int, interval_table) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let idx = s.itc / interval in
+      let tbl =
+        match Hashtbl.find_opt by_interval idx with
+        | Some tbl -> tbl
+        | None ->
+          let tbl = { freqs = Hashtbl.create 16; total = 0 } in
+          Hashtbl.replace by_interval idx tbl;
+          tbl
+      in
+      let key = (s.cpu, s.line) in
+      let cur = try Hashtbl.find tbl.freqs key with Not_found -> 0 in
+      Hashtbl.replace tbl.freqs key (cur + 1);
+      tbl.total <- tbl.total + 1)
+    samples;
+  Hashtbl.fold (fun idx tbl acc -> (idx, tbl) :: acc) by_interval []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd

@@ -1,0 +1,30 @@
+(** Synchronized PMU samples and their interval binning (§4.2).
+
+    A sample is (CPU id, code location, timestamp), where timestamps are
+    comparable across CPUs — the Itanium ITC property the paper relies on;
+    in this reproduction they come from the simulator's per-CPU clocks,
+    which start synchronized at 0. Code locations are source lines, as in
+    the paper's concurrency map.
+
+    [bin] divides time into fixed-size intervals and produces, for each
+    interval, the frequency table F_I(P, L): how many samples interval I
+    holds for CPU P at line L. *)
+
+type t = { cpu : int; itc : int; line : int }
+
+type interval_table
+(** Frequencies of one interval: (cpu, line) -> count. *)
+
+val freq : interval_table -> cpu:int -> line:int -> int
+val lines : interval_table -> int list
+(** Distinct lines sampled in the interval, sorted. *)
+
+val cpu_freqs : interval_table -> line:int -> (int * int) list
+(** (cpu, count) pairs for a line, sorted by cpu. *)
+
+val bin : interval:int -> t list -> interval_table list
+(** [bin ~interval samples] groups samples into intervals of [interval]
+    ticks ([itc / interval] indexing); empty intervals are omitted.
+    @raise Invalid_argument if [interval <= 0]. *)
+
+val total_samples : interval_table -> int

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Flg Format List Slo_graph Slo_layout

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Flg List Option Slo_graph Slo_layout

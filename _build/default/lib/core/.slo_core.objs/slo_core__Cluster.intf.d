@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Flg Slo_layout

@@ -1,0 +1,1 @@
+lib/core/flg.ml: Format Hashtbl List Printf Slo_affinity Slo_concurrency Slo_graph Slo_layout String

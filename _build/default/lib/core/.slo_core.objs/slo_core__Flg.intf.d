@@ -1,0 +1,1 @@
+lib/core/flg.mli: Format Slo_affinity Slo_concurrency Slo_graph Slo_layout

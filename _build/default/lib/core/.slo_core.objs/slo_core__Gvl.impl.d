@@ -1,0 +1,1 @@
+lib/core/gvl.ml: Pipeline Slo_ir Slo_layout

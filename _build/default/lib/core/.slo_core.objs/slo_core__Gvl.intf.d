@@ -1,0 +1,1 @@
+lib/core/gvl.mli: Flg Pipeline Slo_concurrency Slo_ir Slo_layout Slo_profile

@@ -1,0 +1,1 @@
+lib/core/hotness_heuristic.ml: Flg Hashtbl List Slo_layout

@@ -1,0 +1,1 @@
+lib/core/hotness_heuristic.mli: Flg Slo_layout

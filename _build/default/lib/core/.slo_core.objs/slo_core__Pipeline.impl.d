@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Cluster Flg Hotness_heuristic Printf Report Slo_affinity Slo_concurrency Slo_ir Slo_layout Subgraph

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Flg Report Slo_concurrency Slo_ir Slo_layout Slo_profile

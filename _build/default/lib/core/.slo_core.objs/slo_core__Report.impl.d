@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Cluster Flg Format List Slo_layout

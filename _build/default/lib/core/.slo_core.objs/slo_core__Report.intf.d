@@ -1,0 +1,1 @@
+lib/core/report.mli: Cluster Flg Format Slo_layout

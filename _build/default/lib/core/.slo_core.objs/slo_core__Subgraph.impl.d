@@ -1,0 +1,1 @@
+lib/core/subgraph.ml: Array Cluster Flg Hashtbl List Printf Slo_graph Slo_layout String

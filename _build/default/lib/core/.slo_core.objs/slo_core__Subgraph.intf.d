@@ -1,0 +1,1 @@
+lib/core/subgraph.mli: Cluster Flg Slo_layout

@@ -1,0 +1,99 @@
+module Field = Slo_layout.Field
+module Layout = Slo_layout.Layout
+module Sgraph = Slo_graph.Sgraph
+
+type split = {
+  hot_fields : string list;
+  cold_fields : string list;
+  hot_bytes : int;
+  total_bytes : int;
+  ref_coverage : float;
+}
+
+type t = {
+  dead_fields : string list;
+  split : split;
+  contended : (string * float * float) list;
+}
+
+let analyze ?(hot_coverage = 0.9) (flg : Flg.t) =
+  if hot_coverage <= 0.0 || hot_coverage > 1.0 then
+    invalid_arg "Advisor.analyze: hot_coverage outside (0, 1]";
+  let dead_fields =
+    List.filter_map
+      (fun (f : Field.t) ->
+        if Flg.hotness_of flg f.Field.name = 0 then Some f.Field.name else None)
+      flg.Flg.fields
+  in
+  (* Hot/cold split: smallest hotness-ordered prefix covering the target
+     fraction of dynamic references. *)
+  let total_refs =
+    List.fold_left (fun acc (_, h) -> acc + h) 0 flg.Flg.hotness
+  in
+  let ordered = Flg.field_names_by_hotness flg in
+  let hot_fields, covered =
+    let rec take acc covered = function
+      | [] -> (List.rev acc, covered)
+      | name :: rest ->
+        if
+          total_refs > 0
+          && float_of_int covered >= hot_coverage *. float_of_int total_refs
+        then (List.rev acc, covered)
+        else take (name :: acc) (covered + Flg.hotness_of flg name) rest
+    in
+    take [] 0 ordered
+  in
+  let cold_fields =
+    List.filter (fun n -> not (List.mem n hot_fields)) ordered
+  in
+  let descriptors names = List.map (Flg.field_of flg) names in
+  let split =
+    {
+      hot_fields;
+      cold_fields;
+      hot_bytes = Layout.packed_size (descriptors hot_fields);
+      total_bytes = Layout.packed_size flg.Flg.fields;
+      ref_coverage =
+        (if total_refs = 0 then 1.0
+         else float_of_int covered /. float_of_int total_refs);
+    }
+  in
+  (* Contended fields: negative edge mass vs positive edge mass. *)
+  let contended =
+    List.filter_map
+      (fun (f : Field.t) ->
+        let name = f.Field.name in
+        let neg, pos =
+          List.fold_left
+            (fun (neg, pos) (other, w) ->
+              ignore other;
+              if w < 0.0 then (neg -. w, pos) else (neg, pos +. w))
+            (0.0, 0.0)
+            (Sgraph.neighbors flg.Flg.graph name)
+        in
+        if neg > pos && neg > 0.0 then Some (name, neg, pos) else None)
+      flg.Flg.fields
+    |> List.sort (fun (_, n1, p1) (_, n2, p2) -> compare (n2 -. p2) (n1 -. p1))
+  in
+  { dead_fields; split; contended }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>=== advisories ===";
+  if t.dead_fields <> [] then begin
+    Format.fprintf ppf "@,dead fields (never referenced):";
+    List.iter (fun f -> Format.fprintf ppf " %s" f) t.dead_fields
+  end;
+  Format.fprintf ppf
+    "@,hot/cold split: %d hot field(s), %d bytes of %d, covering %.0f%% of \
+     references"
+    (List.length t.split.hot_fields)
+    t.split.hot_bytes t.split.total_bytes
+    (100.0 *. t.split.ref_coverage);
+  if t.contended <> [] then begin
+    Format.fprintf ppf "@,contended fields (peel/pad candidates):";
+    List.iter
+      (fun (f, neg, pos) ->
+        Format.fprintf ppf "@,  %s: loss mass %.0f vs gain mass %.0f" f neg pos)
+      t.contended
+  end;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,43 @@
+(** Advisory analyses beyond field reordering.
+
+    The paper positions field reordering among a family of structure
+    transformations — "structure splitting, structure peeling, field
+    reordering, dead field removal" (§1) — and its tool is explicitly
+    semi-automatic: it surfaces findings for an engineer to act on. This
+    module derives those other advisories from the same FLG:
+
+    - {b dead fields}: never referenced in the profile — candidates for
+      removal (or at least relegation to the tail);
+    - {b hot/cold split}: a partition of the fields into a hot working set
+      and a cold remainder, with the fraction of dynamic references the hot
+      part captures and its size — the classic struct-splitting candidate
+      when the hot part is small and the struct is large;
+    - {b contended fields}: fields whose negative (false-sharing) edge mass
+      dominates their positive (locality) mass — candidates for peeling
+      into a per-CPU or padded side structure.
+
+    Advisories are data, not transformations: minic structs are accessed by
+    named fields so splitting is a source-level decision, exactly as it was
+    for the paper's kernel engineers. *)
+
+type split = {
+  hot_fields : string list;  (** suggested hot sub-struct, hotness order *)
+  cold_fields : string list;
+  hot_bytes : int;  (** packed size of the hot part *)
+  total_bytes : int;
+  ref_coverage : float;  (** fraction of dynamic refs the hot part captures *)
+}
+
+type t = {
+  dead_fields : string list;  (** declaration order *)
+  split : split;
+  contended : (string * float * float) list;
+      (** field, negative edge mass, positive edge mass — sorted by how
+          dominant the contention is *)
+}
+
+val analyze : ?hot_coverage:float -> Flg.t -> t
+(** [hot_coverage] (default 0.9): the hot part is the smallest
+    hotness-ordered prefix covering at least this fraction of references. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,109 @@
+module Field = Slo_layout.Field
+module Layout = Slo_layout.Layout
+
+type cluster = { seed : string; members : Field.t list }
+
+(* find_best_match (Figure 7): the unassigned node with the largest
+   strictly-positive sum of edge weights into the current cluster, among
+   nodes that still fit in the cluster's cache line. *)
+let find_best_match flg ~line_size ~members ~unassigned =
+  let member_names = List.map (fun (f : Field.t) -> f.Field.name) members in
+  let best =
+    List.fold_left
+      (fun best name ->
+        let field = Flg.field_of flg name in
+        let fits =
+          Layout.packed_size (members @ [ field ]) <= line_size
+        in
+        if not fits then best
+        else begin
+          let w =
+            List.fold_left
+              (fun acc m -> acc +. Flg.weight flg name m)
+              0.0 member_names
+          in
+          match best with
+          | Some (_, bw) when bw >= w -> best
+          | _ when w > 0.0 -> Some (name, w)
+          | best -> best
+        end)
+      None unassigned
+  in
+  Option.map fst best
+
+(* A cold singleton is a cluster whose only member has zero hotness and no
+   incident FLG edges: its placement cannot change any edge weight sum. *)
+let is_cold_singleton flg c =
+  match c.members with
+  | [ f ] ->
+    let name = f.Field.name in
+    Flg.hotness_of flg name = 0
+    && Slo_graph.Sgraph.degree flg.Flg.graph name = 0
+  | _ -> false
+
+let pack_cold_singletons flg ~line_size clusters =
+  let cold, rest = List.partition (is_cold_singleton flg) clusters in
+  match cold with
+  | [] -> clusters
+  | _ ->
+    let packed =
+      List.fold_left
+        (fun acc c ->
+          let f = List.hd c.members in
+          match acc with
+          | cur :: others
+            when Layout.packed_size (cur.members @ [ f ]) <= line_size ->
+            { cur with members = cur.members @ [ f ] } :: others
+          | _ -> { seed = f.Field.name; members = [ f ] } :: acc)
+        [] cold
+      |> List.rev
+    in
+    rest @ packed
+
+let run ?(pack_cold = true) flg ~line_size =
+  if line_size <= 0 then invalid_arg "Cluster.run: line_size <= 0";
+  let order = Flg.field_names_by_hotness flg in
+  let rec build_clusters unassigned acc =
+    match unassigned with
+    | [] -> List.rev acc
+    | seed :: rest ->
+      let rec grow members unassigned =
+        match find_best_match flg ~line_size ~members ~unassigned with
+        | None -> (members, unassigned)
+        | Some name ->
+          let field = Flg.field_of flg name in
+          grow (members @ [ field ]) (List.filter (fun n -> n <> name) unassigned)
+      in
+      let members, rest = grow [ Flg.field_of flg seed ] rest in
+      build_clusters rest ({ seed; members } :: acc)
+  in
+  let clusters = build_clusters order [] in
+  if pack_cold then pack_cold_singletons flg ~line_size clusters else clusters
+
+let layout_of_clusters flg ~line_size clusters =
+  Layout.of_clusters ~struct_name:flg.Flg.struct_name ~line_size
+    (List.map (fun c -> c.members) clusters)
+
+let automatic_layout flg ~line_size =
+  layout_of_clusters flg ~line_size (run flg ~line_size)
+
+let intra_cluster_weight flg c =
+  let rec pairs acc = function
+    | [] -> acc
+    | (f : Field.t) :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc (g : Field.t) -> acc +. Flg.weight flg f.Field.name g.Field.name)
+          acc rest
+      in
+      pairs acc rest
+  in
+  pairs 0.0 c.members
+
+let inter_cluster_weight flg c1 c2 =
+  List.fold_left
+    (fun acc (f : Field.t) ->
+      List.fold_left
+        (fun acc (g : Field.t) -> acc +. Flg.weight flg f.Field.name g.Field.name)
+        acc c2.members)
+    0.0 c1.members

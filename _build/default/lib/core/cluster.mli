@@ -1,0 +1,48 @@
+(** Greedy FLG clustering (§4.4, Figures 6-7).
+
+    The algorithm:
+    + sort nodes by hotness;
+    + seed a new cluster with the hottest unassigned node;
+    + repeatedly add the unassigned node with the maximal {e positive} total
+      edge weight to the current cluster ([find_best_match]), skipping nodes
+      that would make the cluster need another cache line;
+    + when no node qualifies (all sums non-positive, or nothing fits), close
+      the cluster and start the next one;
+    + every field ends up in exactly one cluster.
+
+    A field larger than a cache line still gets (and fills) its own
+    cluster. Cluster capacity uses packed size with C alignment rules
+    ({!Slo_layout.Layout.packed_size}), matching what the final
+    {!Slo_layout.Layout.of_clusters} layout will occupy. *)
+
+type cluster = {
+  seed : string;  (** the hot field that opened the cluster *)
+  members : Slo_layout.Field.t list;  (** in insertion order, seed first *)
+}
+
+val run : ?pack_cold:bool -> Flg.t -> line_size:int -> cluster list
+(** Clusters in creation order (hottest seeds first).
+
+    [pack_cold] (default [true]): fields with zero hotness and no FLG edges
+    come out of the greedy loop as singleton clusters; packing them shares
+    cache lines among them instead of giving each its own line. Their
+    placement is weight-neutral by construction, and packing keeps the
+    struct's footprint comparable to the original (the paper's emitted
+    layouts are real struct definitions of ordinary size). Pass [false]
+    to see the raw algorithm of Figure 6.
+    @raise Invalid_argument if [line_size <= 0]. *)
+
+val layout_of_clusters :
+  Flg.t -> line_size:int -> cluster list -> Slo_layout.Layout.t
+(** The final layout: each cluster starts on a fresh cache line. *)
+
+val automatic_layout : Flg.t -> line_size:int -> Slo_layout.Layout.t
+(** [layout_of_clusters flg ~line_size (run flg ~line_size)] — the tool's
+    fully automatic layout (§5.1). *)
+
+val intra_cluster_weight : Flg.t -> cluster -> float
+(** Sum of FLG edge weights between members — the gain captured. *)
+
+val inter_cluster_weight : Flg.t -> cluster -> cluster -> float
+(** Sum of FLG edge weights across two clusters — the gain forfeited (or
+    the loss avoided, when negative). *)

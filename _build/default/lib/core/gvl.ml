@@ -1,0 +1,15 @@
+module Ast = Slo_ir.Ast
+module Layout = Slo_layout.Layout
+
+let analyze ?params ~program ~counts ~samples () =
+  if program.Ast.globals = [] then
+    invalid_arg "Gvl.analyze: program has no globals";
+  Pipeline.analyze ?params ~program ~counts ~samples
+    ~struct_name:Ast.globals_struct_name ()
+
+let automatic_layout ?params flg = Pipeline.automatic_layout ?params flg
+
+let declared_layout program =
+  match Ast.globals_struct program with
+  | Some sd -> Layout.of_struct sd
+  | None -> invalid_arg "Gvl.declared_layout: program has no globals"

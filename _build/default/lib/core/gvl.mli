@@ -1,0 +1,30 @@
+(** Global Variable Layout (GVL) — the paper's stated future work (§7,
+    following McIntosh et al., PACT'06): apply the CodeConcurrency-aware
+    layout machinery to global scalar variables.
+
+    Globals are exposed to every analysis as fields of the pseudo-struct
+    {!Slo_ir.Ast.globals_struct_name}, so GVL {e is} the field-layout
+    pipeline applied to that struct: affinity groups capture globals
+    referenced in the same loops, CodeConcurrency captures concurrent
+    writer/reader lines, and the greedy clustering assigns globals to
+    cache-line-sized blocks of the globals segment. The simulator places
+    the segment at line-aligned addresses, so the layout maps one-to-one
+    onto addresses (the linker's .data ordering in a real toolchain). *)
+
+val analyze :
+  ?params:Pipeline.params ->
+  program:Slo_ir.Ast.program ->
+  counts:Slo_profile.Counts.t ->
+  samples:Slo_concurrency.Sample.t list ->
+  unit ->
+  Flg.t
+(** The FLG over the program's global variables.
+    @raise Invalid_argument if the program has no globals. *)
+
+val automatic_layout : ?params:Pipeline.params -> Flg.t -> Slo_layout.Layout.t
+(** Greedy-clustered layout of the globals segment (to install with
+    {!Slo_sim.Machine.set_layout}). *)
+
+val declared_layout : Slo_ir.Ast.program -> Slo_layout.Layout.t
+(** Declaration-order layout of the globals segment.
+    @raise Invalid_argument if the program has no globals. *)

@@ -1,0 +1,21 @@
+(** The naïve sort-by-hotness layout heuristic the paper evaluates against
+    (§5.1): group fields by alignment requirement, sort each group by
+    hotness, and lay the groups out from the largest alignment down.
+
+    This produces a maximally packed layout with hot fields adjacent — good
+    for single-threaded locality, catastrophic in the presence of false
+    sharing (the paper measures a >2X degradation on struct A), which is
+    exactly why the FLG approach exists. *)
+
+val order :
+  fields:Slo_layout.Field.t list -> hotness:(string * int) list -> string list
+(** The field order the heuristic chooses. Fields missing from [hotness]
+    count as 0. Ties: declaration order. *)
+
+val layout :
+  struct_name:string ->
+  fields:Slo_layout.Field.t list ->
+  hotness:(string * int) list ->
+  Slo_layout.Layout.t
+
+val layout_of_flg : Flg.t -> Slo_layout.Layout.t

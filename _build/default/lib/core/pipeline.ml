@@ -1,0 +1,58 @@
+module Ast = Slo_ir.Ast
+module Field = Slo_layout.Field
+module Affinity_graph = Slo_affinity.Affinity_graph
+module Code_concurrency = Slo_concurrency.Code_concurrency
+module Fmf = Slo_concurrency.Fmf
+module Cycle_loss = Slo_concurrency.Cycle_loss
+
+type params = {
+  k1 : float;
+  k2 : float;
+  line_size : int;
+  cc_interval : int;
+  require_read : bool;
+  top_positive : int;
+}
+
+let default_params =
+  {
+    k1 = 1.0;
+    k2 = 1.0;
+    line_size = 128;
+    cc_interval = 20_000;
+    require_read = false;
+    top_positive = 20;
+  }
+
+let analyze ?(params = default_params) ~program ~counts ~samples ~struct_name () =
+  let fields =
+    match Ast.find_struct program struct_name with
+    | Some sd -> Field.of_struct sd
+    | None ->
+      invalid_arg (Printf.sprintf "Pipeline.analyze: unknown struct %S" struct_name)
+  in
+  let affinity =
+    Affinity_graph.build ~require_read:params.require_read program counts
+      ~struct_name
+  in
+  let cycle_loss =
+    match samples with
+    | [] -> None
+    | _ ->
+      let cm = Code_concurrency.compute ~interval:params.cc_interval samples in
+      let fmf = Fmf.of_program program in
+      Some (Cycle_loss.compute ~cm ~fmf ~struct_name)
+  in
+  Flg.build ~k1:params.k1 ~k2:params.k2 ~fields ~affinity ?cycle_loss ()
+
+let automatic_layout ?(params = default_params) flg =
+  Cluster.automatic_layout flg ~line_size:params.line_size
+
+let hotness_layout flg = Hotness_heuristic.layout_of_flg flg
+
+let incremental_layout ?(params = default_params) flg ~baseline =
+  Subgraph.incremental_layout flg ~baseline ~line_size:params.line_size
+    ~top_positive:params.top_positive ()
+
+let report ?(params = default_params) flg =
+  Report.make flg ~line_size:params.line_size

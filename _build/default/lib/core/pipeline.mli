@@ -1,0 +1,44 @@
+(** End-to-end analysis pipeline (the paper's Figure 3).
+
+    Inputs are the three data products of the collection phase:
+    - the typechecked program (SYZYGY's IR in the paper, minic here),
+    - profile counts (the PBO feedback file),
+    - synchronized PMU samples (Caliper's whole-system trace).
+
+    From those it derives the affinity graph, the concurrency map, the
+    field mapping file, CycleLoss, and finally the FLG, from which the
+    three layout policies are produced: automatic (greedy clustering),
+    incremental (important-edge subgraph constraints on a baseline), and
+    the sort-by-hotness strawman. *)
+
+type params = {
+  k1 : float;  (** CycleGain scale *)
+  k2 : float;  (** CycleLoss scale *)
+  line_size : int;  (** cache-line / coherence-block size *)
+  cc_interval : int;  (** CodeConcurrency interval, in ITC ticks *)
+  require_read : bool;  (** drop write-write affinity (§2's store rule) *)
+  top_positive : int;  (** important positive edges kept in subgraph mode *)
+}
+
+val default_params : params
+(** k1 = 1.0, k2 = 1.0, line_size = 128, cc_interval = 20_000,
+    require_read = false, top_positive = 20. *)
+
+val analyze :
+  ?params:params ->
+  program:Slo_ir.Ast.program ->
+  counts:Slo_profile.Counts.t ->
+  samples:Slo_concurrency.Sample.t list ->
+  struct_name:string ->
+  unit ->
+  Flg.t
+(** Build the FLG for one struct. An empty [samples] list yields a
+    locality-only FLG (no CycleLoss). *)
+
+val automatic_layout : ?params:params -> Flg.t -> Slo_layout.Layout.t
+val hotness_layout : Flg.t -> Slo_layout.Layout.t
+
+val incremental_layout :
+  ?params:params -> Flg.t -> baseline:Slo_layout.Layout.t -> Slo_layout.Layout.t
+
+val report : ?params:params -> Flg.t -> Report.t

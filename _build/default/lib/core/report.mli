@@ -1,0 +1,27 @@
+(** The semi-automatic tool's diagnostic report (§1.1, §5.2).
+
+    Along with the suggested layout, the tool outputs the information a
+    programmer needs to hand-tune instead: per-cluster member lists with
+    intra-cluster weights, inter-cluster weights, and the edges with large
+    positive or negative weight ("the key factors contributing to the
+    layout decisions"). *)
+
+type t = {
+  struct_name : string;
+  clusters : Cluster.cluster list;
+  intra : (int * float) list;  (** cluster index, intra-cluster weight *)
+  inter : (int * int * float) list;  (** pairs with non-zero cross weight *)
+  top_positive : (string * string * float) list;
+  top_negative : (string * string * float) list;
+  layout : Slo_layout.Layout.t;
+  hotness : (string * int) list;  (** descending *)
+}
+
+val make : ?top_k:int -> Flg.t -> line_size:int -> t
+(** Cluster the FLG and assemble the report. [top_k] bounds the
+    positive/negative edge lists (default 20, the paper's cutoff). *)
+
+val render : t -> string
+(** Multi-line human-readable report. *)
+
+val pp : Format.formatter -> t -> unit

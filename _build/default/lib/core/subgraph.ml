@@ -1,0 +1,166 @@
+module Sgraph = Slo_graph.Sgraph
+module Field = Slo_layout.Field
+module Layout = Slo_layout.Layout
+
+let filter (flg : Flg.t) ~top_positive =
+  let g = flg.Flg.graph in
+  let keep = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v, _) -> Hashtbl.replace keep (u, v) ())
+    (Flg.negative_edges flg);
+  let positives = Flg.positive_edges flg in
+  List.iteri
+    (fun i (u, v, _) -> if i < top_positive then Hashtbl.replace keep (u, v) ())
+    positives;
+  let filtered =
+    Sgraph.filter_edges g ~f:(fun u v _ ->
+        Hashtbl.mem keep (u, v) || Hashtbl.mem keep (v, u))
+    |> Sgraph.drop_isolated
+  in
+  let surviving = Sgraph.nodes filtered in
+  let member n = List.mem n surviving in
+  let restrict g' =
+    Sgraph.fold_edges g' ~init:(List.fold_left Sgraph.add_node Sgraph.empty surviving)
+      ~f:(fun acc u v w ->
+        if member u && member v && Sgraph.weight filtered u v <> None then
+          Sgraph.add_edge acc u v w
+        else acc)
+  in
+  {
+    Flg.struct_name = flg.Flg.struct_name;
+    fields =
+      List.filter (fun (f : Field.t) -> member f.Field.name) flg.Flg.fields;
+    graph = filtered;
+    gain = restrict flg.Flg.gain;
+    loss = restrict flg.Flg.loss;
+    hotness = List.filter (fun (n, _) -> member n) flg.Flg.hotness;
+  }
+
+let constraints flg ~line_size ~top_positive =
+  Cluster.run (filter flg ~top_positive) ~line_size
+
+let negative_edge flg f1 f2 = Flg.weight flg f1 f2 < 0.0
+
+(* The baseline is edited at cache-line granularity: every baseline line's
+   leftover fields keep their own line, so the hand layout's geometric
+   separations survive the edit (a packed reflow would silently move fields
+   across line boundaries and re-introduce the very sharing the hand layout
+   avoided). *)
+let apply flg ~baseline ~line_size clusters =
+  let base_order = Layout.field_names baseline in
+  let by_name = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Field.t) -> Hashtbl.replace by_name f.Field.name f)
+    (Layout.fields baseline);
+  (* Map each constrained field to its cluster index; check disjointness. *)
+  let cluster_of = Hashtbl.create 16 in
+  List.iteri
+    (fun ci (c : Cluster.cluster) ->
+      List.iter
+        (fun (f : Field.t) ->
+          let name = f.Field.name in
+          if not (Hashtbl.mem by_name name) then
+            invalid_arg
+              (Printf.sprintf "Subgraph.apply: field %S not in baseline" name);
+          if Hashtbl.mem cluster_of name then
+            invalid_arg
+              (Printf.sprintf "Subgraph.apply: field %S in two clusters" name);
+          Hashtbl.replace cluster_of name ci)
+        c.Cluster.members)
+    clusters;
+  (* Residual baseline lines: per line, the fields not pulled into a
+     multi-member cluster. Mutable so singleton resolution below can see
+     fields leaving their line. *)
+  let multi_member name =
+    match Hashtbl.find_opt cluster_of name with
+    | None -> false
+    | Some ci ->
+      (match (List.nth clusters ci).Cluster.members with
+      | [ _ ] -> false
+      | _ -> true)
+  in
+  let num_lines = Layout.lines_used baseline ~line_size in
+  let residual =
+    Array.init num_lines (fun line ->
+        Layout.fields_on_line baseline ~line_size line
+        |> List.filter (fun (f : Field.t) -> not (multi_member f.Field.name)))
+  in
+  let line_of = Hashtbl.create 32 in
+  List.iter
+    (fun name ->
+      Hashtbl.replace line_of name (Layout.cache_line_of baseline ~line_size name))
+    base_order;
+  (* Resolve singleton constraints in cluster (hotness) order: a singleton
+     at peace with the current residue of its line stays; otherwise it is
+     quarantined (removed from its line), which can pacify later
+     singletons on the same line. *)
+  let quarantine = ref [] in
+  List.iter
+    (fun (c : Cluster.cluster) ->
+      match c.Cluster.members with
+      | [ f ] ->
+        let name = f.Field.name in
+        let line = Hashtbl.find line_of name in
+        let conflict =
+          List.exists
+            (fun (m : Field.t) ->
+              (not (String.equal m.Field.name name))
+              && negative_edge flg name m.Field.name)
+            residual.(line)
+        in
+        if conflict then begin
+          residual.(line) <-
+            List.filter
+              (fun (m : Field.t) -> not (String.equal m.Field.name name))
+              residual.(line);
+          quarantine := f :: !quarantine
+        end
+      | _ -> ())
+    clusters;
+  (* Pack quarantined fields into fresh-line groups without internal
+     negative edges. *)
+  let quarantine_groups =
+    List.fold_left
+      (fun groups (f : Field.t) ->
+        let compatible group =
+          Layout.packed_size (group @ [ f ]) <= line_size
+          && List.for_all
+               (fun (g : Field.t) ->
+                 not (negative_edge flg f.Field.name g.Field.name))
+               group
+        in
+        let rec place = function
+          | [] -> [ [ f ] ]
+          | g :: rest -> if compatible g then (g @ [ f ]) :: rest else g :: place rest
+        in
+        place groups)
+      [] (List.rev !quarantine)
+  in
+  (* Emit: walk baseline lines in order; a line whose first (baseline)
+     member belongs to a multi-member cluster is preceded by that cluster's
+     fresh-line segment; every non-empty residual line is its own
+     fresh-line segment. *)
+  let emitted = Hashtbl.create 16 in
+  let segments = ref [] in
+  for line = 0 to num_lines - 1 do
+    List.iter
+      (fun (f : Field.t) ->
+        match Hashtbl.find_opt cluster_of f.Field.name with
+        | Some ci when multi_member f.Field.name && not (Hashtbl.mem emitted ci) ->
+          Hashtbl.replace emitted ci ();
+          segments :=
+            Layout.Line_start (List.nth clusters ci).Cluster.members :: !segments
+        | _ -> ())
+      (Layout.fields_on_line baseline ~line_size line);
+    if residual.(line) <> [] then
+      segments := Layout.Line_start residual.(line) :: !segments
+  done;
+  List.iter
+    (fun group -> segments := Layout.Line_start group :: !segments)
+    quarantine_groups;
+  Layout.of_segments ~struct_name:baseline.Layout.struct_name ~line_size
+    (List.rev !segments)
+
+let incremental_layout flg ~baseline ~line_size ?(top_positive = 20) () =
+  let cs = constraints flg ~line_size ~top_positive in
+  if cs = [] then baseline else apply flg ~baseline ~line_size cs

@@ -1,0 +1,48 @@
+(** Incremental layout refinement via important-edge filtering (§5.2).
+
+    For an already well-tuned baseline (like the HP-UX kernel structs), the
+    full greedy clustering can be worse than the hand layout. The paper's
+    remedy: keep only the {e important} edges of the FLG — all negative
+    edges plus the top-k positive edges (k = 20 in the paper) — drop the
+    nodes left isolated, cluster the small subgraph, and treat the
+    resulting clusters as {e constraints} edited into the baseline layout:
+    fields in one cluster must be colocated; fields in different clusters
+    must be separated (different cache lines). *)
+
+val filter : Flg.t -> top_positive:int -> Flg.t
+(** The important-edge subgraph as an FLG over the surviving fields.
+    Hotness is preserved. *)
+
+val constraints : Flg.t -> line_size:int -> top_positive:int -> Cluster.cluster list
+(** Clusters of the filtered subgraph — the layout constraints. *)
+
+val apply :
+  Flg.t ->
+  baseline:Slo_layout.Layout.t ->
+  line_size:int ->
+  Cluster.cluster list ->
+  Slo_layout.Layout.t
+(** Edit the baseline so the constraints hold:
+    - each multi-member constraint cluster's fields become one contiguous
+      run starting on a fresh cache line, placed where the cluster's first
+      member sat in the baseline order;
+    - a singleton constraint cluster whose field has no negative FLG edge
+      to any of its baseline line-mates is left where it was (the
+      separation it asks for already holds);
+    - remaining singletons are quarantined: packed at the tail into groups
+      with no internal negative edges, each group on a fresh line;
+    - unconstrained fields keep their baseline relative order.
+
+    This is the minimal-edit reading of §5.2: "we then alter the original
+    layout so that these constraints are met".
+    @raise Invalid_argument if clusters mention fields absent from the
+    baseline or a field appears in two clusters. *)
+
+val incremental_layout :
+  Flg.t ->
+  baseline:Slo_layout.Layout.t ->
+  line_size:int ->
+  ?top_positive:int ->
+  unit ->
+  Slo_layout.Layout.t
+(** [constraints] + [apply] with the paper's default [top_positive = 20]. *)

@@ -1,0 +1,1 @@
+lib/graph/sgraph.ml: Format String Wgraph

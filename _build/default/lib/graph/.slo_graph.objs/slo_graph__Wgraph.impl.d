@@ -1,0 +1,1 @@
+lib/graph/wgraph.ml: Buffer Fmt Format List Map Printf

@@ -1,0 +1,9 @@
+(** Weighted undirected graphs over string-named nodes — the concrete
+    instantiation used for field graphs (affinity graph, FLG). *)
+
+include Wgraph.Make (struct
+  type t = string
+
+  let compare = String.compare
+  let pp = Format.pp_print_string
+end)

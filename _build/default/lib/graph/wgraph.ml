@@ -1,0 +1,141 @@
+module type NODE = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (Node : NODE) = struct
+  type node = Node.t
+
+  module NMap = Map.Make (Node)
+
+  (* Adjacency is stored symmetrically: an edge (u,v,w) appears in both
+     [adj u] and [adj v]. Nodes with no edges map to the empty map. *)
+  type t = { adj : float NMap.t NMap.t }
+
+  let empty = { adj = NMap.empty }
+
+  let add_node g n =
+    if NMap.mem n g.adj then g else { adj = NMap.add n NMap.empty g.adj }
+
+  let mem_node g n = NMap.mem n g.adj
+
+  let adj_of g n = try NMap.find n g.adj with Not_found -> NMap.empty
+
+  let update_half adj u v w =
+    let m = try NMap.find u adj with Not_found -> NMap.empty in
+    NMap.add u (NMap.add v w m) adj
+
+  let set_edge g u v w =
+    if Node.compare u v = 0 then invalid_arg "Wgraph.set_edge: self edge";
+    let adj = update_half (update_half g.adj u v w) v u w in
+    { adj }
+
+  let weight g u v =
+    match NMap.find_opt v (adj_of g u) with Some w -> Some w | None -> None
+
+  let weight0 g u v = match weight g u v with Some w -> w | None -> 0.0
+
+  let add_edge g u v w =
+    if Node.compare u v = 0 then invalid_arg "Wgraph.add_edge: self edge";
+    set_edge g u v (weight0 g u v +. w)
+
+  let remove_half adj u v =
+    match NMap.find_opt u adj with
+    | None -> adj
+    | Some m -> NMap.add u (NMap.remove v m) adj
+
+  let remove_edge g u v =
+    { adj = remove_half (remove_half g.adj u v) v u }
+
+  let remove_node g n =
+    let nbrs = adj_of g n in
+    let adj = NMap.fold (fun v _ adj -> remove_half adj v n) nbrs g.adj in
+    { adj = NMap.remove n adj }
+
+  let neighbors g n = NMap.bindings (adj_of g n)
+
+  let degree g n = NMap.cardinal (adj_of g n)
+
+  let nodes g = List.map fst (NMap.bindings g.adj)
+
+  let num_nodes g = NMap.cardinal g.adj
+
+  let fold_nodes g ~init ~f = NMap.fold (fun n _ acc -> f acc n) g.adj init
+
+  let fold_edges g ~init ~f =
+    NMap.fold
+      (fun u m acc ->
+        NMap.fold
+          (fun v w acc -> if Node.compare u v < 0 then f acc u v w else acc)
+          m acc)
+      g.adj init
+
+  let num_edges g = fold_edges g ~init:0 ~f:(fun acc _ _ _ -> acc + 1)
+
+  let edges g =
+    List.rev (fold_edges g ~init:[] ~f:(fun acc u v w -> (u, v, w) :: acc))
+
+  let filter_edges g ~f =
+    let ordered u v = if Node.compare u v <= 0 then (u, v) else (v, u) in
+    let adj =
+      NMap.mapi
+        (fun u m ->
+          NMap.filter
+            (fun v w ->
+              let lo, hi = ordered u v in
+              f lo hi w)
+            m)
+        g.adj
+    in
+    { adj }
+
+  let drop_isolated g =
+    { adj = NMap.filter (fun _ m -> not (NMap.is_empty m)) g.adj }
+
+  let top_edges g ~k ~by =
+    let all = edges g in
+    let cmp (u1, v1, w1) (u2, v2, w2) =
+      match compare (by w2) (by w1) with
+      | 0 -> (
+        match Node.compare u1 u2 with 0 -> Node.compare v1 v2 | c -> c)
+      | c -> c
+    in
+    let sorted = List.sort cmp all in
+    List.filteri (fun i _ -> i < k) sorted
+
+  let weight_sum_to g n set =
+    List.fold_left (fun acc m -> acc +. weight0 g n m) 0.0 set
+
+  let union g1 g2 =
+    let g = fold_nodes g2 ~init:g1 ~f:add_node in
+    fold_edges g2 ~init:g ~f:(fun g u v w -> add_edge g u v w)
+
+  let map_weights g ~f =
+    fold_edges g ~init:(fold_nodes g ~init:empty ~f:add_node)
+      ~f:(fun acc u v w -> set_edge acc u v (f u v w))
+
+  let to_dot ?(name = "g") g =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+    List.iter
+      (fun n -> Buffer.add_string buf (Fmt.str "  \"%a\";\n" Node.pp n))
+      (nodes g);
+    List.iter
+      (fun (u, v, w) ->
+        Buffer.add_string buf
+          (Fmt.str "  \"%a\" -- \"%a\" [label=\"%.1f\"];\n" Node.pp u Node.pp v w))
+      (edges g);
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+
+  let pp ppf g =
+    Format.fprintf ppf "@[<v>graph: %d nodes, %d edges" (num_nodes g)
+      (num_edges g);
+    List.iter
+      (fun (u, v, w) ->
+        Format.fprintf ppf "@,  %a -- %a : %.2f" Node.pp u Node.pp v w)
+      (edges g);
+    Format.fprintf ppf "@]"
+end

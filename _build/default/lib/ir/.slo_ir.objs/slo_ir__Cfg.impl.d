@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Ast Format Hashtbl List Loc Option Printf

@@ -1,0 +1,1 @@
+lib/ir/inline.ml: Ast Hashtbl List Loc Option Printf

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Ast Lexer List Loc Printf String

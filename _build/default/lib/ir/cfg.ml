@@ -1,0 +1,377 @@
+type block_id = int
+type loop_id = int
+
+type pexpr =
+  | Pint of int
+  | Pvar of string
+  | Pbinop of Ast.binop * pexpr * pexpr
+
+type call_arg = Cexpr of pexpr | Cinst of string
+
+type instr =
+  | Iload of {
+      dst : string;
+      inst : string;
+      struct_name : string;
+      field : string;
+      index : pexpr option;
+      loc : Loc.t;
+    }
+  | Igload of { dst : string; name : string; loc : Loc.t }
+  | Igstore of { name : string; src : pexpr; loc : Loc.t }
+  | Istore of {
+      inst : string;
+      struct_name : string;
+      field : string;
+      index : pexpr option;
+      src : pexpr;
+      loc : Loc.t;
+    }
+  | Iassign of { dst : string; value : pexpr; loc : Loc.t }
+  | Irand of { dst : string; bound : pexpr; loc : Loc.t }
+  | Ipause of { cycles : pexpr; loc : Loc.t }
+  | Icall of { proc : string; args : call_arg list; loc : Loc.t }
+
+let instr_loc = function
+  | Iload { loc; _ }
+  | Igload { loc; _ }
+  | Igstore { loc; _ }
+  | Istore { loc; _ }
+  | Iassign { loc; _ }
+  | Irand { loc; _ }
+  | Ipause { loc; _ }
+  | Icall { loc; _ } -> loc
+
+type terminator =
+  | Tgoto of block_id
+  | Tbranch of { cond : pexpr; if_true : block_id; if_false : block_id; loc : Loc.t }
+  | Treturn
+
+type block = {
+  b_id : block_id;
+  b_instrs : instr array;
+  b_term : terminator;
+  b_loop : loop_id option;
+}
+
+type loop_info = {
+  l_id : loop_id;
+  l_header : block_id;
+  l_depth : int;
+  l_parent : loop_id option;
+  l_loc : Loc.t;
+}
+
+type t = {
+  proc_name : string;
+  params : Ast.param list;
+  struct_of_param : (string * string) list;
+  entry : block_id;
+  blocks : block array;
+  loops : loop_info array;
+}
+
+(* ----------------------------------------------------------------------- *)
+(* Builder state. Blocks are created with placeholder terminators and
+   patched once their successor is known. *)
+
+type builder = {
+  struct_of : (string, string) Hashtbl.t;
+  mutable fresh_temp : int;
+  mutable fresh_block : int;
+  mutable fresh_loop : int;
+  mutable finished : (block_id * instr list * terminator * loop_id option) list;
+  mutable cur_id : block_id;
+  mutable cur_instrs : instr list;  (* reversed *)
+  mutable cur_loop : loop_id option;
+  mutable loop_stack : (loop_id * int) list;  (* id, depth *)
+  mutable loops_acc : loop_info list;
+}
+
+let new_temp b =
+  let n = b.fresh_temp in
+  b.fresh_temp <- n + 1;
+  Printf.sprintf "$t%d" n
+
+let reserve_block b =
+  let id = b.fresh_block in
+  b.fresh_block <- id + 1;
+  id
+
+let emit b i = b.cur_instrs <- i :: b.cur_instrs
+
+(* Close the current block with [term] and start filling [next]. *)
+let finish_block b term ~next =
+  b.finished <- (b.cur_id, List.rev b.cur_instrs, term, b.cur_loop) :: b.finished;
+  b.cur_id <- next;
+  b.cur_instrs <- []
+
+let struct_of_inst b inst loc =
+  match Hashtbl.find_opt b.struct_of inst with
+  | Some s -> s
+  | None ->
+    (* The typechecker guarantees this cannot happen. *)
+    invalid_arg
+      (Printf.sprintf "Cfg: unknown struct pointer %S at %s" inst
+         (Loc.to_string loc))
+
+let rec lower_expr b (e : Ast.expr) : pexpr =
+  match e with
+  | Ast.Int_lit (n, _) -> Pint n
+  | Ast.Var (name, _) -> Pvar name
+  | Ast.Binop (op, l, r, _) ->
+    let l = lower_expr b l in
+    let r = lower_expr b r in
+    Pbinop (op, l, r)
+  | Ast.Field_read { inst; field; index; loc } ->
+    let index = Option.map (lower_expr b) index in
+    let dst = new_temp b in
+    let struct_name = struct_of_inst b inst loc in
+    emit b (Iload { dst; inst; struct_name; field; index; loc });
+    Pvar dst
+  | Ast.Global_read (name, loc) ->
+    let dst = new_temp b in
+    emit b (Igload { dst; name; loc });
+    Pvar dst
+  | Ast.Rand (bound, loc) ->
+    let bound = lower_expr b bound in
+    let dst = new_temp b in
+    emit b (Irand { dst; bound; loc });
+    Pvar dst
+
+let rec lower_stmt b (stmt : Ast.stmt) =
+  match stmt with
+  | Ast.Assign (Ast.Lvar (name, _), rhs, loc) ->
+    let value = lower_expr b rhs in
+    emit b (Iassign { dst = name; value; loc })
+  | Ast.Assign (Ast.Lglobal (name, loc), rhs, _) ->
+    let src = lower_expr b rhs in
+    emit b (Igstore { name; src; loc })
+  | Ast.Assign (Ast.Lfield { inst; field; index; loc }, rhs, _) ->
+    let index = Option.map (lower_expr b) index in
+    let src = lower_expr b rhs in
+    let struct_name = struct_of_inst b inst loc in
+    emit b (Istore { inst; struct_name; field; index; src; loc })
+  | Ast.Pause (e, loc) ->
+    let cycles = lower_expr b e in
+    emit b (Ipause { cycles; loc })
+  | Ast.Call { proc; args; loc } ->
+    let args =
+      List.map
+        (function
+          | Ast.Arg_expr e -> Cexpr (lower_expr b e)
+          | Ast.Arg_inst (name, _) -> Cinst name)
+        args
+    in
+    emit b (Icall { proc; args; loc })
+  | Ast.If { cond; then_; else_; loc } ->
+    let cond = lower_expr b cond in
+    let then_id = reserve_block b in
+    let else_id = match else_ with Some _ -> reserve_block b | None -> -1 in
+    let join_id = reserve_block b in
+    let if_false = if else_ = None then join_id else else_id in
+    finish_block b (Tbranch { cond; if_true = then_id; if_false; loc }) ~next:then_id;
+    List.iter (lower_stmt b) then_;
+    finish_block b (Tgoto join_id) ~next:(if else_ = None then join_id else else_id);
+    (match else_ with
+    | None -> ()
+    | Some body ->
+      List.iter (lower_stmt b) body;
+      finish_block b (Tgoto join_id) ~next:join_id)
+  | Ast.For { var; count; body; loc } ->
+    (* preheader: var = 0; $n = count
+       header:   branch (var < $n) body exit     <- loop header block
+       body...:  latch is merged into the body tail: var = var + 1; goto header
+       exit: *)
+    let bound = lower_expr b count in
+    let bound_var = new_temp b in
+    emit b (Iassign { dst = bound_var; value = bound; loc });
+    emit b (Iassign { dst = var; value = Pint 0; loc });
+    let header_id = reserve_block b in
+    let body_id = reserve_block b in
+    let exit_id = reserve_block b in
+    let loop_id = b.fresh_loop in
+    b.fresh_loop <- loop_id + 1;
+    let depth = 1 + List.length b.loop_stack in
+    let parent = match b.loop_stack with (p, _) :: _ -> Some p | [] -> None in
+    b.loops_acc <-
+      { l_id = loop_id; l_header = header_id; l_depth = depth; l_parent = parent; l_loc = loc }
+      :: b.loops_acc;
+    finish_block b (Tgoto header_id) ~next:header_id;
+    (* header and body are inside the loop *)
+    let saved_loop = b.cur_loop in
+    b.cur_loop <- Some loop_id;
+    b.loop_stack <- (loop_id, depth) :: b.loop_stack;
+    finish_block b
+      (Tbranch
+         { cond = Pbinop (Ast.Lt, Pvar var, Pvar bound_var); if_true = body_id;
+           if_false = exit_id; loc })
+      ~next:body_id;
+    List.iter (lower_stmt b) body;
+    emit b (Iassign { dst = var; value = Pbinop (Ast.Add, Pvar var, Pint 1); loc });
+    finish_block b (Tgoto header_id) ~next:exit_id;
+    b.loop_stack <- List.tl b.loop_stack;
+    b.cur_loop <- saved_loop
+
+let of_proc _program (pd : Ast.proc_decl) =
+  let struct_of = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Ast.Pstruct { struct_name; name; _ } -> Hashtbl.add struct_of name struct_name
+      | Ast.Pint _ -> ())
+    pd.Ast.pd_params;
+  let b =
+    {
+      struct_of;
+      fresh_temp = 0;
+      fresh_block = 1;
+      fresh_loop = 0;
+      finished = [];
+      cur_id = 0;
+      cur_instrs = [];
+      cur_loop = None;
+      loop_stack = [];
+      loops_acc = [];
+    }
+  in
+  List.iter (lower_stmt b) pd.Ast.pd_body;
+  b.finished <- (b.cur_id, List.rev b.cur_instrs, Treturn, b.cur_loop) :: b.finished;
+  let n = b.fresh_block in
+  let blocks =
+    Array.init n (fun id ->
+        { b_id = id; b_instrs = [||]; b_term = Treturn; b_loop = None })
+  in
+  List.iter
+    (fun (id, instrs, term, loop) ->
+      blocks.(id) <-
+        { b_id = id; b_instrs = Array.of_list instrs; b_term = term; b_loop = loop })
+    b.finished;
+  let loops =
+    Array.of_list (List.sort (fun a b -> compare a.l_id b.l_id) (List.rev b.loops_acc))
+  in
+  let struct_of_param =
+    List.filter_map
+      (function
+        | Ast.Pstruct { struct_name; name; _ } -> Some (name, struct_name)
+        | Ast.Pint _ -> None)
+      pd.Ast.pd_params
+  in
+  {
+    proc_name = pd.Ast.pd_name;
+    params = pd.Ast.pd_params;
+    struct_of_param;
+    entry = 0;
+    blocks;
+    loops;
+  }
+
+let of_program program =
+  List.map (fun pd -> (pd.Ast.pd_name, of_proc program pd)) program.Ast.procs
+
+let block t id = t.blocks.(id)
+let num_blocks t = Array.length t.blocks
+
+let successors blk =
+  match blk.b_term with
+  | Tgoto id -> [ id ]
+  | Tbranch { if_true; if_false; _ } -> [ if_true; if_false ]
+  | Treturn -> []
+
+let loop_depth t id =
+  match t.blocks.(id).b_loop with
+  | None -> 0
+  | Some l -> t.loops.(l).l_depth
+
+type access = {
+  a_block : block_id;
+  a_inst : string;
+  a_struct : string;
+  a_field : string;
+  a_is_write : bool;
+  a_loc : Loc.t;
+}
+
+let accesses_of_block t id =
+  let blk = t.blocks.(id) in
+  Array.fold_left
+    (fun acc i ->
+      match i with
+      | Iload { inst; struct_name; field; loc; _ } ->
+        { a_block = id; a_inst = inst; a_struct = struct_name; a_field = field;
+          a_is_write = false; a_loc = loc }
+        :: acc
+      | Istore { inst; struct_name; field; loc; _ } ->
+        { a_block = id; a_inst = inst; a_struct = struct_name; a_field = field;
+          a_is_write = true; a_loc = loc }
+        :: acc
+      | Igload { name; loc; _ } ->
+        { a_block = id; a_inst = Ast.globals_struct_name;
+          a_struct = Ast.globals_struct_name; a_field = name;
+          a_is_write = false; a_loc = loc }
+        :: acc
+      | Igstore { name; loc; _ } ->
+        { a_block = id; a_inst = Ast.globals_struct_name;
+          a_struct = Ast.globals_struct_name; a_field = name;
+          a_is_write = true; a_loc = loc }
+        :: acc
+      | Iassign _ | Irand _ | Ipause _ | Icall _ -> acc)
+    [] blk.b_instrs
+  |> List.rev
+
+let accesses t =
+  List.concat_map (fun blk -> accesses_of_block t blk.b_id) (Array.to_list t.blocks)
+
+(* ----------------------------------------------------------------------- *)
+
+let rec pp_pexpr ppf = function
+  | Pint n -> Format.pp_print_int ppf n
+  | Pvar v -> Format.pp_print_string ppf v
+  | Pbinop (op, l, r) ->
+    Format.fprintf ppf "(%a %s %a)" pp_pexpr l (Ast.binop_to_string op) pp_pexpr r
+
+let pp_index ppf = function
+  | None -> ()
+  | Some e -> Format.fprintf ppf "[%a]" pp_pexpr e
+
+let pp_instr ppf = function
+  | Iload { dst; inst; field; index; _ } ->
+    Format.fprintf ppf "%s <- load %s->%s%a" dst inst field pp_index index
+  | Igload { dst; name; _ } -> Format.fprintf ppf "%s <- gload %s" dst name
+  | Igstore { name; src; _ } ->
+    Format.fprintf ppf "gstore %s <- %a" name pp_pexpr src
+  | Istore { inst; field; index; src; _ } ->
+    Format.fprintf ppf "store %s->%s%a <- %a" inst field pp_index index pp_pexpr src
+  | Iassign { dst; value; _ } -> Format.fprintf ppf "%s <- %a" dst pp_pexpr value
+  | Irand { dst; bound; _ } -> Format.fprintf ppf "%s <- rand(%a)" dst pp_pexpr bound
+  | Ipause { cycles; _ } -> Format.fprintf ppf "pause(%a)" pp_pexpr cycles
+  | Icall { proc; args; _ } ->
+    let pp_arg ppf = function
+      | Cexpr e -> pp_pexpr ppf e
+      | Cinst name -> Format.pp_print_string ppf name
+    in
+    Format.fprintf ppf "call %s(%a)" proc
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_arg)
+      args
+
+let pp_term ppf = function
+  | Tgoto id -> Format.fprintf ppf "goto B%d" id
+  | Tbranch { cond; if_true; if_false; _ } ->
+    Format.fprintf ppf "branch %a ? B%d : B%d" pp_pexpr cond if_true if_false
+  | Treturn -> Format.pp_print_string ppf "return"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cfg %s (entry B%d)" t.proc_name t.entry;
+  Array.iter
+    (fun blk ->
+      let loop =
+        match blk.b_loop with
+        | None -> ""
+        | Some l -> Printf.sprintf " (loop L%d depth %d)" l t.loops.(l).l_depth
+      in
+      Format.fprintf ppf "@,B%d%s:" blk.b_id loop;
+      Array.iter (fun i -> Format.fprintf ppf "@,  %a" pp_instr i) blk.b_instrs;
+      Format.fprintf ppf "@,  %a" pp_term blk.b_term)
+    t.blocks;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,26 @@
+exception Division_by_zero_at of Loc.t
+
+let truthy v = v <> 0
+
+let rec pexpr ~lookup (e : Cfg.pexpr) =
+  match e with
+  | Cfg.Pint n -> n
+  | Cfg.Pvar v -> lookup v
+  | Cfg.Pbinop (op, l, r) ->
+    let a = pexpr ~lookup l in
+    let b = pexpr ~lookup r in
+    let bool_ c = if c then 1 else 0 in
+    (match op with
+    | Ast.Add -> a + b
+    | Ast.Sub -> a - b
+    | Ast.Mul -> a * b
+    | Ast.Div -> if b = 0 then raise (Division_by_zero_at Loc.dummy) else a / b
+    | Ast.Mod -> if b = 0 then raise (Division_by_zero_at Loc.dummy) else a mod b
+    | Ast.Lt -> bool_ (a < b)
+    | Ast.Le -> bool_ (a <= b)
+    | Ast.Gt -> bool_ (a > b)
+    | Ast.Ge -> bool_ (a >= b)
+    | Ast.Eq -> bool_ (a = b)
+    | Ast.Ne -> bool_ (a <> b)
+    | Ast.And -> bool_ (truthy a && truthy b)
+    | Ast.Or -> bool_ (truthy a || truthy b))

@@ -1,0 +1,16 @@
+(** Evaluation of pure expressions, shared by the profiling interpreter and
+    the multiprocessor simulator's execution engine.
+
+    Semantics: 63-bit OCaml integer arithmetic; comparisons and logical
+    operators yield 0/1; any non-zero value is true; division or modulo by
+    zero raises {!Division_by_zero_at}. *)
+
+exception Division_by_zero_at of Loc.t
+
+val pexpr : lookup:(string -> int) -> Cfg.pexpr -> int
+(** [pexpr ~lookup e] evaluates [e], resolving variables via [lookup].
+    [lookup] should raise for unbound names (the typechecker rules this out
+    for well-formed programs; the interpreter maps unassigned locals
+    to 0). *)
+
+val truthy : int -> bool

@@ -1,0 +1,140 @@
+open Ast
+
+(* Renaming environment for one inlined call site. *)
+type subst = {
+  insts : (string * string) list;  (* callee struct param -> caller pointer *)
+  vars : (string, string) Hashtbl.t;  (* callee int name -> fresh caller name *)
+  prefix : string;
+}
+
+let rename_var su name =
+  match Hashtbl.find_opt su.vars name with
+  | Some fresh -> fresh
+  | None ->
+    let fresh = su.prefix ^ name in
+    Hashtbl.replace su.vars name fresh;
+    fresh
+
+let rename_inst su name loc =
+  match List.assoc_opt name su.insts with
+  | Some caller_name -> caller_name
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Inline: unbound struct pointer %S at %s" name
+         (Loc.to_string loc))
+
+let rec subst_expr su e =
+  match e with
+  | Int_lit _ | Global_read _ -> e
+  | Var (name, loc) -> Var (rename_var su name, loc)
+  | Field_read { inst; field; index; loc } ->
+    Field_read
+      {
+        inst = rename_inst su inst loc;
+        field;
+        index = Option.map (subst_expr su) index;
+        loc;
+      }
+  | Binop (op, l, r, loc) -> Binop (op, subst_expr su l, subst_expr su r, loc)
+  | Rand (e, loc) -> Rand (subst_expr su e, loc)
+
+(* Inline the calls of [block], in the context of [program]; [fresh] numbers
+   call sites so every expansion gets a distinct prefix. *)
+let rec inline_block program fresh block =
+  List.concat_map (inline_stmt program fresh) block
+
+and inline_stmt program fresh stmt =
+  match stmt with
+  | Assign _ | Pause _ -> [ stmt ]
+  | For ({ body; _ } as f) -> [ For { f with body = inline_block program fresh body } ]
+  | If ({ then_; else_; _ } as i) ->
+    [
+      If
+        {
+          i with
+          then_ = inline_block program fresh then_;
+          else_ = Option.map (inline_block program fresh) else_;
+        };
+    ]
+  | Call { proc = callee_name; args; loc } ->
+    let callee =
+      match find_proc program callee_name with
+      | Some pd -> pd
+      | None ->
+        invalid_arg (Printf.sprintf "Inline: unknown procedure %S" callee_name)
+    in
+    let n = !fresh in
+    incr fresh;
+    let prefix = Printf.sprintf "__inl%d_" n in
+    let su = { insts = []; vars = Hashtbl.create 8; prefix } in
+    (* Bind parameters. Integer arguments become assignments to fresh
+       locals so argument expressions are evaluated once, in order. *)
+    let bindings, insts =
+      List.fold_left2
+        (fun (bindings, insts) param arg ->
+          match (param, arg) with
+          | Pstruct { name; _ }, Arg_inst (caller_ptr, _) ->
+            (bindings, (name, caller_ptr) :: insts)
+          | Pint { name; _ }, Arg_expr e ->
+            let fresh_name = rename_var su name in
+            (Assign (Lvar (fresh_name, loc), e, loc) :: bindings, insts)
+          | Pstruct _, Arg_expr _ | Pint _, Arg_inst _ ->
+            invalid_arg "Inline: argument kind mismatch (program not typechecked?)")
+        ([], []) callee.pd_params args
+    in
+    let su = { su with insts } in
+    let body = subst_block su callee.pd_body in
+    (* Inline nested calls within the freshly substituted body. *)
+    List.rev bindings @ inline_block program fresh body
+
+and subst_block su block = List.map (subst_stmt su) block
+
+and subst_stmt su stmt =
+  match stmt with
+  | Assign (Lvar (name, lloc), rhs, loc) ->
+    Assign (Lvar (rename_var su name, lloc), subst_expr su rhs, loc)
+  | Assign (Lglobal (name, lloc), rhs, loc) ->
+    Assign (Lglobal (name, lloc), subst_expr su rhs, loc)
+  | Assign (Lfield { inst; field; index; loc = floc }, rhs, loc) ->
+    Assign
+      ( Lfield
+          {
+            inst = rename_inst su inst floc;
+            field;
+            index = Option.map (subst_expr su) index;
+            loc = floc;
+          },
+        subst_expr su rhs,
+        loc )
+  | For { var; count; body; loc } ->
+    For
+      {
+        var = rename_var su var;
+        count = subst_expr su count;
+        body = subst_block su body;
+        loc;
+      }
+  | If { cond; then_; else_; loc } ->
+    If
+      {
+        cond = subst_expr su cond;
+        then_ = subst_block su then_;
+        else_ = Option.map (subst_block su) else_;
+        loc;
+      }
+  | Pause (e, loc) -> Pause (subst_expr su e, loc)
+  | Call { proc; args; loc } ->
+    let args =
+      List.map
+        (function
+          | Arg_expr e -> Arg_expr (subst_expr su e)
+          | Arg_inst (name, aloc) -> Arg_inst (rename_inst su name aloc, aloc))
+        args
+    in
+    Call { proc; args; loc }
+
+let proc program pd =
+  let fresh = ref 0 in
+  { pd with pd_body = inline_block program fresh pd.pd_body }
+
+let program p = { p with procs = List.map (proc p) p.procs }

@@ -1,0 +1,25 @@
+(** Procedure inlining.
+
+    The affinity analysis is intra-procedural; the paper notes that "an
+    aggressive inlining phase before this analysis would alleviate" the
+    resulting under-counting of CycleGain (§3.1). This pass substitutes
+    every call with the callee's body:
+
+    - struct-pointer arguments are renamed to the caller's pointers;
+    - integer arguments become fresh locals assigned before the body;
+    - callee locals and loop variables are α-renamed (prefixed with
+      [__inlN_]) to avoid capture;
+    - nested calls are inlined recursively (the typechecker guarantees an
+      acyclic call graph, so this terminates).
+
+    The payoff for the layout tool: a helper called inside a caller's loop
+    contributes its field accesses to that loop's affinity group, exposing
+    cross-procedure affinity that the unmodified analysis misses. *)
+
+val program : Ast.program -> Ast.program
+(** Inline every call in every procedure. The input must be typechecked;
+    the output is again a valid typechecked-shape program (all procedures
+    are kept, now call-free). *)
+
+val proc : Ast.program -> Ast.proc_decl -> Ast.proc_decl
+(** Inline all calls within a single procedure. *)

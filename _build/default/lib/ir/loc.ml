@@ -1,0 +1,14 @@
+type t = { file : string; line : int; col : int }
+
+let make ~file ~line ~col = { file; line; col }
+let dummy = { file = "<none>"; line = 0; col = 0 }
+let line t = t.line
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+let pp ppf t = Format.fprintf ppf "%s:%d:%d" t.file t.line t.col
+let to_string t = Format.asprintf "%a" pp t

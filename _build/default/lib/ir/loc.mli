@@ -1,0 +1,16 @@
+(** Source locations.
+
+    Source lines are a first-class concept in this system: the paper's
+    concurrency map keys are {e pairs of source lines} (§4.3), and the Field
+    Mapping File maps source lines to the fields accessed by the basic blocks
+    on those lines. *)
+
+type t = { file : string; line : int; col : int }
+
+val make : file:string -> line:int -> col:int -> t
+val dummy : t
+val line : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

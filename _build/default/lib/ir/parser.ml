@@ -1,0 +1,420 @@
+open Ast
+
+exception Error of string * Loc.t
+
+type state = { mutable toks : (Lexer.token * Loc.t) list }
+
+let peek st =
+  match st.toks with
+  | (tok, l) :: _ -> (tok, l)
+  | [] -> (Lexer.EOF, Loc.dummy)
+
+let peek_tok st = fst (peek st)
+
+let peek2_tok st =
+  match st.toks with _ :: (tok, _) :: _ -> tok | _ -> Lexer.EOF
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail st msg =
+  let _, l = peek st in
+  raise (Error (msg, l))
+
+let expect st tok =
+  let got, l = peek st in
+  if got = tok then advance st
+  else
+    raise
+      (Error
+         ( Printf.sprintf "expected %s but found %s" (Lexer.token_to_string tok)
+             (Lexer.token_to_string got),
+           l ))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT name, l ->
+    advance st;
+    (name, l)
+  | got, l ->
+    raise
+      (Error
+         ( Printf.sprintf "expected identifier but found %s"
+             (Lexer.token_to_string got),
+           l ))
+
+let expect_int st =
+  match peek st with
+  | Lexer.INT n, l ->
+    advance st;
+    (n, l)
+  | got, l ->
+    raise
+      (Error
+         ( Printf.sprintf "expected integer but found %s"
+             (Lexer.token_to_string got),
+           l ))
+
+let prim_of_token = function
+  | Lexer.KW_CHAR -> Some Char
+  | Lexer.KW_SHORT -> Some Short
+  | Lexer.KW_INT -> Some Int
+  | Lexer.KW_LONG -> Some Long
+  | Lexer.KW_DOUBLE -> Some Double
+  | Lexer.KW_PTR -> Some Ptr
+  | _ -> None
+
+(* --- Expressions: precedence climbing --------------------------------- *)
+
+let rec parse_expr_prec st =
+  parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.OROR, l ->
+      advance st;
+      let rhs = parse_and st in
+      loop (Binop (Or, lhs, rhs, l))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.ANDAND, l ->
+      advance st;
+      let rhs = parse_cmp st in
+      loop (Binop (And, lhs, rhs, l))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_cmp st =
+  let lhs = parse_addsub st in
+  match peek st with
+  | Lexer.LT, l -> advance st; Binop (Lt, lhs, parse_addsub st, l)
+  | Lexer.LE, l -> advance st; Binop (Le, lhs, parse_addsub st, l)
+  | Lexer.GT, l -> advance st; Binop (Gt, lhs, parse_addsub st, l)
+  | Lexer.GE, l -> advance st; Binop (Ge, lhs, parse_addsub st, l)
+  | Lexer.EQ, l -> advance st; Binop (Eq, lhs, parse_addsub st, l)
+  | Lexer.NE, l -> advance st; Binop (Ne, lhs, parse_addsub st, l)
+  | _ -> lhs
+
+and parse_addsub st =
+  let lhs = parse_muldiv st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PLUS, l ->
+      advance st;
+      loop (Binop (Add, lhs, parse_muldiv st, l))
+    | Lexer.MINUS, l ->
+      advance st;
+      loop (Binop (Sub, lhs, parse_muldiv st, l))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_muldiv st =
+  let lhs = parse_primary st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.STAR, l ->
+      advance st;
+      loop (Binop (Mul, lhs, parse_primary st, l))
+    | Lexer.SLASH, l ->
+      advance st;
+      loop (Binop (Div, lhs, parse_primary st, l))
+    | Lexer.PERCENT, l ->
+      advance st;
+      loop (Binop (Mod, lhs, parse_primary st, l))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT n, l ->
+    advance st;
+    Int_lit (n, l)
+  | Lexer.MINUS, l ->
+    advance st;
+    let e = parse_primary st in
+    Binop (Sub, Int_lit (0, l), e, l)
+  | Lexer.LPAREN, _ ->
+    advance st;
+    let e = parse_expr_prec st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.KW_RAND, l ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let e = parse_expr_prec st in
+    expect st Lexer.RPAREN;
+    Rand (e, l)
+  | Lexer.IDENT _, _ ->
+    let name, l = expect_ident st in
+    if peek_tok st = Lexer.ARROW then begin
+      advance st;
+      let field, _ = expect_ident st in
+      let index =
+        if peek_tok st = Lexer.LBRACKET then begin
+          advance st;
+          let e = parse_expr_prec st in
+          expect st Lexer.RBRACKET;
+          Some e
+        end
+        else None
+      in
+      Field_read { inst = name; field; index; loc = l }
+    end
+    else Var (name, l)
+  | got, l ->
+    raise
+      (Error
+         ( Printf.sprintf "expected expression but found %s"
+             (Lexer.token_to_string got),
+           l ))
+
+(* --- Statements -------------------------------------------------------- *)
+
+let rec parse_block st =
+  expect st Lexer.LBRACE;
+  let rec loop acc =
+    if peek_tok st = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  match peek st with
+  | Lexer.KW_FOR, l -> parse_for st l
+  | Lexer.KW_IF, l -> parse_if st l
+  | Lexer.KW_PAUSE, l ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let e = parse_expr_prec st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    Pause (e, l)
+  | Lexer.IDENT _, _ -> parse_assign_or_call st
+  | got, l ->
+    raise
+      (Error
+         ( Printf.sprintf "expected statement but found %s"
+             (Lexer.token_to_string got),
+           l ))
+
+(* for (i = 0; i < e; i++) block *)
+and parse_for st l =
+  advance st;
+  expect st Lexer.LPAREN;
+  let var, _ = expect_ident st in
+  expect st Lexer.ASSIGN;
+  let zero, zl = expect_int st in
+  if zero <> 0 then raise (Error ("for loops must start at 0", zl));
+  expect st Lexer.SEMI;
+  let var2, vl = expect_ident st in
+  if not (String.equal var var2) then
+    raise (Error ("for loop condition must test the loop variable", vl));
+  expect st Lexer.LT;
+  let count = parse_expr_prec st in
+  expect st Lexer.SEMI;
+  let var3, vl3 = expect_ident st in
+  if not (String.equal var var3) then
+    raise (Error ("for loop increment must use the loop variable", vl3));
+  expect st Lexer.PLUSPLUS;
+  expect st Lexer.RPAREN;
+  let body = parse_block st in
+  For { var; count; body; loc = l }
+
+and parse_if st l =
+  advance st;
+  expect st Lexer.LPAREN;
+  let cond = parse_expr_prec st in
+  expect st Lexer.RPAREN;
+  let then_ = parse_block st in
+  let else_ =
+    if peek_tok st = Lexer.KW_ELSE then begin
+      advance st;
+      Some (parse_block st)
+    end
+    else None
+  in
+  If { cond; then_; else_; loc = l }
+
+and parse_assign_or_call st =
+  let name, l = expect_ident st in
+  match peek_tok st with
+  | Lexer.LPAREN ->
+    advance st;
+    let args = parse_args st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    Call { proc = name; args; loc = l }
+  | Lexer.ARROW ->
+    advance st;
+    let field, _ = expect_ident st in
+    let index =
+      if peek_tok st = Lexer.LBRACKET then begin
+        advance st;
+        let e = parse_expr_prec st in
+        expect st Lexer.RBRACKET;
+        Some e
+      end
+      else None
+    in
+    expect st Lexer.ASSIGN;
+    let rhs = parse_expr_prec st in
+    expect st Lexer.SEMI;
+    Assign (Lfield { inst = name; field; index; loc = l }, rhs, l)
+  | Lexer.ASSIGN ->
+    advance st;
+    let rhs = parse_expr_prec st in
+    expect st Lexer.SEMI;
+    Assign (Lvar (name, l), rhs, l)
+  | got ->
+    raise
+      (Error
+         ( Printf.sprintf "expected '=', '->' or '(' but found %s"
+             (Lexer.token_to_string got),
+           l ))
+
+and parse_args st =
+  if peek_tok st = Lexer.RPAREN then []
+  else begin
+    let rec loop acc =
+      let arg =
+        (* A bare identifier not followed by an operator is ambiguous between
+           an integer variable and a struct-pointer forward; classify as
+           Arg_inst and let the typechecker reinterpret it if the parameter
+           is an integer. *)
+        match (peek st, peek2_tok st) with
+        | (Lexer.IDENT name, l), (Lexer.COMMA | Lexer.RPAREN) ->
+          advance st;
+          Arg_inst (name, l)
+        | _ -> Arg_expr (parse_expr_prec st)
+      in
+      if peek_tok st = Lexer.COMMA then begin
+        advance st;
+        loop (arg :: acc)
+      end
+      else List.rev (arg :: acc)
+    in
+    loop []
+  end
+
+(* --- Declarations ------------------------------------------------------ *)
+
+let parse_field st prim =
+  advance st;
+  let name, l = expect_ident st in
+  let count =
+    if peek_tok st = Lexer.LBRACKET then begin
+      advance st;
+      let n, nl = expect_int st in
+      if n <= 0 then raise (Error ("array size must be positive", nl));
+      expect st Lexer.RBRACKET;
+      n
+    end
+    else 1
+  in
+  expect st Lexer.SEMI;
+  { fd_name = name; fd_prim = prim; fd_count = count; fd_loc = l }
+
+let parse_structdef st l =
+  advance st;
+  let name, _ = expect_ident st in
+  expect st Lexer.LBRACE;
+  let rec fields acc =
+    match prim_of_token (peek_tok st) with
+    | Some prim -> fields (parse_field st prim :: acc)
+    | None -> List.rev acc
+  in
+  let fds = fields [] in
+  expect st Lexer.RBRACE;
+  expect st Lexer.SEMI;
+  if fds = [] then raise (Error ("struct has no fields", l));
+  { sd_name = name; sd_fields = fds; sd_loc = l }
+
+let parse_param st =
+  match peek st with
+  | Lexer.KW_STRUCT, l ->
+    advance st;
+    let struct_name, _ = expect_ident st in
+    expect st Lexer.STAR;
+    let name, _ = expect_ident st in
+    Pstruct { struct_name; name; loc = l }
+  | Lexer.KW_INT, l ->
+    advance st;
+    let name, _ = expect_ident st in
+    Pint { name; loc = l }
+  | got, l ->
+    raise
+      (Error
+         ( Printf.sprintf "expected parameter but found %s"
+             (Lexer.token_to_string got),
+           l ))
+
+let parse_procdef st l =
+  advance st;
+  let name, _ = expect_ident st in
+  expect st Lexer.LPAREN;
+  let params =
+    if peek_tok st = Lexer.RPAREN then []
+    else begin
+      let rec loop acc =
+        let p = parse_param st in
+        if peek_tok st = Lexer.COMMA then begin
+          advance st;
+          loop (p :: acc)
+        end
+        else List.rev (p :: acc)
+      in
+      loop []
+    end
+  in
+  expect st Lexer.RPAREN;
+  let body = parse_block st in
+  { pd_name = name; pd_params = params; pd_body = body; pd_loc = l }
+
+let parse_program ~file src =
+  let st = { toks = Lexer.tokenize ~file src } in
+  let rec loop structs globals procs =
+    match peek st with
+    | Lexer.EOF, _ ->
+      { structs = List.rev structs; globals = List.rev globals;
+        procs = List.rev procs }
+    | Lexer.KW_STRUCT, l -> loop (parse_structdef st l :: structs) globals procs
+    | Lexer.KW_VOID, l ->
+      let pd = parse_procdef st l in
+      loop structs globals (pd :: procs)
+    | tok, l -> (
+      (* top-level global variable: prim IDENT ; (scalars only) *)
+      match prim_of_token tok with
+      | Some prim ->
+        let fd = parse_field st prim in
+        if fd.fd_count <> 1 then
+          raise (Error ("global variables must be scalars", l));
+        loop structs (fd :: globals) procs
+      | None ->
+        fail st "expected 'struct', 'void' or a global declaration at top level")
+  in
+  loop [] [] []
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize ~file:"<expr>" src } in
+  let e = parse_expr_prec st in
+  (match peek st with
+  | Lexer.EOF, _ -> ()
+  | got, l ->
+    raise
+      (Error
+         ( Printf.sprintf "trailing input: %s" (Lexer.token_to_string got),
+           l )));
+  e

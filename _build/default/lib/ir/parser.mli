@@ -1,0 +1,31 @@
+(** Recursive-descent parser for minic.
+
+    Grammar (LL(1)):
+    {v
+    program   ::= (structdef | procdef)*
+    structdef ::= "struct" IDENT "{" fielddecl* "}" ";"
+    fielddecl ::= prim IDENT ("[" INT "]")? ";"
+    prim      ::= "char" | "short" | "int" | "long" | "double" | "ptr"
+    procdef   ::= "void" IDENT "(" params? ")" block
+    params    ::= param ("," param)*
+    param     ::= "struct" IDENT "*" IDENT | "int" IDENT
+    block     ::= "{" stmt* "}"
+    stmt      ::= lvalue "=" expr ";"
+                | "for" "(" IDENT "=" "0" ";" IDENT "<" expr ";" IDENT "++" ")" block
+                | "if" "(" expr ")" block ("else" block)?
+                | "pause" "(" expr ")" ";"
+                | IDENT "(" args? ")" ";"
+    lvalue    ::= IDENT | IDENT "->" IDENT ("[" expr "]")?
+    expr      ::= or-expr with C precedence: || < && < cmp < addsub < muldiv
+    primary   ::= INT | "(" expr ")" | "rand" "(" expr ")"
+                | IDENT | IDENT "->" IDENT ("[" expr "]")?
+    v} *)
+
+exception Error of string * Loc.t
+
+val parse_program : file:string -> string -> Ast.program
+(** Parse a whole source file. @raise Error on syntax errors,
+    @raise Lexer.Error on lexical errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by tests). *)

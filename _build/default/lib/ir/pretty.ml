@@ -1,0 +1,106 @@
+open Ast
+
+(* Precedence levels used to parenthesize minimally: higher binds tighter.
+   Must mirror the parser's precedence climbing. *)
+let prec_of = function
+  | Or -> 1
+  | And -> 2
+  | Lt | Le | Gt | Ge | Eq | Ne -> 3
+  | Add | Sub -> 4
+  | Mul | Div | Mod -> 5
+
+let rec pp_expr_prec outer ppf e =
+  match e with
+  | Int_lit (n, _) ->
+    if n < 0 then Format.fprintf ppf "(0 - %d)" (-n)
+    else Format.pp_print_int ppf n
+  | Var (name, _) -> Format.pp_print_string ppf name
+  | Field_read { inst; field; index; _ } -> pp_access ppf inst field index
+  | Global_read (name, _) -> Format.pp_print_string ppf name
+  | Rand (e, _) -> Format.fprintf ppf "rand(%a)" (pp_expr_prec 0) e
+  | Binop (op, l, r, _) ->
+    let p = prec_of op in
+    let body ppf () =
+      (* Comparisons are non-associative in the parser; operands at the same
+         level need parens. Left-associative chains don't. *)
+      let rprec = match op with Lt | Le | Gt | Ge | Eq | Ne -> p | _ -> p in
+      Format.fprintf ppf "%a %s %a" (pp_expr_prec p) l (binop_to_string op)
+        (pp_expr_prec (rprec + 1)) r
+    in
+    if p < outer then Format.fprintf ppf "(%a)" body () else body ppf ()
+
+and pp_access ppf inst field index =
+  match index with
+  | None -> Format.fprintf ppf "%s->%s" inst field
+  | Some e -> Format.fprintf ppf "%s->%s[%a]" inst field (pp_expr_prec 0) e
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let rec pp_stmt ppf = function
+  | Assign ((Lvar (name, _) | Lglobal (name, _)), rhs, _) ->
+    Format.fprintf ppf "@[<h>%s = %a;@]" name pp_expr rhs
+  | Assign (Lfield { inst; field; index; _ }, rhs, _) ->
+    Format.fprintf ppf "@[<h>%a = %a;@]"
+      (fun ppf () -> pp_access ppf inst field index)
+      () pp_expr rhs
+  | For { var; count; body; _ } ->
+    Format.fprintf ppf "@[<v 2>for (%s = 0; %s < %a; %s++) {@,%a@]@,}" var var
+      pp_expr count var pp_block body
+  | If { cond; then_; else_; _ } -> (
+    Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}" pp_expr cond pp_block then_;
+    match else_ with
+    | None -> ()
+    | Some b -> Format.fprintf ppf "@[<v 2> else {@,%a@]@,}" pp_block b)
+  | Pause (e, _) -> Format.fprintf ppf "@[<h>pause(%a);@]" pp_expr e
+  | Call { proc; args; _ } ->
+    let pp_arg ppf = function
+      | Arg_expr e -> pp_expr ppf e
+      | Arg_inst (name, _) -> Format.pp_print_string ppf name
+    in
+    Format.fprintf ppf "@[<h>%s(%a);@]" proc
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_arg)
+      args
+
+and pp_block ppf block =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf block
+
+let pp_field ppf fd =
+  if fd.fd_count = 1 then
+    Format.fprintf ppf "%s %s;" (prim_to_string fd.fd_prim) fd.fd_name
+  else
+    Format.fprintf ppf "%s %s[%d];" (prim_to_string fd.fd_prim) fd.fd_name
+      fd.fd_count
+
+let pp_struct ppf sd =
+  Format.fprintf ppf "@[<v 2>struct %s {@,%a@]@,};" sd.sd_name
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_field)
+    sd.sd_fields
+
+let pp_param ppf = function
+  | Pstruct { struct_name; name; _ } ->
+    Format.fprintf ppf "struct %s *%s" struct_name name
+  | Pint { name; _ } -> Format.fprintf ppf "int %s" name
+
+let pp_proc ppf pd =
+  Format.fprintf ppf "@[<v 2>void %s(%a) {@,%a@]@,}" pd.pd_name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_param)
+    pd.pd_params pp_block pd.pd_body
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>%a@,@,"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,") pp_struct)
+    p.structs;
+  if p.globals <> [] then begin
+    Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_field ppf p.globals;
+    Format.fprintf ppf "@,@,"
+  end;
+  Format.fprintf ppf "%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,") pp_proc)
+    p.procs
+
+let program_to_string p = Format.asprintf "%a@." pp_program p
+let expr_to_string e = Format.asprintf "%a" pp_expr e

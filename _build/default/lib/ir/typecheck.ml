@@ -1,0 +1,236 @@
+open Ast
+
+type error = { message : string; loc : Loc.t }
+
+exception Error of error
+
+let err loc fmt = Format.kasprintf (fun message -> raise (Error { message; loc })) fmt
+
+let pp_error ppf e = Format.fprintf ppf "%a: %s" Loc.pp e.loc e.message
+
+module SMap = Map.Make (String)
+
+let check_unique what name_of loc_of items =
+  let _ =
+    List.fold_left
+      (fun seen item ->
+        let name = name_of item in
+        if SMap.mem name seen then
+          err (loc_of item) "duplicate %s %S" what name
+        else SMap.add name () seen)
+      SMap.empty items
+  in
+  ()
+
+(* Environment for checking a procedure body. *)
+type env = {
+  program : program;
+  globals : unit SMap.t;
+  struct_params : string SMap.t;  (* param name -> struct name *)
+  mutable int_vars : unit SMap.t;  (* int params, loop vars, locals *)
+}
+
+let is_global env name = SMap.mem name env.globals
+
+let lookup_struct env loc name =
+  match find_struct env.program name with
+  | Some sd -> sd
+  | None -> err loc "unknown struct %S" name
+
+let check_field_access env ~inst ~field ~index ~loc =
+  match SMap.find_opt inst env.struct_params with
+  | None -> err loc "%S is not a struct-pointer parameter" inst
+  | Some sname ->
+    let sd = lookup_struct env loc sname in
+    (match find_field sd field with
+    | None -> err loc "struct %S has no field %S" sname field
+    | Some fd ->
+      (match (index, fd.fd_count > 1) with
+      | None, true -> err loc "array field %S must be indexed" field
+      | Some _, false -> err loc "scalar field %S cannot be indexed" field
+      | None, false | Some _, true -> ()))
+
+(* Globals may not be shadowed, so resolution is unambiguous: a name that
+   is a global always denotes the global. Checking rewrites the tree. *)
+let rec check_expr env e =
+  match e with
+  | Int_lit _ -> e
+  | Var (name, loc) ->
+    if is_global env name then Global_read (name, loc)
+    else if SMap.mem name env.int_vars then e
+    else if SMap.mem name env.struct_params then
+      err loc "struct pointer %S used as an integer value" name
+    else err loc "undefined variable %S" name
+  | Global_read (name, loc) ->
+    if is_global env name then e else err loc "unknown global %S" name
+  | Field_read { inst; field; index; loc } ->
+    check_field_access env ~inst ~field ~index ~loc;
+    let index = Option.map (check_expr env) index in
+    Field_read { inst; field; index; loc }
+  | Binop (op, l, r, loc) -> Binop (op, check_expr env l, check_expr env r, loc)
+  | Rand (e, loc) -> Rand (check_expr env e, loc)
+
+let rec check_stmt env stmt =
+  match stmt with
+  | Assign (Lvar (name, loc), rhs, sloc) ->
+    if SMap.mem name env.struct_params then
+      err loc "cannot assign to struct pointer %S" name;
+    let rhs = check_expr env rhs in
+    if is_global env name then Assign (Lglobal (name, loc), rhs, sloc)
+    else begin
+      env.int_vars <- SMap.add name () env.int_vars;
+      Assign (Lvar (name, loc), rhs, sloc)
+    end
+  | Assign (Lglobal (name, loc), rhs, sloc) ->
+    if not (is_global env name) then err loc "unknown global %S" name;
+    Assign (Lglobal (name, loc), check_expr env rhs, sloc)
+  | Assign (Lfield { inst; field; index; loc }, rhs, sloc) ->
+    check_field_access env ~inst ~field ~index ~loc;
+    let index = Option.map (check_expr env) index in
+    let rhs = check_expr env rhs in
+    Assign (Lfield { inst; field; index; loc }, rhs, sloc)
+  | For { var; count; body; loc } ->
+    if is_global env var then
+      err loc "loop variable %S shadows a global" var;
+    let count = check_expr env count in
+    let saved = env.int_vars in
+    env.int_vars <- SMap.add var () env.int_vars;
+    let body = List.map (check_stmt env) body in
+    env.int_vars <- SMap.add var () saved;
+    For { var; count; body; loc }
+  | If { cond; then_; else_; loc } ->
+    let cond = check_expr env cond in
+    let then_ = List.map (check_stmt env) then_ in
+    let else_ = Option.map (List.map (check_stmt env)) else_ in
+    If { cond; then_; else_; loc }
+  | Pause (e, loc) -> Pause (check_expr env e, loc)
+  | Call { proc; args; loc } ->
+    let callee =
+      match find_proc env.program proc with
+      | Some pd -> pd
+      | None -> err loc "call to undefined procedure %S" proc
+    in
+    let nparams = List.length callee.pd_params in
+    let nargs = List.length args in
+    if nparams <> nargs then
+      err loc "procedure %S expects %d argument(s), got %d" proc nparams nargs;
+    let args =
+      List.map2
+        (fun param arg ->
+          match (param, arg) with
+          | Pstruct { struct_name; _ }, Arg_inst (name, aloc) -> (
+            match SMap.find_opt name env.struct_params with
+            | Some actual when String.equal actual struct_name ->
+              Arg_inst (name, aloc)
+            | Some actual ->
+              err aloc "argument %S points to struct %S but %S expects %S"
+                name actual proc struct_name
+            | None ->
+              err aloc "argument %S is not a struct-pointer parameter" name)
+          | Pstruct _, Arg_expr e ->
+            err (expr_loc e) "procedure %S expects a struct pointer here" proc
+          | Pint _, Arg_inst (name, aloc) ->
+            (* Parser classified a bare identifier as a potential struct
+               pointer; reinterpret as an integer variable or a global. *)
+            Arg_expr (check_expr env (Var (name, aloc)))
+          | Pint _, Arg_expr e -> Arg_expr (check_expr env e))
+        callee.pd_params args
+    in
+    Call { proc; args; loc }
+
+let check_proc program globals pd =
+  check_unique "parameter" param_name
+    (function Pstruct { loc; _ } | Pint { loc; _ } -> loc)
+    pd.pd_params;
+  List.iter
+    (fun p ->
+      if SMap.mem (param_name p) globals then
+        err
+          (match p with Pstruct { loc; _ } | Pint { loc; _ } -> loc)
+          "parameter %S shadows a global" (param_name p))
+    pd.pd_params;
+  let struct_params =
+    List.fold_left
+      (fun acc p ->
+        match p with
+        | Pstruct { struct_name; name; loc } ->
+          if find_struct program struct_name = None then
+            err loc "unknown struct %S" struct_name;
+          SMap.add name struct_name acc
+        | Pint _ -> acc)
+      SMap.empty pd.pd_params
+  in
+  let int_vars =
+    List.fold_left
+      (fun acc p ->
+        match p with
+        | Pint { name; _ } -> SMap.add name () acc
+        | Pstruct _ -> acc)
+      SMap.empty pd.pd_params
+  in
+  let env = { program; globals; struct_params; int_vars } in
+  { pd with pd_body = List.map (check_stmt env) pd.pd_body }
+
+(* Reject recursion: the interpreter and the intraprocedural affinity
+   analysis are defined on acyclic call graphs. *)
+let check_acyclic program =
+  let rec callees_of_block acc block =
+    List.fold_left
+      (fun acc stmt ->
+        match stmt with
+        | Call { proc; _ } -> proc :: acc
+        | For { body; _ } -> callees_of_block acc body
+        | If { then_; else_; _ } ->
+          let acc = callees_of_block acc then_ in
+          (match else_ with Some b -> callees_of_block acc b | None -> acc)
+        | Assign _ | Pause _ -> acc)
+      acc block
+  in
+  let visiting = Hashtbl.create 16 and done_ = Hashtbl.create 16 in
+  let rec visit pd =
+    if Hashtbl.mem done_ pd.pd_name then ()
+    else if Hashtbl.mem visiting pd.pd_name then
+      err pd.pd_loc "recursive call cycle through procedure %S" pd.pd_name
+    else begin
+      Hashtbl.add visiting pd.pd_name ();
+      List.iter
+        (fun name ->
+          match find_proc program name with
+          | Some callee -> visit callee
+          | None -> ())
+        (callees_of_block [] pd.pd_body);
+      Hashtbl.remove visiting pd.pd_name;
+      Hashtbl.add done_ pd.pd_name ()
+    end
+  in
+  List.iter visit program.procs
+
+let check program =
+  check_unique "struct" (fun sd -> sd.sd_name) (fun sd -> sd.sd_loc)
+    program.structs;
+  check_unique "procedure" (fun pd -> pd.pd_name) (fun pd -> pd.pd_loc)
+    program.procs;
+  List.iter
+    (fun sd ->
+      check_unique
+        (Printf.sprintf "field in struct %S" sd.sd_name)
+        (fun fd -> fd.fd_name)
+        (fun fd -> fd.fd_loc)
+        sd.sd_fields)
+    program.structs;
+  check_unique "global" (fun fd -> fd.fd_name) (fun fd -> fd.fd_loc)
+    program.globals;
+  let globals =
+    List.fold_left
+      (fun acc fd -> SMap.add fd.fd_name () acc)
+      SMap.empty program.globals
+  in
+  let procs = List.map (check_proc program globals) program.procs in
+  let program = { program with procs } in
+  check_acyclic program;
+  program
+
+let check_result program =
+  match check program with
+  | p -> Ok p
+  | exception Error e -> Result.Error e

@@ -1,0 +1,33 @@
+(** Semantic analysis for minic programs.
+
+    Checks:
+    - struct and procedure names are unique; field and parameter names are
+      unique within their scope;
+    - struct-pointer parameters refer to declared structs;
+    - every field access names a struct-pointer parameter of the enclosing
+      procedure and a field of that struct; array fields are always indexed
+      and scalar fields never are;
+    - variables are defined (parameters, loop variables, or locals assigned
+      on every path before use is {e not} required — locals default to 0,
+      matching the interpreter — but completely unknown names are rejected);
+    - calls target declared procedures with matching arity and argument
+      kinds;
+    - the call graph is acyclic (the analyses and the interpreter are
+      defined on non-recursive programs, as the paper's kernel workloads
+      are loop-based).
+
+    [check] additionally {e resolves} the parser's ambiguity between
+    integer-variable arguments and struct-pointer arguments, rewriting
+    [Arg_inst] to [Arg_expr] where the callee expects an integer. *)
+
+type error = { message : string; loc : Loc.t }
+
+exception Error of error
+
+val check : Ast.program -> Ast.program
+(** @raise Error on the first semantic error; otherwise returns the
+    resolved program. *)
+
+val check_result : Ast.program -> (Ast.program, error) result
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,1 @@
+lib/layout/field.ml: Format List Slo_ir String

@@ -1,0 +1,1 @@
+lib/layout/field.mli: Format Slo_ir

@@ -1,0 +1,1 @@
+lib/layout/layout.ml: Field Format Hashtbl List Printf Slo_ir String

@@ -1,0 +1,1 @@
+lib/layout/layout.mli: Field Format Slo_ir

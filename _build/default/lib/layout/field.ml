@@ -1,0 +1,21 @@
+type t = { name : string; prim : Slo_ir.Ast.prim; count : int }
+
+let of_decl (fd : Slo_ir.Ast.field_decl) =
+  { name = fd.Slo_ir.Ast.fd_name; prim = fd.Slo_ir.Ast.fd_prim; count = fd.Slo_ir.Ast.fd_count }
+
+let of_struct (sd : Slo_ir.Ast.struct_decl) = List.map of_decl sd.Slo_ir.Ast.sd_fields
+
+let make ~name ~prim ?(count = 1) () =
+  if count <= 0 then invalid_arg "Field.make: count must be positive";
+  { name; prim; count }
+
+let size t = Slo_ir.Ast.prim_size t.prim * t.count
+let align t = Slo_ir.Ast.prim_align t.prim
+let equal a b = String.equal a.name b.name && a.prim = b.prim && a.count = b.count
+let compare a b = compare (a.name, a.prim, a.count) (b.name, b.prim, b.count)
+
+let pp ppf t =
+  if t.count = 1 then
+    Format.fprintf ppf "%s %s" (Slo_ir.Ast.prim_to_string t.prim) t.name
+  else
+    Format.fprintf ppf "%s %s[%d]" (Slo_ir.Ast.prim_to_string t.prim) t.name t.count

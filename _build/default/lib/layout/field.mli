@@ -1,0 +1,22 @@
+(** Field descriptors: the unit the layout optimizer rearranges.
+
+    A descriptor carries what the paper's compiler report contains for each
+    field: name, size, alignment ({i §4.1}: "standard information for
+    fields, such as name, size, offset from the start of the structure and
+    alignment"). Offsets belong to {!Layout.t}, not to the field itself,
+    because the optimizer's whole job is to choose them. *)
+
+type t = {
+  name : string;
+  prim : Slo_ir.Ast.prim;
+  count : int;  (** array length; 1 for scalars *)
+}
+
+val of_decl : Slo_ir.Ast.field_decl -> t
+val of_struct : Slo_ir.Ast.struct_decl -> t list
+val make : name:string -> prim:Slo_ir.Ast.prim -> ?count:int -> unit -> t
+val size : t -> int
+val align : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

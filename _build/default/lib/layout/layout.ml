@@ -1,0 +1,194 @@
+type slot = { field : Field.t; offset : int }
+
+type t = {
+  struct_name : string;
+  slots : slot list;
+  size : int;
+  align : int;
+}
+
+let round_up v a = (v + a - 1) / a * a
+
+let check_distinct_names fields =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Field.t) ->
+      if Hashtbl.mem tbl f.Field.name then
+        invalid_arg (Printf.sprintf "Layout: duplicate field %S" f.Field.name);
+      Hashtbl.add tbl f.Field.name ())
+    fields
+
+(* Core placement: fold fields left to right, aligning each. [start] lets
+   of_clusters begin a cluster at a line boundary. *)
+let place_fields start fields =
+  let slots, last =
+    List.fold_left
+      (fun (acc, off) f ->
+        let off = round_up off (Field.align f) in
+        ({ field = f; offset = off } :: acc, off + Field.size f))
+      ([], start) fields
+  in
+  (List.rev slots, last)
+
+let of_fields ~struct_name fields =
+  if fields = [] then invalid_arg "Layout.of_fields: no fields";
+  check_distinct_names fields;
+  let slots, last = place_fields 0 fields in
+  let align =
+    List.fold_left (fun a f -> max a (Field.align f)) 1 fields
+  in
+  { struct_name; slots; size = round_up last align; align }
+
+let of_struct (sd : Slo_ir.Ast.struct_decl) =
+  of_fields ~struct_name:sd.Slo_ir.Ast.sd_name (Field.of_struct sd)
+
+let of_clusters ~struct_name ~line_size clusters =
+  if line_size <= 0 then invalid_arg "Layout.of_clusters: line_size <= 0";
+  if clusters = [] then invalid_arg "Layout.of_clusters: no clusters";
+  List.iter
+    (fun c -> if c = [] then invalid_arg "Layout.of_clusters: empty cluster")
+    clusters;
+  let all = List.concat clusters in
+  check_distinct_names all;
+  let slots, last =
+    List.fold_left
+      (fun (acc, off) cluster ->
+        let off = round_up off line_size in
+        let slots, last = place_fields off cluster in
+        (acc @ slots, last))
+      ([], 0) clusters
+  in
+  let align = List.fold_left (fun a f -> max a (Field.align f)) 1 all in
+  (* Pad the struct to whole cache lines: each instance owns its lines, so a
+     trailing partial line would re-introduce inter-instance false sharing
+     through the allocator. *)
+  let size = round_up (round_up last align) line_size in
+  { struct_name; slots; size; align }
+
+type segment = Packed of Field.t list | Line_start of Field.t list
+
+let of_segments ~struct_name ~line_size segments =
+  if line_size <= 0 then invalid_arg "Layout.of_segments: line_size <= 0";
+  if segments = [] then invalid_arg "Layout.of_segments: no segments";
+  let fields_of = function Packed fs | Line_start fs -> fs in
+  List.iter
+    (fun s -> if fields_of s = [] then invalid_arg "Layout.of_segments: empty segment")
+    segments;
+  let all = List.concat_map fields_of segments in
+  check_distinct_names all;
+  let slots, last =
+    List.fold_left
+      (fun (acc, off) segment ->
+        let off =
+          match segment with
+          | Packed _ -> off
+          | Line_start _ -> round_up off line_size
+        in
+        let slots, last = place_fields off (fields_of segment) in
+        (acc @ slots, last))
+      ([], 0) segments
+  in
+  let align = List.fold_left (fun a f -> max a (Field.align f)) 1 all in
+  let size = round_up (round_up last align) line_size in
+  { struct_name; slots; size; align }
+
+let fields t = List.map (fun s -> s.field) t.slots
+let field_names t = List.map (fun s -> s.field.Field.name) t.slots
+
+let find_slot t name =
+  List.find_opt (fun s -> String.equal s.field.Field.name name) t.slots
+
+let offset_of t name =
+  match find_slot t name with Some s -> s.offset | None -> raise Not_found
+
+let reorder t ~order =
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace by_name s.field.Field.name s.field) t.slots;
+  let fields =
+    List.map
+      (fun name ->
+        match Hashtbl.find_opt by_name name with
+        | Some f ->
+          Hashtbl.remove by_name name;
+          f
+        | None ->
+          invalid_arg (Printf.sprintf "Layout.reorder: unknown or repeated field %S" name))
+      order
+  in
+  if Hashtbl.length by_name <> 0 then
+    invalid_arg "Layout.reorder: order does not cover all fields";
+  of_fields ~struct_name:t.struct_name fields
+
+let cache_line_of t ~line_size name = offset_of t name / line_size
+
+let lines_used t ~line_size = (t.size + line_size - 1) / line_size
+
+let fields_on_line t ~line_size line =
+  List.filter_map
+    (fun s -> if s.offset / line_size = line then Some s.field else None)
+    t.slots
+
+let same_line t ~line_size f1 f2 =
+  cache_line_of t ~line_size f1 = cache_line_of t ~line_size f2
+
+let packed_size fields = snd (place_fields 0 fields)
+
+let straddles_line t ~line_size name =
+  match find_slot t name with
+  | None -> raise Not_found
+  | Some s ->
+    let last_byte = s.offset + Field.size s.field - 1 in
+    s.offset / line_size <> last_byte / line_size
+
+let padding_bytes t =
+  let covered =
+    List.fold_left (fun acc s -> acc + Field.size s.field) 0 t.slots
+  in
+  t.size - covered
+
+let equal_order a b =
+  List.length a.slots = List.length b.slots
+  && List.for_all2
+       (fun s1 s2 -> Field.equal s1.field s2.field && s1.offset = s2.offset)
+       a.slots b.slots
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf invalid_arg fmt in
+  let rec check_slots prev_end = function
+    | [] -> prev_end
+    | s :: rest ->
+      if s.offset < prev_end then
+        fail "Layout invariant: field %S at %d overlaps previous end %d"
+          s.field.Field.name s.offset prev_end;
+      if s.offset mod Field.align s.field <> 0 then
+        fail "Layout invariant: field %S at %d violates alignment %d"
+          s.field.Field.name s.offset (Field.align s.field);
+      check_slots (s.offset + Field.size s.field) rest
+  in
+  let last = check_slots 0 t.slots in
+  if t.size < last then
+    fail "Layout invariant: size %d smaller than extent %d" t.size last;
+  if t.size mod t.align <> 0 then
+    fail "Layout invariant: size %d not a multiple of alignment %d" t.size t.align
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>struct %s {  /* size %d, align %d */" t.struct_name
+    t.size t.align;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "@,%a;  /* offset %d */" Field.pp s.field s.offset)
+    t.slots;
+  Format.fprintf ppf "@]@,};"
+
+let pp_lines ~line_size ppf t =
+  Format.fprintf ppf "@[<v>struct %s: %d bytes, %d line(s) of %d" t.struct_name
+    t.size (lines_used t ~line_size) line_size;
+  for line = 0 to lines_used t ~line_size - 1 do
+    let fs = fields_on_line t ~line_size line in
+    Format.fprintf ppf "@,line %d:" line;
+    List.iter
+      (fun (f : Field.t) ->
+        Format.fprintf ppf " %s@@%d" f.Field.name (offset_of t f.Field.name))
+      fs
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/persist/persist.ml: Buffer Char Format Fun List Printf Slo_concurrency Slo_profile String

@@ -1,0 +1,1 @@
+lib/persist/persist.mli: Slo_concurrency Slo_profile

@@ -1,0 +1,176 @@
+module Counts = Slo_profile.Counts
+module Sample = Slo_concurrency.Sample
+
+exception Parse_error of string * int
+
+let fail line fmt = Format.kasprintf (fun m -> raise (Parse_error (m, line))) fmt
+
+(* Percent-encode anything that would break whitespace-separated fields. *)
+let encode s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' | '%' ->
+        Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let decode line s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' then begin
+        if i + 2 >= n then fail line "truncated %%-escape in %S" s;
+        (match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+        | Some code -> Buffer.add_char buf (Char.chr code)
+        | None -> fail line "bad %%-escape in %S" s);
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let int_field line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "expected integer, found %S" s
+
+(* ------------------------------------------------------------------ *)
+(* Profile counts *)
+
+let counts_header = "slo-profile 1"
+
+let counts_to_string counts =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (counts_header ^ "\n");
+  let blocks =
+    Counts.fold_blocks counts ~init:[] ~f:(fun acc k v -> (k, v) :: acc)
+    |> List.sort compare
+  in
+  List.iter
+    (fun ((k : Counts.key), v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "block %s %d %d\n" (encode k.Counts.proc) k.Counts.block v))
+    blocks;
+  let edges =
+    Counts.fold_edges counts ~init:[] ~f:(fun acc ~proc ~src ~dst v ->
+        (proc, src, dst, v) :: acc)
+    |> List.sort compare
+  in
+  List.iter
+    (fun (proc, src, dst, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %s %d %d %d\n" (encode proc) src dst v))
+    edges;
+  let fields =
+    Counts.fold_fields counts ~init:[] ~f:(fun acc k v -> (k, v) :: acc)
+    |> List.sort compare
+  in
+  List.iter
+    (fun ((k : Counts.field_key), (rw : Counts.rw)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "field %s %d %s %s %d %d\n" (encode k.Counts.fk_proc)
+           k.Counts.fk_block (encode k.Counts.fk_struct)
+           (encode k.Counts.fk_field) rw.Counts.reads rw.Counts.writes))
+    fields;
+  Buffer.contents buf
+
+let iter_lines s f =
+  List.iteri (fun i line -> f (i + 1) line) (String.split_on_char '\n' s)
+
+let counts_of_string s =
+  let counts = Counts.create () in
+  let saw_header = ref false in
+  iter_lines s (fun ln line ->
+      let line = String.trim line in
+      if line = "" then ()
+      else if not !saw_header then
+        if line = counts_header then saw_header := true
+        else fail ln "expected header %S, found %S" counts_header line
+      else
+        match split_ws line with
+        | [ "block"; proc; block; count ] ->
+          let proc = decode ln proc in
+          let block = int_field ln block in
+          Counts.bump_block ~n:(int_field ln count) counts ~proc ~block
+        | [ "edge"; proc; src; dst; count ] ->
+          let proc = decode ln proc in
+          let src = int_field ln src and dst = int_field ln dst in
+          Counts.bump_edge ~n:(int_field ln count) counts ~proc ~src ~dst
+        | [ "field"; proc; block; struct_name; field; reads; writes ] ->
+          let proc = decode ln proc in
+          let block = int_field ln block in
+          let struct_name = decode ln struct_name in
+          let field = decode ln field in
+          Counts.bump_field ~n:(int_field ln reads) counts ~proc ~block
+            ~struct_name ~field ~is_write:false;
+          Counts.bump_field ~n:(int_field ln writes) counts ~proc ~block
+            ~struct_name ~field ~is_write:true
+        | tok :: _ -> fail ln "unknown record kind %S" tok
+        | [] -> ());
+  if not !saw_header then fail 1 "empty profile file";
+  counts
+
+(* ------------------------------------------------------------------ *)
+(* Samples *)
+
+let samples_header = "slo-samples 1"
+
+let samples_to_string samples =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (samples_header ^ "\n");
+  List.iter
+    (fun (s : Sample.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d\n" s.Sample.cpu s.Sample.itc s.Sample.line))
+    samples;
+  Buffer.contents buf
+
+let samples_of_string s =
+  let saw_header = ref false in
+  let acc = ref [] in
+  iter_lines s (fun ln line ->
+      let line = String.trim line in
+      if line = "" then ()
+      else if not !saw_header then
+        if line = samples_header then saw_header := true
+        else fail ln "expected header %S, found %S" samples_header line
+      else
+        match split_ws line with
+        | [ cpu; itc; l ] ->
+          acc :=
+            { Sample.cpu = int_field ln cpu; itc = int_field ln itc;
+              line = int_field ln l }
+            :: !acc
+        | _ -> fail ln "expected '<cpu> <itc> <line>', found %S" line);
+  if not !saw_header then fail 1 "empty samples file";
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save_counts ~path counts = write_file path (counts_to_string counts)
+let load_counts ~path = counts_of_string (read_file path)
+let save_samples ~path samples = write_file path (samples_to_string samples)
+let load_samples ~path = samples_of_string (read_file path)

@@ -1,0 +1,45 @@
+(** Persistence of the collection phase's data products.
+
+    The paper's toolchain is file-based: the compiler writes a feedback
+    file (PBO counts) and an affinity report, Caliper writes sample files,
+    and "an external script processes Caliper's output files" (§4.3).
+    This module provides the same staging for our pipeline: profile counts
+    and PMU samples serialize to line-oriented text files, so collection
+    and analysis can run as separate processes (see `slayout collect` /
+    `slayout suggest --profile --samples`).
+
+    Formats are versioned, whitespace-separated, one record per line:
+
+    {v
+    slo-profile 1
+    block  <proc> <block> <count>
+    edge   <proc> <src> <dst> <count>
+    field  <proc> <block> <struct> <field> <reads> <writes>
+
+    slo-samples 1
+    <cpu> <itc> <line>
+    v}
+
+    Identifiers are percent-encoded so procedure, struct and field names
+    may contain any byte except NUL. *)
+
+exception Parse_error of string * int
+(** message, 1-based line number. *)
+
+(** {1 Profile counts} *)
+
+val counts_to_string : Slo_profile.Counts.t -> string
+val counts_of_string : string -> Slo_profile.Counts.t
+(** @raise Parse_error on malformed input. *)
+
+val save_counts : path:string -> Slo_profile.Counts.t -> unit
+val load_counts : path:string -> Slo_profile.Counts.t
+
+(** {1 PMU samples} *)
+
+val samples_to_string : Slo_concurrency.Sample.t list -> string
+val samples_of_string : string -> Slo_concurrency.Sample.t list
+(** @raise Parse_error on malformed input. *)
+
+val save_samples : path:string -> Slo_concurrency.Sample.t list -> unit
+val load_samples : path:string -> Slo_concurrency.Sample.t list

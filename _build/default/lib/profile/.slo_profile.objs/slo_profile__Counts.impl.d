@@ -1,0 +1,1 @@
+lib/profile/counts.ml: Format Hashtbl List Slo_ir String

@@ -1,0 +1,1 @@
+lib/profile/counts.mli: Format Slo_ir

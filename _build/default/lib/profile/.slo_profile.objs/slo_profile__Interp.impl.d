@@ -1,0 +1,1 @@
+lib/profile/interp.ml: Array Counts Hashtbl List Printf Slo_ir Slo_util String

@@ -1,0 +1,1 @@
+lib/profile/interp.mli: Counts Slo_ir Slo_util

@@ -1,0 +1,117 @@
+type key = { proc : string; block : Slo_ir.Cfg.block_id }
+
+type field_key = {
+  fk_proc : string;
+  fk_block : Slo_ir.Cfg.block_id;
+  fk_struct : string;
+  fk_field : string;
+}
+
+type rw = { reads : int; writes : int }
+
+type edge_key = { e_proc : string; e_src : int; e_dst : int }
+
+type t = {
+  blocks : (key, int) Hashtbl.t;
+  edges : (edge_key, int) Hashtbl.t;
+  fields : (field_key, rw) Hashtbl.t;
+}
+
+let create () =
+  { blocks = Hashtbl.create 64; edges = Hashtbl.create 64; fields = Hashtbl.create 64 }
+
+let bump tbl key n =
+  let cur = try Hashtbl.find tbl key with Not_found -> 0 in
+  Hashtbl.replace tbl key (cur + n)
+
+let bump_block ?(n = 1) t ~proc ~block = bump t.blocks { proc; block } n
+
+let bump_edge ?(n = 1) t ~proc ~src ~dst =
+  bump t.edges { e_proc = proc; e_src = src; e_dst = dst } n
+
+let bump_field ?(n = 1) t ~proc ~block ~struct_name ~field ~is_write =
+  let k = { fk_proc = proc; fk_block = block; fk_struct = struct_name; fk_field = field } in
+  let cur = try Hashtbl.find t.fields k with Not_found -> { reads = 0; writes = 0 } in
+  let cur =
+    if is_write then { cur with writes = cur.writes + n }
+    else { cur with reads = cur.reads + n }
+  in
+  Hashtbl.replace t.fields k cur
+
+let block_count t ~proc ~block =
+  try Hashtbl.find t.blocks { proc; block } with Not_found -> 0
+
+let edge_count t ~proc ~src ~dst =
+  try Hashtbl.find t.edges { e_proc = proc; e_src = src; e_dst = dst }
+  with Not_found -> 0
+
+let field_rw t ~proc ~block ~struct_name ~field =
+  let k = { fk_proc = proc; fk_block = block; fk_struct = struct_name; fk_field = field } in
+  try Hashtbl.find t.fields k with Not_found -> { reads = 0; writes = 0 }
+
+let proc_entry_count t ~proc = block_count t ~proc ~block:0
+
+let field_totals t ~struct_name =
+  let acc = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun k rw ->
+      if String.equal k.fk_struct struct_name then begin
+        let cur =
+          try Hashtbl.find acc k.fk_field with Not_found -> { reads = 0; writes = 0 }
+        in
+        Hashtbl.replace acc k.fk_field
+          { reads = cur.reads + rw.reads; writes = cur.writes + rw.writes }
+      end)
+    t.fields;
+  Hashtbl.fold (fun f rw l -> (f, rw) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let fields_in_block t ~proc ~block ~struct_name =
+  Hashtbl.fold
+    (fun k rw l ->
+      if
+        String.equal k.fk_proc proc && k.fk_block = block
+        && String.equal k.fk_struct struct_name
+      then (k.fk_field, rw) :: l
+      else l)
+    t.fields []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge a b =
+  let t = create () in
+  let copy_blocks src = Hashtbl.iter (fun k v -> bump t.blocks k v) src.blocks in
+  let copy_edges src = Hashtbl.iter (fun k v -> bump t.edges k v) src.edges in
+  let copy_fields src =
+    Hashtbl.iter
+      (fun k (rw : rw) ->
+        let cur =
+          try Hashtbl.find t.fields k with Not_found -> { reads = 0; writes = 0 }
+        in
+        Hashtbl.replace t.fields k
+          { reads = cur.reads + rw.reads; writes = cur.writes + rw.writes })
+      src.fields
+  in
+  copy_blocks a; copy_blocks b;
+  copy_edges a; copy_edges b;
+  copy_fields a; copy_fields b;
+  t
+
+let pp ppf t =
+  let blocks =
+    Hashtbl.fold (fun k v l -> (k, v) :: l) t.blocks []
+    |> List.sort (fun ((a : key), _) (b, _) -> compare (a.proc, a.block) (b.proc, b.block))
+  in
+  Format.fprintf ppf "@[<v>profile:";
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "@,%s/B%d: %d" k.proc k.block v)
+    blocks;
+  Format.fprintf ppf "@]"
+
+let fold_blocks t ~init ~f = Hashtbl.fold (fun k v acc -> f acc k v) t.blocks init
+
+let fold_edges t ~init ~f =
+  Hashtbl.fold
+    (fun k v acc -> f acc ~proc:k.e_proc ~src:k.e_src ~dst:k.e_dst v)
+    t.edges init
+
+let fold_fields t ~init ~f = Hashtbl.fold (fun k v acc -> f acc k v) t.fields init

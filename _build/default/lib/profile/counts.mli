@@ -1,0 +1,71 @@
+(** Profile data: the output of the paper's PBO collect phase.
+
+    Counts accumulate over any number of interpreter runs. Three kinds are
+    kept, all keyed per procedure:
+    - basic-block execution counts (the paper's [Freq]/[EC] inputs);
+    - edge execution counts (for completeness of the PBO analogy and for
+      CFG-sanity tests: flow conservation);
+    - per-block, per-(struct, field) read and write reference counts (the
+      paper's "R=N W=n" annotations in Figure 5 and the inputs to the
+      Minimum Heuristic). *)
+
+type key = { proc : string; block : Slo_ir.Cfg.block_id }
+
+type field_key = {
+  fk_proc : string;
+  fk_block : Slo_ir.Cfg.block_id;
+  fk_struct : string;
+  fk_field : string;
+}
+
+type rw = { reads : int; writes : int }
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording} (used by the interpreter) *)
+
+val bump_block : ?n:int -> t -> proc:string -> block:Slo_ir.Cfg.block_id -> unit
+val bump_edge :
+  ?n:int -> t -> proc:string -> src:Slo_ir.Cfg.block_id -> dst:Slo_ir.Cfg.block_id -> unit
+
+val bump_field :
+  ?n:int ->
+  t ->
+  proc:string ->
+  block:Slo_ir.Cfg.block_id ->
+  struct_name:string ->
+  field:string ->
+  is_write:bool ->
+  unit
+(** [n] (default 1) adds that many occurrences at once. *)
+
+(** {1 Queries} *)
+
+val block_count : t -> proc:string -> block:Slo_ir.Cfg.block_id -> int
+val edge_count : t -> proc:string -> src:Slo_ir.Cfg.block_id -> dst:Slo_ir.Cfg.block_id -> int
+
+val field_rw : t -> proc:string -> block:Slo_ir.Cfg.block_id -> struct_name:string -> field:string -> rw
+
+val proc_entry_count : t -> proc:string -> int
+(** Executions of the procedure's entry block. *)
+
+val field_totals : t -> struct_name:string -> (string * rw) list
+(** Aggregate reads/writes per field of a struct across all procedures and
+    blocks — the field {e hotness} input. Sorted by field name. *)
+
+val fields_in_block : t -> proc:string -> block:Slo_ir.Cfg.block_id -> struct_name:string -> (string * rw) list
+(** Fields of [struct_name] dynamically referenced in the block. *)
+
+val merge : t -> t -> t
+(** Pointwise sum (e.g. to combine profiles of several workload phases). *)
+
+(** {1 Enumeration} (for persistence and reporting) *)
+
+val fold_blocks : t -> init:'a -> f:('a -> key -> int -> 'a) -> 'a
+val fold_edges :
+  t -> init:'a -> f:('a -> proc:string -> src:int -> dst:int -> int -> 'a) -> 'a
+val fold_fields : t -> init:'a -> f:('a -> field_key -> rw -> 'a) -> 'a
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/coherence.ml: Array Cache Format Hashtbl List Printf Sim_stats Topology

@@ -1,0 +1,1 @@
+lib/sim/coherence.mli: Sim_stats Topology

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Coherence Hashtbl List Option Printf Sim_stats Slo_ir Slo_layout Slo_profile Slo_util String Topology

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Coherence Sim_stats Slo_ir Slo_layout Topology

@@ -1,0 +1,1 @@
+lib/sim/trace_oracle.ml: Hashtbl List Machine String

@@ -1,0 +1,48 @@
+(** A private per-CPU cache at cache-line granularity.
+
+    Set-associative with true LRU replacement within each set (and fully
+    associative as the [ways = capacity] special case, the default). Only
+    presence and coherence state are modeled — the simulator keeps data
+    values in a separate flat store because coherence, not data movement,
+    is what the experiments measure. Lines are identified by their line
+    index (address divided by the line size); the set index is
+    [line mod num_sets]. *)
+
+type state =
+  | Modified
+  | Owned  (** dirty but shared — MOESI only *)
+  | Exclusive
+  | Shared
+
+type t
+
+val create : capacity:int -> ?ways:int -> unit -> t
+(** [capacity] total lines; [ways] associativity (defaults to [capacity],
+    i.e. fully associative). @raise Invalid_argument if [capacity <= 0],
+    [ways <= 0], or [ways] does not divide [capacity]. *)
+
+val capacity : t -> int
+val ways : t -> int
+val size : t -> int
+
+val state : t -> int -> state option
+(** [None] when the line is not resident (i.e. Invalid). Does not affect
+    LRU order. *)
+
+val touch : t -> int -> unit
+(** Mark the line most-recently used within its set. No-op when absent. *)
+
+val set_state : t -> int -> state -> unit
+(** Change the state of a resident line (also touches it).
+    @raise Invalid_argument when the line is absent. *)
+
+val insert : t -> int -> state -> (int * state) option
+(** Insert a line (must be absent), returning the evicted LRU victim of its
+    set if the set was full. @raise Invalid_argument when already
+    resident. *)
+
+val remove : t -> int -> unit
+(** Invalidate (drop) a line. No-op when absent. *)
+
+val iter : t -> (int -> state -> unit) -> unit
+(** In no particular order. *)

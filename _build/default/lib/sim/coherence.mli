@@ -1,0 +1,70 @@
+(** Cache-coherence controller over all CPUs of a machine.
+
+    Two invalidation-based protocols are implemented (the paper's machines
+    use MESI-family protocols; §1 cites MESI, MSI, MOSI, MOESI):
+
+    - {b MESI} (default): a Modified line downgrades to Shared on a remote
+      read and is written back at that point;
+    - {b MOESI}: a Modified line downgrades to Owned, keeps supplying dirty
+      data cache-to-cache, and writes back only on eviction or
+      invalidation — fewer writebacks, same invalidation behaviour. An
+      ablation bench compares the two.
+
+    The protocol operates at cache-line (coherence-block) granularity, as
+    on the Itanium systems of the paper (§1: "The coherence protocol does
+    not distinguish between individual bytes within a coherence block"). A
+    directory tracks, per line, the exclusive/dirty owner and the sharer
+    set, so misses resolve without scanning every cache.
+
+    [access] returns the latency in cycles of one load or store and updates
+    per-CPU statistics. Latencies come from the machine {!Topology}: hits
+    cost [l1_hit]; misses cost a cache-to-cache transfer from the
+    owner/nearest sharer, or a memory fetch; invalidating writes
+    additionally pay the farthest-holder round trip.
+
+    False-sharing classification: when a write invalidates a remote copy,
+    the writer's byte interval within the line is recorded against the
+    invalidated CPU; if that CPU later misses on the line with an access
+    disjoint from the recorded interval, the miss is a false-sharing miss,
+    otherwise a true-sharing miss. (Only the most recent invalidating write
+    is kept — the same approximation HITM-based tools make.) *)
+
+type protocol = Mesi | Moesi
+
+type t
+
+val create :
+  Topology.t ->
+  line_size:int ->
+  cache_capacity:int ->
+  ?ways:int ->
+  ?protocol:protocol ->
+  unit ->
+  t
+(** [ways] defaults to fully associative; [protocol] to {!Mesi}.
+    @raise Invalid_argument on non-positive sizes or invalid
+    associativity. *)
+
+val line_size : t -> int
+val topology : t -> Topology.t
+val protocol : t -> protocol
+
+val access : t -> cpu:int -> addr:int -> size:int -> is_write:bool -> int
+(** Perform one access of [size] bytes at byte address [addr] by [cpu];
+    returns its latency in cycles. Accesses must not straddle a line
+    boundary (the layout engine never produces such accesses for properly
+    aligned fields; arrays are accessed element-wise).
+    @raise Invalid_argument if the access straddles a line or [cpu] is out
+    of range. *)
+
+val stats : t -> cpu:int -> Sim_stats.t
+val total_stats : t -> Sim_stats.t
+
+val check_invariants : t -> unit
+(** Protocol invariants, used by property tests: at most one M/E/O holder
+    per line; an M/E holder excludes sharers; every sharer holds S; every
+    cached line is directory-tracked consistently.
+    @raise Invalid_argument describing the violated invariant. *)
+
+val holders : t -> line:int -> int list
+(** CPUs currently holding the line (any state), sorted. *)

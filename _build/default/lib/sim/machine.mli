@@ -1,0 +1,135 @@
+(** Execution-driven multiprocessor simulation of minic programs.
+
+    A machine binds together a {!Topology}, a {!Coherence} hierarchy, a
+    value store, an arena allocator, and one interpreter thread per CPU.
+    Threads execute compiled CFGs instruction by instruction; the engine
+    always advances the thread with the smallest local clock, so memory
+    accesses from different CPUs interleave at cycle granularity and
+    coherence traffic (including false sharing) emerges from the actual
+    access streams.
+
+    The per-CPU clock doubles as the Itanium ITC analog: clocks start
+    synchronized at 0 and tick with that CPU's own progress, and the
+    optional sampler records (cpu, code location, clock) triples every
+    [sample_period] cycles — exactly what HP Caliper's whole-system mode
+    provides to the CodeConcurrency computation (§4.2).
+
+    Cost model (cycles): non-memory instructions 1; [pause(e)] costs [e];
+    loads/stores cost their base cost ([load_base]/[store_base]) plus the
+    coherence latency; calls cost {!call_overhead}; terminators cost 1. Structure instances are allocated at cache-line
+    boundaries (the paper's arena-allocator assumption, §2). *)
+
+type config = {
+  topology : Topology.t;
+  line_size : int;  (** coherence-block size; 128 on the paper's Itanium *)
+  cache_lines : int;  (** per-CPU cache capacity in lines *)
+  cache_ways : int option;  (** associativity; [None] = fully associative *)
+  protocol : Coherence.protocol;  (** MESI (default) or MOESI *)
+  sample_period : int option;  (** PMU sampling period; [None] disables *)
+  seed : int;  (** master PRNG seed; threads derive per-thread streams *)
+  load_base : int;  (** base cycles of a load before memory latency *)
+  store_base : int;
+      (** base cycles of a store: port + store-buffer occupancy. A store
+          that costs real time is also what lets the PMU sampler observe
+          write-heavy code in proportion to its cost. *)
+  trace : bool;  (** record the full memory-access trace (expensive) *)
+}
+
+(** One struct/global memory access, as recorded when [config.trace] is
+    set. The trace is the input to the {!Trace_oracle}, which measures the
+    {e actual} false sharing the paper's §3 calls impractical to obtain on
+    real hardware. *)
+type trace_event = {
+  t_cpu : int;
+  t_itc : int;  (** issuing CPU's clock at the access *)
+  t_addr : int;
+  t_size : int;
+  t_is_write : bool;
+}
+
+val default_config : Topology.t -> config
+(** line_size 128, 4096 fully-associative lines, MESI, no sampling,
+    seed 42, load_base 2, store_base 8. *)
+
+val call_overhead : int
+
+type t
+
+type instance
+(** A struct instance placed in simulated memory. *)
+
+val instance_struct : instance -> string
+val instance_base : instance -> int
+
+type arg = Aint of int | Ainst of instance
+
+(** One recorded PMU sample. *)
+type sample = {
+  s_cpu : int;
+  s_itc : int;  (** the CPU's clock when the sample fired *)
+  s_proc : string;
+  s_block : Slo_ir.Cfg.block_id;
+  s_line : int;  (** source line of the instruction executing *)
+}
+
+type result = {
+  makespan : int;  (** cycles until the last thread finished *)
+  cpu_cycles : int array;
+  invocations : int;  (** total top-level work items executed *)
+  cpu_invocations : int array;  (** work items per CPU *)
+  stats : Sim_stats.t;  (** whole-machine memory statistics *)
+  per_cpu_stats : Sim_stats.t array;
+  samples : sample list;  (** in collection order *)
+  trace : trace_event list;  (** empty unless [config.trace] *)
+}
+
+val throughput : result -> float
+(** Sum over CPUs of (work items / cycles), in items per million cycles —
+    the SDET "scripts per hour" analog. Summing per-CPU rates (rather than
+    dividing by the makespan) matches how SDET accounts a continuously
+    loaded system and is robust to one slow script. *)
+
+val create : config -> Slo_ir.Ast.program -> t
+(** The program must be typechecked. Layouts default to declaration order
+    ({!Slo_layout.Layout.of_struct}). *)
+
+val set_layout : t -> Slo_layout.Layout.t -> unit
+(** Override the layout used for a struct (keyed by the layout's
+    [struct_name]). Must be called before any [alloc] of that struct and
+    before [run]; the layout's field set must match the declaration.
+    @raise Invalid_argument otherwise. *)
+
+val layout_of : t -> struct_name:string -> Slo_layout.Layout.t
+
+val alloc : t -> struct_name:string -> instance
+(** Arena-allocate a zeroed instance at the next line boundary. *)
+
+val add_thread : t -> cpu:int -> work:(string * arg list) list -> unit
+(** Pin a thread to [cpu] executing the given invocations in order. At most
+    one thread per CPU. @raise Invalid_argument on a duplicate CPU, unknown
+    procedure, or argument mismatch. *)
+
+val run : t -> result
+(** Execute all threads to completion. A machine can only be run once.
+    @raise Invalid_argument on re-run.
+    @raise Slo_profile.Interp.Runtime_error on dynamic errors. *)
+
+val coherence : t -> Coherence.t
+(** The coherence hierarchy (for invariant checks in tests). *)
+
+val read_field : t -> instance -> field:string -> ?index:int -> unit -> int
+(** Read a field's value directly from simulated memory, without going
+    through a CPU (for assertions and debugging). Unwritten locations
+    read 0. @raise Invalid_argument on unknown fields or bad indices. *)
+
+val resolve_addr : t -> int -> (string * int * string * int) option
+(** [(struct_name, instance_id, field, element_index)] owning a byte
+    address, if any; globals resolve to
+    ({!Slo_ir.Ast.globals_struct_name}, -1, name, 0). *)
+
+val read_global : t -> name:string -> int
+(** Read a global variable directly from simulated memory. Global
+    variables live in their own line-aligned segment whose layout defaults
+    to declaration order and can be overridden with {!set_layout} using a
+    layout named {!Slo_ir.Ast.globals_struct_name} (the GVL extension).
+    @raise Invalid_argument for unknown globals. *)

@@ -1,0 +1,66 @@
+type t = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable hits : int;
+  mutable cold_misses : int;
+  mutable capacity_misses : int;
+  mutable true_sharing_misses : int;
+  mutable false_sharing_misses : int;
+  mutable upgrades : int;
+  mutable invalidations : int;
+  mutable writebacks : int;
+  mutable stall_cycles : int;
+}
+
+let create () =
+  {
+    loads = 0;
+    stores = 0;
+    hits = 0;
+    cold_misses = 0;
+    capacity_misses = 0;
+    true_sharing_misses = 0;
+    false_sharing_misses = 0;
+    upgrades = 0;
+    invalidations = 0;
+    writebacks = 0;
+    stall_cycles = 0;
+  }
+
+let accesses t = t.loads + t.stores
+let coherence_misses t = t.true_sharing_misses + t.false_sharing_misses
+let misses t = t.cold_misses + t.capacity_misses + coherence_misses t
+
+let miss_rate t =
+  let a = accesses t in
+  if a = 0 then 0.0 else float_of_int (misses t) /. float_of_int a
+
+let add_into acc x =
+  acc.loads <- acc.loads + x.loads;
+  acc.stores <- acc.stores + x.stores;
+  acc.hits <- acc.hits + x.hits;
+  acc.cold_misses <- acc.cold_misses + x.cold_misses;
+  acc.capacity_misses <- acc.capacity_misses + x.capacity_misses;
+  acc.true_sharing_misses <- acc.true_sharing_misses + x.true_sharing_misses;
+  acc.false_sharing_misses <- acc.false_sharing_misses + x.false_sharing_misses;
+  acc.upgrades <- acc.upgrades + x.upgrades;
+  acc.invalidations <- acc.invalidations + x.invalidations;
+  acc.writebacks <- acc.writebacks + x.writebacks;
+  acc.stall_cycles <- acc.stall_cycles + x.stall_cycles
+
+let sum xs =
+  let acc = create () in
+  List.iter (add_into acc) xs;
+  acc
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>accesses: %d (loads %d, stores %d)@,hits: %d (%.1f%%)@,\
+     misses: cold %d, capacity %d, true-sharing %d, false-sharing %d@,\
+     upgrades: %d, invalidations: %d, writebacks: %d@,stall cycles: %d@]"
+    (accesses t) t.loads t.stores t.hits
+    (if accesses t = 0 then 0.0
+     else 100.0 *. float_of_int t.hits /. float_of_int (accesses t))
+    t.cold_misses t.capacity_misses t.true_sharing_misses
+    t.false_sharing_misses t.upgrades t.invalidations t.writebacks
+    t.stall_cycles

@@ -1,0 +1,36 @@
+(** Memory-system statistics collected by the coherence controller.
+
+    Misses are classified the way false-sharing studies (and tools like
+    perf c2c) do:
+    - {e cold}: first global touch of the line;
+    - {e coherence}: the line was previously resident here and was
+      invalidated by another CPU's write; further split into {e true} and
+      {e false} sharing by comparing the invalidating write's byte interval
+      with the current access's interval (disjoint intervals = false
+      sharing);
+    - {e capacity}: everything else (the line was evicted by LRU). *)
+
+type t = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable hits : int;
+  mutable cold_misses : int;
+  mutable capacity_misses : int;
+  mutable true_sharing_misses : int;
+  mutable false_sharing_misses : int;
+  mutable upgrades : int;  (** S->M transitions (invalidating writes on hits) *)
+  mutable invalidations : int;  (** copies invalidated in other caches *)
+  mutable writebacks : int;  (** M lines evicted or downgraded *)
+  mutable stall_cycles : int;  (** cycles spent waiting on memory system *)
+}
+
+val create : unit -> t
+val accesses : t -> int
+val misses : t -> int
+val coherence_misses : t -> int
+val miss_rate : t -> float
+val add_into : t -> t -> unit
+(** [add_into acc x] accumulates [x] into [acc]. *)
+
+val sum : t list -> t
+val pp : Format.formatter -> t -> unit

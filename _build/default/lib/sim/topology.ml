@@ -1,0 +1,91 @@
+type latencies = {
+  l1_hit : int;
+  same_chip : int;
+  same_bus : int;
+  same_cell : int;
+  same_crossbar : int;
+  cross_crossbar : int;
+  memory : int;
+}
+
+type t = { cpus : int; lat : latencies; hierarchical : bool }
+
+let superdome_latencies =
+  {
+    l1_hit = 1;
+    same_chip = 60;
+    same_bus = 120;
+    same_cell = 200;
+    same_crossbar = 450;
+    cross_crossbar = 1000;
+    memory = 300;
+  }
+
+(* "the cost of accessing remote caches is only slightly higher than an L2
+   miss" — remote transfer barely above memory. *)
+let bus_latencies =
+  {
+    l1_hit = 1;
+    same_chip = 110;
+    same_bus = 110;
+    same_cell = 110;
+    same_crossbar = 110;
+    cross_crossbar = 110;
+    memory = 100;
+  }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let superdome ?(cpus = 128) () =
+  if cpus < 2 || cpus > 128 || not (is_power_of_two cpus) then
+    invalid_arg "Topology.superdome: cpus must be a power of two in [2,128]";
+  { cpus; lat = superdome_latencies; hierarchical = true }
+
+let bus ?(cpus = 4) () =
+  if cpus < 2 then invalid_arg "Topology.bus: cpus must be >= 2";
+  { cpus; lat = bus_latencies; hierarchical = false }
+
+let custom ~cpus lat ~hierarchical =
+  if cpus < 1 then invalid_arg "Topology.custom: cpus must be >= 1";
+  { cpus; lat; hierarchical }
+
+let num_cpus t = t.cpus
+let latencies t = t.lat
+let is_hierarchical t = t.hierarchical
+
+let check_cpu t who cpu =
+  if cpu < 0 || cpu >= t.cpus then
+    invalid_arg (Printf.sprintf "Topology.%s: cpu %d out of range" who cpu)
+
+(* Superdome coordinates: chip = cpu/2, bus = cpu/4, cell = cpu/8,
+   crossbar = cpu/32. Scaled-down machines keep the same divisors so that,
+   e.g., a 16-way machine is half a crossbar. *)
+let transfer_latency t ~src ~dst =
+  check_cpu t "transfer_latency" src;
+  check_cpu t "transfer_latency" dst;
+  if src = dst then invalid_arg "Topology.transfer_latency: src = dst";
+  if not t.hierarchical then t.lat.same_bus
+  else if src / 2 = dst / 2 then t.lat.same_chip
+  else if src / 4 = dst / 4 then t.lat.same_bus
+  else if src / 8 = dst / 8 then t.lat.same_cell
+  else if src / 32 = dst / 32 then t.lat.same_crossbar
+  else t.lat.cross_crossbar
+
+let memory_latency t = t.lat.memory
+
+let invalidation_latency t ~writer ~holders =
+  check_cpu t "invalidation_latency" writer;
+  List.fold_left
+    (fun acc h ->
+      if h = writer then acc else max acc (transfer_latency t ~src:writer ~dst:h))
+    0 holders
+
+let describe t =
+  if t.hierarchical then
+    Printf.sprintf
+      "%d-CPU hierarchical (chips of 2, buses of 4, cells of 8, crossbars of \
+       32; remote transfer up to %d cycles)"
+      t.cpus t.lat.cross_crossbar
+  else
+    Printf.sprintf "%d-CPU bus (remote transfer %d cycles, memory %d cycles)"
+      t.cpus t.lat.same_bus t.lat.memory

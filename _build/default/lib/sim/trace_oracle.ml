@@ -1,0 +1,100 @@
+type pair_stats = { ps_false : int; ps_true : int }
+
+(* Per line we remember, for every CPU that lost its copy, the invalidating
+   write (its address interval and resolved field). A CPU's next access to
+   the line after losing it is the sharing event. *)
+type line_state = {
+  mutable holders : (int, unit) Hashtbl.t;  (* cpus with a valid copy *)
+  mutable last_write : (int * int * int) option;  (* writer cpu, addr, size *)
+  pending : (int, int * int) Hashtbl.t;  (* cpu -> invalidating (addr, size) *)
+}
+
+type key = { k_struct : string; k_f1 : string; k_f2 : string }
+
+type t = {
+  tbl : (key, pair_stats) Hashtbl.t;
+  mutable total_false : int;
+  mutable total_true : int;
+}
+
+let key ~struct_name f1 f2 =
+  if String.compare f1 f2 <= 0 then { k_struct = struct_name; k_f1 = f1; k_f2 = f2 }
+  else { k_struct = struct_name; k_f1 = f2; k_f2 = f1 }
+
+let bump t k ~false_sharing =
+  let cur =
+    try Hashtbl.find t.tbl k with Not_found -> { ps_false = 0; ps_true = 0 }
+  in
+  let cur =
+    if false_sharing then { cur with ps_false = cur.ps_false + 1 }
+    else { cur with ps_true = cur.ps_true + 1 }
+  in
+  Hashtbl.replace t.tbl k cur;
+  if false_sharing then t.total_false <- t.total_false + 1
+  else t.total_true <- t.total_true + 1
+
+let analyze ~resolve ~line_size trace =
+  let t = { tbl = Hashtbl.create 256; total_false = 0; total_true = 0 } in
+  let lines : (int, line_state) Hashtbl.t = Hashtbl.create 1024 in
+  let line_of addr =
+    let l = addr / line_size in
+    match Hashtbl.find_opt lines l with
+    | Some st -> st
+    | None ->
+      let st =
+        { holders = Hashtbl.create 8; last_write = None; pending = Hashtbl.create 8 }
+      in
+      Hashtbl.replace lines l st;
+      st
+  in
+  List.iter
+    (fun (ev : Machine.trace_event) ->
+      let st = line_of ev.Machine.t_addr in
+      (* A pending invalidation against this CPU resolves now: classify. *)
+      (match Hashtbl.find_opt st.pending ev.Machine.t_cpu with
+      | Some (w_addr, w_size) ->
+        Hashtbl.remove st.pending ev.Machine.t_cpu;
+        let overlap =
+          ev.Machine.t_addr < w_addr + w_size
+          && w_addr < ev.Machine.t_addr + ev.Machine.t_size
+        in
+        (match (resolve w_addr, resolve ev.Machine.t_addr) with
+        | Some (s1, i1, f1, _), Some (s2, i2, f2, _)
+          when String.equal s1 s2 && i1 = i2 ->
+          (* Same struct instance: a genuine sharing event. Same-field
+             conflicts are true sharing by definition. *)
+          let false_sharing = (not overlap) && not (String.equal f1 f2) in
+          bump t (key ~struct_name:s1 f1 f2) ~false_sharing
+        | _ -> ())
+      | None -> ());
+      if ev.Machine.t_is_write then begin
+        (* Invalidate all other holders; they owe a classification on their
+           next access to this line. *)
+        Hashtbl.iter
+          (fun cpu () ->
+            if cpu <> ev.Machine.t_cpu then
+              Hashtbl.replace st.pending cpu
+                (ev.Machine.t_addr, ev.Machine.t_size))
+          st.holders;
+        Hashtbl.reset st.holders;
+        st.last_write <-
+          Some (ev.Machine.t_cpu, ev.Machine.t_addr, ev.Machine.t_size)
+      end;
+      Hashtbl.replace st.holders ev.Machine.t_cpu ())
+    trace;
+  t
+
+let loss t ~struct_name f1 f2 =
+  try Hashtbl.find t.tbl (key ~struct_name f1 f2)
+  with Not_found -> { ps_false = 0; ps_true = 0 }
+
+let pairs t ~struct_name =
+  Hashtbl.fold
+    (fun k v acc ->
+      if String.equal k.k_struct struct_name then ((k.k_f1, k.k_f2), v) :: acc
+      else acc)
+    t.tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b.ps_false a.ps_false)
+
+let total_false_sharing t = t.total_false
+let total_true_sharing t = t.total_true

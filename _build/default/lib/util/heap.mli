@@ -1,0 +1,17 @@
+(** Mutable binary min-heap with integer priorities.
+
+    Used by the multiprocessor engine to pick the CPU with the smallest
+    local clock at every step. Ties are broken by insertion order (FIFO),
+    which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> priority:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-priority element. *)
+
+val peek : 'a t -> (int * 'a) option

@@ -1,0 +1,54 @@
+(* SplitMix64 (Steele, Lea, Flood 2014). Chosen over [Random] because the
+   stream must be identical across OCaml versions and because [split] gives
+   cheap independent streams for per-thread workload generators. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection-free modulo is fine here: bounds are tiny relative to 2^62 so
+     the bias is unobservable for simulation purposes. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (v /. 9007199254740992.0) (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let geometric t ~p =
+  if not (p > 0.0 && p <= 1.0) then invalid_arg "Prng.geometric: p not in (0,1]";
+  let rec count n = if float t 1.0 < p then n else count (n + 1) in
+  count 0

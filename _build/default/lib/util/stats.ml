@@ -1,0 +1,98 @@
+let require_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | xs -> xs
+
+let mean xs =
+  let xs = require_nonempty "Stats.mean" xs in
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  let xs = require_nonempty "Stats.variance" xs in
+  let m = mean xs in
+  let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+  sq /. float_of_int (List.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let sorted xs = List.sort compare xs
+
+let percentile xs ~p =
+  let xs = require_nonempty "Stats.percentile" xs in
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p outside [0,1]";
+  let arr = Array.of_list (sorted xs) in
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else begin
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+  end
+
+let median xs = percentile xs ~p:0.5
+
+let remove_outliers xs =
+  match xs with
+  | [] | [ _ ] -> xs
+  | _ ->
+    let q1 = percentile xs ~p:0.25 and q3 = percentile xs ~p:0.75 in
+    let iqr = q3 -. q1 in
+    let lo = q1 -. (1.5 *. iqr) and hi = q3 +. (1.5 *. iqr) in
+    let kept = List.filter (fun x -> x >= lo && x <= hi) xs in
+    if kept = [] then xs else kept
+
+let trimmed_mean xs = mean (remove_outliers xs)
+
+let geometric_mean xs =
+  let xs = require_nonempty "Stats.geometric_mean" xs in
+  let logsum =
+    List.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive value"
+        else acc +. log x)
+      0.0 xs
+  in
+  exp (logsum /. float_of_int (List.length xs))
+
+(* Average ranks over ties so that Spearman is well defined on data with
+   repeated values (CC maps contain many equal counts). *)
+let ranks xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare arr.(a) arr.(b)) idx;
+  let rk = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && arr.(idx.(!j + 1)) = arr.(idx.(!i)) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j) /. 2.0 +. 1.0 in
+    for k = !i to !j do
+      rk.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  Array.to_list rk
+
+let pearson xs ys =
+  let mx = mean xs and my = mean ys in
+  let num, dx, dy =
+    List.fold_left2
+      (fun (num, dx, dy) x y ->
+        let a = x -. mx and b = y -. my in
+        (num +. (a *. b), dx +. (a *. a), dy +. (b *. b)))
+      (0.0, 0.0, 0.0) xs ys
+  in
+  if dx = 0.0 || dy = 0.0 then 0.0 else num /. sqrt (dx *. dy)
+
+let spearman xs ys =
+  if List.length xs <> List.length ys then
+    invalid_arg "Stats.spearman: length mismatch";
+  let _ = require_nonempty "Stats.spearman" xs in
+  pearson (ranks xs) (ranks ys)
+
+let speedup_percent ~baseline ~measured =
+  (measured -. baseline) /. baseline *. 100.0

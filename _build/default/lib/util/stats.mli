@@ -1,0 +1,44 @@
+(** Small statistics kit used by the experiment harness.
+
+    The paper's measurement protocol is: one warmup run, ten measured runs,
+    remove outliers, report the mean ({i §5}). [trimmed_mean] implements the
+    outlier-removal step with the interquartile-range rule. *)
+
+val mean : float list -> float
+(** Arithmetic mean. @raise Invalid_argument on the empty list. *)
+
+val variance : float list -> float
+(** Population variance. @raise Invalid_argument on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val median : float list -> float
+(** Median (average of middle two for even lengths).
+    @raise Invalid_argument on the empty list. *)
+
+val percentile : float list -> p:float -> float
+(** [percentile xs ~p] for [p] in [\[0,1\]], linear interpolation.
+    @raise Invalid_argument on the empty list or [p] outside [\[0,1\]]. *)
+
+val remove_outliers : float list -> float list
+(** Drop points outside [q1 - 1.5*iqr, q3 + 1.5*iqr]. Never returns the
+    empty list for non-empty input (falls back to the input when everything
+    would be dropped). *)
+
+val trimmed_mean : float list -> float
+(** [mean (remove_outliers xs)] — the paper's reporting statistic. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values.
+    @raise Invalid_argument if any value is non-positive or the list is
+    empty. *)
+
+val spearman : float list -> float list -> float
+(** Spearman rank correlation of two equal-length lists; used for the
+    §4.3 claim that CodeConcurrency rankings are stable across machine
+    sizes. @raise Invalid_argument on mismatched or empty input. *)
+
+val speedup_percent : baseline:float -> measured:float -> float
+(** [(measured - baseline) / baseline * 100.], the paper's y-axis for
+    Figures 8-10 (throughput speedup over baseline, in percent). *)

@@ -1,0 +1,1 @@
+lib/workload/collect.ml: Kernel List Sdet Slo_concurrency Slo_core Slo_profile Slo_sim Slo_util

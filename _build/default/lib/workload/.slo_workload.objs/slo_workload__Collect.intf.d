@@ -1,0 +1,1 @@
+lib/workload/collect.mli: Sdet Slo_concurrency Slo_core Slo_profile

@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Collect Kernel List Sdet Slo_concurrency Slo_core Slo_ir Slo_layout Slo_sim Slo_util

@@ -1,0 +1,1 @@
+lib/workload/experiments.mli: Slo_core Slo_layout Slo_sim

@@ -1,0 +1,1 @@
+lib/workload/kernel.ml: Buffer List Printf Slo_ir Slo_layout String

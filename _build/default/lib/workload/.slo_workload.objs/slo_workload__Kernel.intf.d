@@ -1,0 +1,1 @@
+lib/workload/kernel.mli: Slo_ir Slo_layout

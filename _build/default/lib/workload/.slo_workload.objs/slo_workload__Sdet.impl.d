@@ -1,0 +1,1 @@
+lib/workload/sdet.ml: Array Kernel List Slo_ir Slo_layout Slo_sim Slo_util

@@ -1,0 +1,1 @@
+lib/workload/sdet.mli: Slo_layout Slo_sim

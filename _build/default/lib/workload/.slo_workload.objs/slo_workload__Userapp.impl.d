@@ -1,0 +1,1 @@
+lib/workload/userapp.ml: Array Collect List Slo_concurrency Slo_core Slo_ir Slo_layout Slo_profile Slo_sim Slo_util

@@ -1,0 +1,1 @@
+lib/workload/userapp.mli: Slo_ir

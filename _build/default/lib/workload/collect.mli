@@ -1,0 +1,39 @@
+(** The data-collection phase of the pipeline (paper Figure 3) for the
+    synthetic kernel: PBO profile counts and synchronized PMU samples, both
+    gathered on the {e baseline} layouts — the tool analyzes the kernel as
+    it exists today.
+
+    Profiling runs the single-threaded interpreter over every kernel
+    operation once per writer class on scratch instances (the paper's
+    instrumented profile-collect run over a representative input), so each
+    counter branch contributes equally. Sampling runs one full SDET round
+    on the simulator with the PMU sampler enabled. *)
+
+val profile : ?iters:int -> unit -> Slo_profile.Counts.t
+(** Profile counts over all kernel operations. [iters] is the loop trip
+    count used for each operation (default 32). *)
+
+val samples :
+  ?config:Sdet.config -> ?period:int -> unit -> Slo_concurrency.Sample.t list
+(** PMU samples from one SDET collection run on the baseline layouts.
+    [period] is the sampling period in cycles (default 400). The default
+    config is {!Sdet.default_config} on the collection machine — the paper
+    collects on a 16-way machine and finds the high-CC pairs stable across
+    machine sizes (§4.3); we default to a 16-CPU superdome for the same
+    reason. *)
+
+val flg :
+  ?params:Slo_core.Pipeline.params ->
+  counts:Slo_profile.Counts.t ->
+  samples:Slo_concurrency.Sample.t list ->
+  struct_name:string ->
+  unit ->
+  Slo_core.Flg.t
+(** Assemble the FLG for one kernel struct. *)
+
+val calibrated_params : Slo_core.Pipeline.params
+(** Pipeline parameters calibrated for this kernel workload: the CC
+    interval matched to the sampling period above, and k2 scaled so that
+    sampled CodeConcurrency (sparse counts) balances profile-derived
+    CycleGain (dense counts). The k2 ablation bench sweeps around this
+    value. *)

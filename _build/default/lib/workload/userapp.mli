@@ -1,0 +1,37 @@
+(** A second workload: a deliberately {e untuned} user-level application.
+
+    The paper closes §5 with two predictions about programs that have not
+    had years of kernel-engineer attention: "Since very few programmers
+    invest such effort in improving the layout of structures, the benefit
+    of the tool is likely to be pronounced in those cases", and the
+    non-accumulation of gains "is not expected to be a problem for lesser
+    tuned applications".
+
+    This module models such an application — a small connection-cache
+    server whose struct layouts are exactly as a programmer first typed
+    them:
+
+    - {b struct CONN}: a connection table entry; per-connection byte/packet
+      counters written by the owning worker sit right between the peer
+      fields every worker scans;
+    - {b struct BKT}: a cache bucket; a version counter written on updates
+      shares the line with the read-hot key fields;
+    - worker-pool statistics are global scalars, declared next to the
+      read-mostly configuration globals.
+
+    The bench measures per-struct and combined tool layouts against the
+    declared layouts to test both predictions. *)
+
+val program : unit -> Slo_ir.Ast.program
+val struct_names : string list
+
+type result = {
+  u_individual : (string * float) list;
+      (** tool layout vs declared, one struct at a time (percent) *)
+  u_globals : float;  (** GVL layout vs declared globals segment *)
+  u_sum : float;
+  u_combined : float;  (** everything applied at once *)
+}
+
+val experiment : ?runs:int -> ?cpus:int -> unit -> result
+(** Analyze with the calibrated pipeline parameters and measure. *)

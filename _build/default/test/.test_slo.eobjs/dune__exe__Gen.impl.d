@@ -1,0 +1,1 @@
+test/gen.ml: Array List Printf QCheck2 Slo_ir Slo_layout String

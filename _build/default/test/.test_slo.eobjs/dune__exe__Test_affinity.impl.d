@@ -1,0 +1,1 @@
+test/test_affinity.ml: Alcotest Gen List QCheck2 QCheck_alcotest Slo_affinity Slo_ir Slo_profile Slo_util

@@ -1,0 +1,1 @@
+test/test_concurrency.ml: Alcotest List QCheck2 QCheck_alcotest Slo_concurrency Slo_ir

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Gen List Printf QCheck2 QCheck_alcotest Slo_affinity Slo_core Slo_graph Slo_ir Slo_layout Slo_profile Slo_util Tutil

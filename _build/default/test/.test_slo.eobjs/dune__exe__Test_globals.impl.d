@@ -1,0 +1,1 @@
+test/test_globals.ml: Alcotest List Option Slo_affinity Slo_concurrency Slo_core Slo_ir Slo_layout Slo_profile Slo_sim Slo_util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Float List Printf QCheck2 QCheck_alcotest Slo_graph Tutil

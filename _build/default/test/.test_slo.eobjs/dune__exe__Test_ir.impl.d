@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Gen List Option Printf QCheck2 QCheck_alcotest Slo_affinity Slo_ir Slo_profile Slo_util Slo_workload Tutil

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Gen List Option QCheck2 QCheck_alcotest Slo_ir Slo_layout

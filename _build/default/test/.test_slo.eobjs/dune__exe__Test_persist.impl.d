@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Filename Fun List QCheck2 QCheck_alcotest Slo_concurrency Slo_persist Slo_profile Slo_workload String Sys

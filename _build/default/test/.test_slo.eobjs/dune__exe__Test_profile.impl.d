@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Gen List Printf QCheck2 QCheck_alcotest Slo_ir Slo_profile Slo_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Gen List Option QCheck2 QCheck_alcotest Slo_ir Slo_layout Slo_profile Slo_sim Slo_util Tutil

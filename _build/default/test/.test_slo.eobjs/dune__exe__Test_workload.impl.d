@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float List Option Printf Slo_core Slo_ir Slo_layout Slo_sim Slo_util Slo_workload

@@ -1,0 +1,103 @@
+(* Shared QCheck generators for property-based tests. *)
+
+module Ast = Slo_ir.Ast
+module Field = Slo_layout.Field
+
+let prim : Ast.prim QCheck2.Gen.t =
+  QCheck2.Gen.oneofl [ Ast.Char; Ast.Short; Ast.Int; Ast.Long; Ast.Double; Ast.Ptr ]
+
+let field_name i = Printf.sprintf "f%d" i
+
+(* A list of 1..24 distinct fields with random primitive types and
+   occasional small arrays. *)
+let fields : Field.t list QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* n = int_range 1 24 in
+  let* prims = list_size (return n) prim in
+  let* counts =
+    list_size (return n) (frequency [ (6, return 1); (1, int_range 2 8) ])
+  in
+  return
+    (List.mapi
+       (fun i (p, c) -> Field.make ~name:(field_name i) ~prim:p ~count:c ())
+       (List.combine prims counts))
+
+(* Random weighted undirected graph over the nodes of a field list. *)
+let edges_over names : (string * string * float) list QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  match names with
+  | [] | [ _ ] -> return []
+  | _ ->
+    let arr = Array.of_list names in
+    let edge =
+      let* i = int_range 0 (Array.length arr - 1) in
+      let* j = int_range 0 (Array.length arr - 1) in
+      let* w = float_range (-100.0) 100.0 in
+      return (arr.(i), arr.(j), w)
+    in
+    let* n = int_range 0 (3 * Array.length arr) in
+    let* all = list_size (return n) edge in
+    return (List.filter (fun (u, v, _) -> u <> v) all)
+
+(* Hotness assignment for a field list. *)
+let hotness_for names : (string * int) list QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* hs = list_size (return (List.length names)) (int_range 0 1000) in
+  return (List.combine names hs)
+
+(* A random well-formed minic program over one struct: a handful of
+   procedures made of loops, conditionals, field reads/writes and pauses.
+   Used for parser round-trips and interpreter/profile properties. *)
+let minic_program ?(max_fields = 8) ?(max_procs = 3) () : string QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* nfields = int_range 1 max_fields in
+  let fields = List.init nfields (fun i -> Printf.sprintf "g%d" i) in
+  let field = oneofl fields in
+  let rec stmt depth =
+    let assign_field =
+      let* f = field in
+      let* g = field in
+      return (Printf.sprintf "s->%s = s->%s + 1;" f g)
+    in
+    let assign_var =
+      let* f = field in
+      let* g = field in
+      return (Printf.sprintf "x = s->%s + s->%s;" f g)
+    in
+    let pause =
+      let* p = int_range 0 20 in
+      return (Printf.sprintf "pause(%d);" p)
+    in
+    let base = [ (3, assign_field); (3, assign_var); (2, pause) ] in
+    if depth = 0 then frequency base
+    else
+      let loop =
+        let* trips = int_range 0 4 in
+        let* body = block (depth - 1) in
+        return (Printf.sprintf "for (i%d = 0; i%d < %d; i%d++) {\n%s}" depth depth trips depth body)
+      in
+      let cond =
+        let* f = field in
+        let* then_ = block (depth - 1) in
+        let* else_ = block (depth - 1) in
+        return
+          (Printf.sprintf "if (s->%s %% 2 == 0) {\n%s} else {\n%s}" f then_ else_)
+      in
+      frequency ((2, loop) :: (1, cond) :: base)
+  and block depth =
+    let* n = int_range 1 3 in
+    let* stmts = list_size (return n) (stmt depth) in
+    return (String.concat "\n" stmts ^ "\n")
+  in
+  let* nprocs = int_range 1 max_procs in
+  let* bodies = list_size (return nprocs) (block 2) in
+  let decls =
+    String.concat ""
+      (List.map (fun f -> Printf.sprintf "  long %s;\n" f) fields)
+  in
+  let procs =
+    List.mapi
+      (fun i body -> Printf.sprintf "void p%d(struct G *s, int n) {\n%s}\n" i body)
+      bodies
+  in
+  return (Printf.sprintf "struct G {\n%s};\n%s" decls (String.concat "\n" procs))

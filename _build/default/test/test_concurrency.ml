@@ -1,0 +1,209 @@
+(* Tests for Slo_concurrency: sample binning, CodeConcurrency, FMF and
+   CycleLoss. *)
+
+module Sample = Slo_concurrency.Sample
+module CC = Slo_concurrency.Code_concurrency
+module Fmf = Slo_concurrency.Fmf
+module Cycle_loss = Slo_concurrency.Cycle_loss
+module Parser = Slo_ir.Parser
+module Typecheck = Slo_ir.Typecheck
+
+let check_int = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-6))
+
+let s cpu itc line = { Sample.cpu; itc; line }
+
+(* ------------------------------------------------------------------ *)
+(* Sample binning *)
+
+let test_bin_basic () =
+  let samples = [ s 0 10 1; s 0 20 1; s 1 30 2; s 0 150 1 ] in
+  let tables = Sample.bin ~interval:100 samples in
+  check_int "two intervals" 2 (List.length tables);
+  let t0 = List.hd tables in
+  check_int "F(0, line1) in I0" 2 (Sample.freq t0 ~cpu:0 ~line:1);
+  check_int "F(1, line2) in I0" 1 (Sample.freq t0 ~cpu:1 ~line:2);
+  check_int "F absent" 0 (Sample.freq t0 ~cpu:1 ~line:1);
+  Alcotest.(check (list int)) "lines of I0" [ 1; 2 ] (Sample.lines t0);
+  check_int "total" 3 (Sample.total_samples t0)
+
+let test_bin_validation () =
+  match Sample.bin ~interval:0 [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted interval 0"
+
+(* ------------------------------------------------------------------ *)
+(* CodeConcurrency *)
+
+let test_cc_hand_computed () =
+  (* Interval 0: cpu0 runs line 1 twice, cpu1 runs line 2 three times.
+     CC(1,2) = min(F(P0,1),F(P1,2)) + min(F(P1,1),F(P0,2)) = min(2,3) + 0 = 2. *)
+  let samples = [ s 0 10 1; s 0 20 1; s 1 5 2; s 1 6 2; s 1 7 2 ] in
+  let cm = CC.compute ~interval:100 samples in
+  check_int "CC(1,2)" 2 (CC.cc cm 1 2);
+  check_int "symmetric" 2 (CC.cc cm 2 1)
+
+let test_cc_same_cpu_excluded () =
+  (* Only one CPU active: no concurrency at all. *)
+  let samples = [ s 0 10 1; s 0 20 2; s 0 30 1; s 0 40 2 ] in
+  let cm = CC.compute ~interval:100 samples in
+  check_int "no cross-cpu pairs" 0 (CC.cc cm 1 2)
+
+let test_cc_diagonal () =
+  (* Two cpus on the same line concurrently: diagonal CC. *)
+  let samples = [ s 0 10 7; s 1 20 7 ] in
+  let cm = CC.compute ~interval:100 samples in
+  (* ordered cpu pairs (0,1) and (1,0): min(1,1) each = 2 *)
+  check_int "CC(7,7)" 2 (CC.cc cm 7 7)
+
+let test_cc_intervals_isolate () =
+  (* Same lines in different intervals never pair up. *)
+  let samples = [ s 0 10 1; s 1 150 2 ] in
+  let cm = CC.compute ~interval:100 samples in
+  check_int "disjoint intervals" 0 (CC.cc cm 1 2)
+
+let test_cc_accumulates_over_intervals () =
+  let samples =
+    [ s 0 10 1; s 1 20 2 (* I0: 2 *); s 0 110 1; s 1 120 2 (* I1: 2 *) ]
+  in
+  let cm = CC.compute ~interval:100 samples in
+  check_int "sum over intervals" 2 (CC.cc cm 1 2)
+
+let test_cc_three_cpus () =
+  (* cpu0 and cpu2 run line 1; cpu1 runs line 2.
+     CC(1,2) = Σ_{m≠n} min(F(Pm,1),F(Pn,2))
+             = min(F0(1),F1(2)) + min(F2(1),F1(2)) = 1 + 1 = 2. *)
+  let samples = [ s 0 10 1; s 2 15 1; s 1 20 2 ] in
+  let cm = CC.compute ~interval:100 samples in
+  check_int "CC over cpu pairs" 2 (CC.cc cm 1 2)
+
+let test_cc_top_and_merge () =
+  let samples = [ s 0 10 1; s 1 11 2; s 0 20 1; s 1 21 2; s 0 30 3; s 1 31 4 ] in
+  let cm = CC.compute ~interval:100 samples in
+  (match CC.top cm ~k:1 with
+  | [ ((1, 2), v) ] -> check_int "hottest pair value" (CC.cc cm 1 2) v
+  | _ -> Alcotest.fail "unexpected top pair");
+  let doubled = CC.merge cm cm in
+  check_int "merge doubles" (2 * CC.cc cm 1 2) (CC.cc doubled 1 2)
+
+let prop_cc_symmetric_nonneg =
+  QCheck2.Test.make ~name:"CC is symmetric and non-negative" ~count:100
+    QCheck2.Gen.(
+      list_size (int_range 0 120)
+        (let* cpu = int_range 0 3 in
+         let* itc = int_range 0 2000 in
+         let* line = int_range 1 6 in
+         return (cpu, itc, line)))
+    (fun triples ->
+      let samples = List.map (fun (c, t, l) -> s c t l) triples in
+      let cm = CC.compute ~interval:250 samples in
+      let lines = [ 1; 2; 3; 4; 5; 6 ] in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b -> CC.cc cm a b >= 0 && CC.cc cm a b = CC.cc cm b a)
+            lines)
+        lines)
+
+let prop_cc_monotone =
+  QCheck2.Test.make ~name:"adding samples never decreases CC" ~count:60
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 60)
+           (triple (int_range 0 3) (int_range 0 1000) (int_range 1 4)))
+        (list_size (int_range 0 60)
+           (triple (int_range 0 3) (int_range 0 1000) (int_range 1 4))))
+    (fun (base, extra) ->
+      let mk l = List.map (fun (c, t, ln) -> s c t ln) l in
+      let cm1 = CC.compute ~interval:250 (mk base) in
+      let cm2 = CC.compute ~interval:250 (mk (base @ extra)) in
+      let lines = [ 1; 2; 3; 4 ] in
+      List.for_all
+        (fun a -> List.for_all (fun b -> CC.cc cm2 a b >= CC.cc cm1 a b) lines)
+        lines)
+
+(* ------------------------------------------------------------------ *)
+(* FMF *)
+
+let fmf_src =
+  {|
+struct S { long a; long b; long c; };
+void f(struct S *s, int n) {
+  s->a = s->b + 1;
+  x = s->c;
+}
+|}
+
+let test_fmf () =
+  let p = Typecheck.check (Parser.parse_program ~file:"t.mc" fmf_src) in
+  let fmf = Fmf.of_program p in
+  (* line 4: write a, read b; line 5: read c *)
+  let at4 = Fmf.fields_at fmf ~line:4 ~struct_name:"S" in
+  Alcotest.(check (list (pair string bool)))
+    "line 4" [ ("a", true); ("b", false) ]
+    (List.sort compare at4);
+  let at5 = Fmf.fields_at fmf ~line:5 ~struct_name:"S" in
+  Alcotest.(check (list (pair string bool))) "line 5" [ ("c", false) ] at5;
+  Alcotest.(check (list int)) "lines accessing S" [ 4; 5 ]
+    (Fmf.lines_accessing fmf ~struct_name:"S");
+  Alcotest.(check bool) "writes a at 4" true
+    (Fmf.writes_field_at fmf ~line:4 ~struct_name:"S" ~field:"a");
+  Alcotest.(check bool) "no write at 5" false
+    (Fmf.writes_field_at fmf ~line:5 ~struct_name:"S" ~field:"c")
+
+(* ------------------------------------------------------------------ *)
+(* CycleLoss *)
+
+let test_cycle_loss_requires_write () =
+  let p = Typecheck.check (Parser.parse_program ~file:"t.mc" fmf_src) in
+  let fmf = Fmf.of_program p in
+  (* Concurrency between line 4 (writes a, reads b) and line 5 (reads c):
+     loss(a,c) > 0 (write on one side); loss(b,c) = 0 (both reads). *)
+  let samples = [ s 0 10 4; s 1 12 5; s 0 110 4; s 1 113 5 ] in
+  let cm = CC.compute ~interval:100 samples in
+  let loss = Cycle_loss.compute ~cm ~fmf ~struct_name:"S" in
+  Alcotest.(check bool) "a-c positive" true (Cycle_loss.loss loss "a" "c" > 0.0);
+  checkf "b-c zero (read-read)" 0.0 (Cycle_loss.loss loss "b" "c");
+  checkf "diagonal zero" 0.0 (Cycle_loss.loss loss "a" "a");
+  checkf "symmetric" (Cycle_loss.loss loss "a" "c") (Cycle_loss.loss loss "c" "a")
+
+let test_cycle_loss_same_line_fields () =
+  (* a and b are accessed on the same source line with a write: concurrent
+     execution of that line on two cpus creates loss(a,b). *)
+  let p = Typecheck.check (Parser.parse_program ~file:"t.mc" fmf_src) in
+  let fmf = Fmf.of_program p in
+  let samples = [ s 0 10 4; s 1 12 4 ] in
+  let cm = CC.compute ~interval:100 samples in
+  let loss = Cycle_loss.compute ~cm ~fmf ~struct_name:"S" in
+  Alcotest.(check bool) "a-b loss from diagonal" true
+    (Cycle_loss.loss loss "a" "b" > 0.0)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_cc_symmetric_nonneg; prop_cc_monotone ]
+
+let suites =
+  [
+    ( "concurrency.samples",
+      [
+        Alcotest.test_case "binning" `Quick test_bin_basic;
+        Alcotest.test_case "validation" `Quick test_bin_validation;
+      ] );
+    ( "concurrency.cc",
+      [
+        Alcotest.test_case "hand computed" `Quick test_cc_hand_computed;
+        Alcotest.test_case "same cpu excluded" `Quick test_cc_same_cpu_excluded;
+        Alcotest.test_case "diagonal" `Quick test_cc_diagonal;
+        Alcotest.test_case "interval isolation" `Quick test_cc_intervals_isolate;
+        Alcotest.test_case "accumulation" `Quick test_cc_accumulates_over_intervals;
+        Alcotest.test_case "three cpus" `Quick test_cc_three_cpus;
+        Alcotest.test_case "top/merge" `Quick test_cc_top_and_merge;
+      ] );
+    ( "concurrency.fmf",
+      [ Alcotest.test_case "field mapping" `Quick test_fmf ] );
+    ( "concurrency.cycle_loss",
+      [
+        Alcotest.test_case "write filter" `Quick test_cycle_loss_requires_write;
+        Alcotest.test_case "same-line loss" `Quick test_cycle_loss_same_line_fields;
+      ] );
+    ("concurrency.properties", props);
+  ]

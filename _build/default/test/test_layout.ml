@@ -1,0 +1,211 @@
+(* Tests for Slo_layout: field descriptors and layout computation. *)
+
+module Ast = Slo_ir.Ast
+module Field = Slo_layout.Field
+module Layout = Slo_layout.Layout
+
+let check_int = Alcotest.(check int)
+let fld ?(count = 1) name prim = Field.make ~name ~prim ~count ()
+
+let test_field_sizes () =
+  check_int "char" 1 (Field.size (fld "a" Ast.Char));
+  check_int "short" 2 (Field.size (fld "a" Ast.Short));
+  check_int "int" 4 (Field.size (fld "a" Ast.Int));
+  check_int "long" 8 (Field.size (fld "a" Ast.Long));
+  check_int "double" 8 (Field.size (fld "a" Ast.Double));
+  check_int "ptr" 8 (Field.size (fld "a" Ast.Ptr));
+  check_int "array size" 24 (Field.size (fld ~count:3 "a" Ast.Long));
+  check_int "array align" 8 (Field.align (fld ~count:3 "a" Ast.Long));
+  Alcotest.check_raises "bad count"
+    (Invalid_argument "Field.make: count must be positive") (fun () ->
+      ignore (fld ~count:0 "a" Ast.Int))
+
+let test_c_padding () =
+  (* char, long, int, short: classic padding pattern. *)
+  let l =
+    Layout.of_fields ~struct_name:"S"
+      [ fld "c" Ast.Char; fld "l" Ast.Long; fld "i" Ast.Int; fld "s" Ast.Short ]
+  in
+  check_int "c at 0" 0 (Layout.offset_of l "c");
+  check_int "l at 8" 8 (Layout.offset_of l "l");
+  check_int "i at 16" 16 (Layout.offset_of l "i");
+  check_int "s at 20" 20 (Layout.offset_of l "s");
+  check_int "size padded to align" 24 l.Layout.size;
+  check_int "align" 8 l.Layout.align;
+  check_int "padding bytes" 9 (Layout.padding_bytes l);
+  Layout.check_invariants l
+
+let test_packed_no_padding () =
+  let l = Layout.of_fields ~struct_name:"S" [ fld "a" Ast.Long; fld "b" Ast.Long ] in
+  check_int "no padding" 0 (Layout.padding_bytes l);
+  check_int "size" 16 l.Layout.size
+
+let test_of_struct_declaration_order () =
+  let p =
+    Slo_ir.Typecheck.check
+      (Slo_ir.Parser.parse_program ~file:"t"
+         "struct S { int a; char b; long c; };")
+  in
+  let l = Layout.of_struct (Option.get (Ast.find_struct p "S")) in
+  Alcotest.(check (list string)) "declaration order" [ "a"; "b"; "c" ]
+    (Layout.field_names l);
+  check_int "c aligned" 8 (Layout.offset_of l "c")
+
+let test_duplicates_rejected () =
+  Alcotest.check_raises "duplicate names"
+    (Invalid_argument "Layout: duplicate field \"a\"") (fun () ->
+      ignore (Layout.of_fields ~struct_name:"S" [ fld "a" Ast.Int; fld "a" Ast.Long ]))
+
+let test_of_clusters () =
+  let l =
+    Layout.of_clusters ~struct_name:"S" ~line_size:64
+      [ [ fld "a" Ast.Long; fld "b" Ast.Long ]; [ fld "c" Ast.Long ];
+        [ fld "d" Ast.Char ] ]
+  in
+  check_int "a line 0" 0 (Layout.cache_line_of l ~line_size:64 "a");
+  check_int "c line 1" 1 (Layout.cache_line_of l ~line_size:64 "c");
+  check_int "d line 2" 2 (Layout.cache_line_of l ~line_size:64 "d");
+  check_int "size = whole lines" 192 l.Layout.size;
+  Alcotest.(check bool) "a,b colocated" true (Layout.same_line l ~line_size:64 "a" "b");
+  Alcotest.(check bool) "b,c separated" false (Layout.same_line l ~line_size:64 "b" "c");
+  Layout.check_invariants l
+
+let test_of_segments () =
+  let l =
+    Layout.of_segments ~struct_name:"S" ~line_size:64
+      [
+        Layout.Line_start [ fld "a" Ast.Long ];
+        Layout.Packed [ fld "b" Ast.Long ];
+        Layout.Line_start [ fld "c" Ast.Long ];
+        Layout.Packed [ fld "d" Ast.Long ];
+      ]
+  in
+  (* b continues on a's line; c starts fresh; d continues on c's line. *)
+  check_int "a at 0" 0 (Layout.offset_of l "a");
+  check_int "b at 8" 8 (Layout.offset_of l "b");
+  check_int "c at 64" 64 (Layout.offset_of l "c");
+  check_int "d at 72" 72 (Layout.offset_of l "d");
+  Layout.check_invariants l
+
+let test_reorder () =
+  let l = Layout.of_fields ~struct_name:"S" [ fld "a" Ast.Long; fld "b" Ast.Int ] in
+  let r = Layout.reorder l ~order:[ "b"; "a" ] in
+  check_int "b first" 0 (Layout.offset_of r "b");
+  check_int "a aligned after" 8 (Layout.offset_of r "a");
+  Alcotest.check_raises "incomplete order"
+    (Invalid_argument "Layout.reorder: order does not cover all fields")
+    (fun () -> ignore (Layout.reorder l ~order:[ "a" ]))
+
+let test_lines_and_straddle () =
+  let l =
+    Layout.of_fields ~struct_name:"S" [ fld ~count:20 "big" Ast.Long; fld "x" Ast.Long ]
+  in
+  check_int "lines" 2 (Layout.lines_used l ~line_size:128);
+  Alcotest.(check bool) "big straddles" true (Layout.straddles_line l ~line_size:128 "big");
+  Alcotest.(check bool) "x does not" false (Layout.straddles_line l ~line_size:128 "x");
+  Alcotest.(check (list string)) "fields on line 1" [ "x" ]
+    (List.map (fun (f : Field.t) -> f.Field.name) (Layout.fields_on_line l ~line_size:128 1))
+
+let test_packed_size () =
+  (* extent up to the last byte, no tail padding: c@0, l@8, i@16..19 *)
+  check_int "respects alignment" 20
+    (Layout.packed_size [ fld "c" Ast.Char; fld "l" Ast.Long; fld "i" Ast.Int ]);
+  check_int "empty" 0 (Layout.packed_size [])
+
+let test_equal_order () =
+  let l1 = Layout.of_fields ~struct_name:"S" [ fld "a" Ast.Long; fld "b" Ast.Int ] in
+  let l2 = Layout.of_fields ~struct_name:"S" [ fld "a" Ast.Long; fld "b" Ast.Int ] in
+  let l3 = Layout.of_fields ~struct_name:"S" [ fld "b" Ast.Int; fld "a" Ast.Long ] in
+  Alcotest.(check bool) "equal" true (Layout.equal_order l1 l2);
+  Alcotest.(check bool) "different" false (Layout.equal_order l1 l3)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_invariants =
+  QCheck2.Test.make ~name:"of_fields always satisfies invariants" ~count:300
+    Gen.fields (fun fields ->
+      let l = Layout.of_fields ~struct_name:"S" fields in
+      Layout.check_invariants l;
+      true)
+
+let prop_size_bounds =
+  QCheck2.Test.make ~name:"size within [sum, sum + n*align] bounds" ~count:300
+    Gen.fields (fun fields ->
+      let l = Layout.of_fields ~struct_name:"S" fields in
+      let content = List.fold_left (fun a f -> a + Field.size f) 0 fields in
+      l.Layout.size >= content
+      && l.Layout.size <= content + (8 * (List.length fields + 1)))
+
+let prop_clusters_line_aligned =
+  QCheck2.Test.make ~name:"of_clusters: every cluster starts a fresh line"
+    ~count:200
+    QCheck2.Gen.(
+      let* fields = Gen.fields in
+      let* cuts = int_range 1 4 in
+      return (fields, cuts))
+    (fun (fields, cuts) ->
+      (* split into [cuts] contiguous non-empty chunks *)
+      let n = List.length fields in
+      let size = max 1 (n / cuts) in
+      let rec split i acc rest =
+        match rest with
+        | [] -> List.rev acc
+        | _ ->
+          let chunk = List.filteri (fun j _ -> j < size) rest in
+          let rest' = List.filteri (fun j _ -> j >= size) rest in
+          split (i + 1) (chunk :: acc) rest'
+      in
+      let clusters = List.filter (( <> ) []) (split 0 [] fields) in
+      let l = Layout.of_clusters ~struct_name:"S" ~line_size:128 clusters in
+      Layout.check_invariants l;
+      List.for_all
+        (fun cluster ->
+          let first = (List.hd cluster).Field.name in
+          Layout.offset_of l first mod 128 = 0)
+        clusters)
+
+let prop_reorder_identity =
+  QCheck2.Test.make ~name:"reorder to same order is identity" ~count:200
+    Gen.fields (fun fields ->
+      let l = Layout.of_fields ~struct_name:"S" fields in
+      Layout.equal_order l (Layout.reorder l ~order:(Layout.field_names l)))
+
+let prop_same_line_consistent =
+  QCheck2.Test.make ~name:"same_line agrees with cache_line_of" ~count:200
+    Gen.fields (fun fields ->
+      let l = Layout.of_fields ~struct_name:"S" fields in
+      let names = Layout.field_names l in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              Layout.same_line l ~line_size:128 a b
+              = (Layout.cache_line_of l ~line_size:128 a
+                 = Layout.cache_line_of l ~line_size:128 b))
+            names)
+        names)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_invariants; prop_size_bounds; prop_clusters_line_aligned;
+      prop_reorder_identity; prop_same_line_consistent ]
+
+let suites =
+  [
+    ( "layout.basics",
+      [
+        Alcotest.test_case "field sizes" `Quick test_field_sizes;
+        Alcotest.test_case "C padding" `Quick test_c_padding;
+        Alcotest.test_case "packed" `Quick test_packed_no_padding;
+        Alcotest.test_case "of_struct" `Quick test_of_struct_declaration_order;
+        Alcotest.test_case "duplicates" `Quick test_duplicates_rejected;
+        Alcotest.test_case "of_clusters" `Quick test_of_clusters;
+        Alcotest.test_case "of_segments" `Quick test_of_segments;
+        Alcotest.test_case "reorder" `Quick test_reorder;
+        Alcotest.test_case "lines/straddle" `Quick test_lines_and_straddle;
+        Alcotest.test_case "packed_size" `Quick test_packed_size;
+        Alcotest.test_case "equal_order" `Quick test_equal_order;
+      ] );
+    ("layout.properties", props);
+  ]

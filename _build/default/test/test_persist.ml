@@ -1,0 +1,117 @@
+(* Tests for the persistence layer (profile + samples files). *)
+
+module Persist = Slo_persist.Persist
+module Counts = Slo_profile.Counts
+module Sample = Slo_concurrency.Sample
+
+let check_int = Alcotest.(check int)
+
+let mk_counts () =
+  let c = Counts.create () in
+  Counts.bump_block ~n:7 c ~proc:"f" ~block:0;
+  Counts.bump_block ~n:3 c ~proc:"g g" ~block:2;
+  Counts.bump_edge ~n:5 c ~proc:"f" ~src:0 ~dst:1;
+  Counts.bump_field ~n:4 c ~proc:"f" ~block:0 ~struct_name:"S" ~field:"a%b"
+    ~is_write:false;
+  Counts.bump_field ~n:2 c ~proc:"f" ~block:0 ~struct_name:"S" ~field:"a%b"
+    ~is_write:true;
+  c
+
+let test_counts_roundtrip () =
+  let c = mk_counts () in
+  let c' = Persist.counts_of_string (Persist.counts_to_string c) in
+  check_int "block f/0" 7 (Counts.block_count c' ~proc:"f" ~block:0);
+  check_int "block with space in name" 3 (Counts.block_count c' ~proc:"g g" ~block:2);
+  check_int "edge" 5 (Counts.edge_count c' ~proc:"f" ~src:0 ~dst:1);
+  let rw = Counts.field_rw c' ~proc:"f" ~block:0 ~struct_name:"S" ~field:"a%b" in
+  check_int "reads (percent in name)" 4 rw.Counts.reads;
+  check_int "writes" 2 rw.Counts.writes
+
+let test_counts_file_roundtrip () =
+  let path = Filename.temp_file "slo_test" ".prof" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Persist.save_counts ~path (mk_counts ());
+      let c' = Persist.load_counts ~path in
+      check_int "file round trip" 7 (Counts.block_count c' ~proc:"f" ~block:0))
+
+let test_counts_parse_errors () =
+  let expect_error s =
+    match Persist.counts_of_string s with
+    | exception Persist.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("parsed invalid profile: " ^ s)
+  in
+  expect_error "";
+  expect_error "wrong-header\nblock f 0 1";
+  expect_error "slo-profile 1\nblock f zero 1";
+  expect_error "slo-profile 1\nbogus f 0 1"
+
+let test_samples_roundtrip () =
+  let samples =
+    [ { Sample.cpu = 0; itc = 100; line = 42 };
+      { Sample.cpu = 3; itc = 250; line = 7 } ]
+  in
+  let s' = Persist.samples_of_string (Persist.samples_to_string samples) in
+  Alcotest.(check int) "count" 2 (List.length s');
+  Alcotest.(check bool) "identical" true (s' = samples)
+
+let test_samples_file_roundtrip () =
+  let path = Filename.temp_file "slo_test" ".samples" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let samples = [ { Sample.cpu = 1; itc = 5; line = 9 } ] in
+      Persist.save_samples ~path samples;
+      Alcotest.(check bool) "file round trip" true
+        (Persist.load_samples ~path = samples))
+
+let test_real_profile_roundtrip () =
+  (* The kernel's whole profile must survive a round trip. *)
+  let c = Slo_workload.Collect.profile () in
+  let c' = Persist.counts_of_string (Persist.counts_to_string c) in
+  List.iter
+    (fun struct_name ->
+      let a = Counts.field_totals c ~struct_name in
+      let b = Counts.field_totals c' ~struct_name in
+      Alcotest.(check bool) (struct_name ^ " totals equal") true (a = b))
+    Slo_workload.Kernel.struct_names
+
+let prop_samples_roundtrip =
+  QCheck2.Test.make ~name:"samples round trip" ~count:100
+    QCheck2.Gen.(
+      list_size (int_range 0 50)
+        (let* cpu = int_range 0 127 in
+         let* itc = int_range 0 1_000_000 in
+         let* line = int_range 0 10_000 in
+         return { Sample.cpu; itc; line }))
+    (fun samples ->
+      Persist.samples_of_string (Persist.samples_to_string samples) = samples)
+
+let prop_encode_roundtrip =
+  QCheck2.Test.make ~name:"counts round trip with arbitrary proc names"
+    ~count:100
+    QCheck2.Gen.(pair (string_size (int_range 1 12)) (int_range 1 1000))
+    (fun (proc, n) ->
+      if String.contains proc '\000' then QCheck2.assume_fail ()
+      else begin
+        let c = Counts.create () in
+        Counts.bump_block ~n c ~proc ~block:1;
+        let c' = Persist.counts_of_string (Persist.counts_to_string c) in
+        Counts.block_count c' ~proc ~block:1 = n
+      end)
+
+let suites =
+  [
+    ( "persist",
+      [
+        Alcotest.test_case "counts round trip" `Quick test_counts_roundtrip;
+        Alcotest.test_case "counts file" `Quick test_counts_file_roundtrip;
+        Alcotest.test_case "parse errors" `Quick test_counts_parse_errors;
+        Alcotest.test_case "samples round trip" `Quick test_samples_roundtrip;
+        Alcotest.test_case "samples file" `Quick test_samples_file_roundtrip;
+        Alcotest.test_case "kernel profile round trip" `Quick test_real_profile_roundtrip;
+        QCheck_alcotest.to_alcotest prop_samples_roundtrip;
+        QCheck_alcotest.to_alcotest prop_encode_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,256 @@
+(* Tests for Slo_profile: the run-to-completion interpreter and counts. *)
+
+module Ast = Slo_ir.Ast
+module Cfg = Slo_ir.Cfg
+module Parser = Slo_ir.Parser
+module Typecheck = Slo_ir.Typecheck
+module Interp = Slo_profile.Interp
+module Counts = Slo_profile.Counts
+module Prng = Slo_util.Prng
+
+let check_int = Alcotest.(check int)
+
+let parse_tc src = Typecheck.check (Parser.parse_program ~file:"t.mc" src)
+
+let run ?counts src proc args =
+  let p = parse_tc src in
+  let ctx = Interp.make_ctx p in
+  let prng = Prng.create ~seed:5 in
+  let inst = Interp.make_instance p ~struct_name:"S" in
+  Interp.run ctx ?counts ~prng ~proc (Interp.Ainst inst :: args);
+  (p, inst)
+
+let struct_s = "struct S { long a; long b; long arr[4]; };\n"
+
+let test_store_load () =
+  let src = struct_s ^ "void f(struct S *s) { s->a = 41; s->b = s->a + 1; }" in
+  let _, inst = run src "f" [] in
+  check_int "a" 41 (Interp.get_field inst ~field:"a" ());
+  check_int "b" 42 (Interp.get_field inst ~field:"b" ())
+
+let test_loop_arithmetic () =
+  let src =
+    struct_s
+    ^ "void f(struct S *s, int n) { for (i = 0; i < n; i++) { s->a = s->a + i; } }"
+  in
+  let _, inst = run src "f" [ Interp.Aint 10 ] in
+  check_int "sum 0..9" 45 (Interp.get_field inst ~field:"a" ())
+
+let test_array_access () =
+  let src =
+    struct_s
+    ^ "void f(struct S *s, int n) {\n\
+       for (i = 0; i < n; i++) { s->arr[i] = i * 2; }\n\
+       s->a = s->arr[3];\n\
+       }"
+  in
+  let _, inst = run src "f" [ Interp.Aint 4 ] in
+  check_int "arr[2]" 4 (Interp.get_field inst ~field:"arr" ~index:2 ());
+  check_int "a = arr[3]" 6 (Interp.get_field inst ~field:"a" ())
+
+let test_call_semantics () =
+  let src =
+    struct_s
+    ^ "void inc(struct S *s, int k) { s->a = s->a + k; }\n\
+       void f(struct S *s) { inc(s, 5); inc(s, 7); }"
+  in
+  let _, inst = run src "f" [] in
+  check_int "a" 12 (Interp.get_field inst ~field:"a" ())
+
+let test_conditionals () =
+  let src =
+    struct_s
+    ^ "void f(struct S *s, int n) {\n\
+       if (n % 2 == 0) { s->a = 1; } else { s->b = 1; }\n\
+       }"
+  in
+  let _, i1 = run src "f" [ Interp.Aint 4 ] in
+  check_int "even -> a" 1 (Interp.get_field i1 ~field:"a" ());
+  check_int "even -> b untouched" 0 (Interp.get_field i1 ~field:"b" ());
+  let _, i2 = run src "f" [ Interp.Aint 3 ] in
+  check_int "odd -> b" 1 (Interp.get_field i2 ~field:"b" ())
+
+let test_runtime_errors () =
+  let expect_error src args =
+    match run src "f" args with
+    | exception Interp.Runtime_error _ -> ()
+    | _ -> Alcotest.fail "runtime error not raised"
+  in
+  expect_error (struct_s ^ "void f(struct S *s, int n) { s->a = 1 / n; }")
+    [ Interp.Aint 0 ];
+  expect_error (struct_s ^ "void f(struct S *s, int n) { s->arr[n] = 1; }")
+    [ Interp.Aint 9 ];
+  expect_error (struct_s ^ "void f(struct S *s, int n) { x = rand(n); }")
+    [ Interp.Aint 0 ]
+
+let test_rand_determinism () =
+  let src = struct_s ^ "void f(struct S *s) { s->a = rand(1000); }" in
+  let _, i1 = run src "f" [] in
+  let _, i2 = run src "f" [] in
+  check_int "same seed, same rand"
+    (Interp.get_field i1 ~field:"a" ())
+    (Interp.get_field i2 ~field:"a" ())
+
+(* ------------------------------------------------------------------ *)
+(* Counts *)
+
+let test_block_counts () =
+  let counts = Counts.create () in
+  let src =
+    struct_s
+    ^ "void f(struct S *s, int n) { for (i = 0; i < n; i++) { s->a = i; } }"
+  in
+  let _ = run ~counts src "f" [ Interp.Aint 7 ] in
+  check_int "entry once" 1 (Counts.proc_entry_count counts ~proc:"f");
+  (* Find the loop body block via its field write. *)
+  let p = parse_tc src in
+  let cfg = List.assoc "f" (Cfg.of_program p) in
+  let acc = List.hd (Cfg.accesses cfg) in
+  check_int "body runs n times" 7
+    (Counts.block_count counts ~proc:"f" ~block:acc.Cfg.a_block)
+
+let test_field_counts () =
+  let counts = Counts.create () in
+  let src =
+    struct_s
+    ^ "void f(struct S *s, int n) {\n\
+       for (i = 0; i < n; i++) { s->b = s->a + s->b; }\n\
+       }"
+  in
+  let _ = run ~counts src "f" [ Interp.Aint 5 ] in
+  let totals = Counts.field_totals counts ~struct_name:"S" in
+  let rw name = List.assoc name totals in
+  check_int "a reads" 5 (rw "a").Counts.reads;
+  check_int "a writes" 0 (rw "a").Counts.writes;
+  check_int "b reads" 5 (rw "b").Counts.reads;
+  check_int "b writes" 5 (rw "b").Counts.writes
+
+let test_edge_flow_conservation () =
+  (* For every non-entry, non-exit block: in-flow = out-flow = count. *)
+  let counts = Counts.create () in
+  let src =
+    struct_s
+    ^ "void f(struct S *s, int n) {\n\
+       for (i = 0; i < n; i++) {\n\
+       if (i % 2 == 0) { s->a = i; } else { s->b = i; }\n\
+       }\n\
+       }"
+  in
+  let _ = run ~counts src "f" [ Interp.Aint 9 ] in
+  let p = parse_tc src in
+  let cfg = List.assoc "f" (Cfg.of_program p) in
+  Array.iter
+    (fun (blk : Cfg.block) ->
+      let out_flow =
+        List.fold_left
+          (fun acc dst ->
+            acc + Counts.edge_count counts ~proc:"f" ~src:blk.Cfg.b_id ~dst)
+          0 (Cfg.successors blk)
+      in
+      let count = Counts.block_count counts ~proc:"f" ~block:blk.Cfg.b_id in
+      if Cfg.successors blk <> [] then
+        check_int
+          (Printf.sprintf "flow conservation at B%d" blk.Cfg.b_id)
+          count out_flow)
+    cfg.Cfg.blocks
+
+let test_counts_merge () =
+  let c1 = Counts.create () and c2 = Counts.create () in
+  Counts.bump_block c1 ~proc:"f" ~block:0;
+  Counts.bump_block c2 ~proc:"f" ~block:0;
+  Counts.bump_block c2 ~proc:"f" ~block:1;
+  Counts.bump_field c1 ~proc:"f" ~block:0 ~struct_name:"S" ~field:"a" ~is_write:true;
+  Counts.bump_field c2 ~proc:"f" ~block:0 ~struct_name:"S" ~field:"a" ~is_write:false;
+  let m = Counts.merge c1 c2 in
+  check_int "blocks sum" 2 (Counts.block_count m ~proc:"f" ~block:0);
+  check_int "other block" 1 (Counts.block_count m ~proc:"f" ~block:1);
+  let rw = Counts.field_rw m ~proc:"f" ~block:0 ~struct_name:"S" ~field:"a" in
+  check_int "merged reads" 1 rw.Counts.reads;
+  check_int "merged writes" 1 rw.Counts.writes
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_interp_total =
+  QCheck2.Test.make ~name:"random programs run to completion with counts"
+    ~count:60
+    (Gen.minic_program ())
+    (fun src ->
+      match parse_tc src with
+      | exception _ -> QCheck2.assume_fail ()
+      | p ->
+        let counts = Counts.create () in
+        let ctx = Interp.make_ctx p in
+        let prng = Prng.create ~seed:1 in
+        let inst = Interp.make_instance p ~struct_name:"G" in
+        List.iter
+          (fun (pd : Ast.proc_decl) ->
+            Interp.run ctx ~counts ~prng ~proc:pd.Ast.pd_name
+              [ Interp.Ainst inst; Interp.Aint 3 ])
+          p.Ast.procs;
+        (* every proc entry counted exactly once *)
+        List.for_all
+          (fun (pd : Ast.proc_decl) ->
+            Counts.proc_entry_count counts ~proc:pd.Ast.pd_name >= 1)
+          p.Ast.procs)
+
+let prop_flow_conservation =
+  QCheck2.Test.make ~name:"edge counts conserve flow on random programs"
+    ~count:60
+    (Gen.minic_program ())
+    (fun src ->
+      match parse_tc src with
+      | exception _ -> QCheck2.assume_fail ()
+      | p ->
+        let counts = Counts.create () in
+        let ctx = Interp.make_ctx p in
+        let prng = Prng.create ~seed:2 in
+        let inst = Interp.make_instance p ~struct_name:"G" in
+        List.iter
+          (fun (pd : Ast.proc_decl) ->
+            Interp.run ctx ~counts ~prng ~proc:pd.Ast.pd_name
+              [ Interp.Ainst inst; Interp.Aint 3 ])
+          p.Ast.procs;
+        List.for_all
+          (fun (pd : Ast.proc_decl) ->
+            let proc = pd.Ast.pd_name in
+            let cfg = List.assoc proc (Cfg.of_program p) in
+            Array.for_all
+              (fun (blk : Cfg.block) ->
+                match Cfg.successors blk with
+                | [] -> true
+                | succs ->
+                  let out_flow =
+                    List.fold_left
+                      (fun acc dst ->
+                        acc + Counts.edge_count counts ~proc ~src:blk.Cfg.b_id ~dst)
+                      0 succs
+                  in
+                  out_flow = Counts.block_count counts ~proc ~block:blk.Cfg.b_id)
+              cfg.Cfg.blocks)
+          p.Ast.procs)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_interp_total; prop_flow_conservation ]
+
+let suites =
+  [
+    ( "profile.interp",
+      [
+        Alcotest.test_case "store/load" `Quick test_store_load;
+        Alcotest.test_case "loop arithmetic" `Quick test_loop_arithmetic;
+        Alcotest.test_case "arrays" `Quick test_array_access;
+        Alcotest.test_case "calls" `Quick test_call_semantics;
+        Alcotest.test_case "conditionals" `Quick test_conditionals;
+        Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
+        Alcotest.test_case "rand determinism" `Quick test_rand_determinism;
+      ] );
+    ( "profile.counts",
+      [
+        Alcotest.test_case "block counts" `Quick test_block_counts;
+        Alcotest.test_case "field counts" `Quick test_field_counts;
+        Alcotest.test_case "flow conservation" `Quick test_edge_flow_conservation;
+        Alcotest.test_case "merge" `Quick test_counts_merge;
+      ] );
+    ("profile.properties", props);
+  ]

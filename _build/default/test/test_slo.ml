@@ -1,0 +1,9 @@
+(* Test entry point: aggregates every module's suites. *)
+
+let () =
+  Alcotest.run "slo"
+    (Test_util.suites @ Test_graph.suites @ Test_ir.suites @ Test_layout.suites
+   @ Test_profile.suites @ Test_affinity.suites @ Test_sim.suites
+   @ Test_concurrency.suites @ Test_core.suites @ Test_globals.suites
+   @ Test_persist.suites
+   @ Test_workload.suites)

@@ -1,0 +1,314 @@
+(* Tests for Slo_util: Prng, Stats, Heap. *)
+
+module Prng = Slo_util.Prng
+module Stats = Slo_util.Stats
+module Heap = Slo_util.Heap
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if Prng.next_int64 a <> Prng.next_int64 b then distinct := true
+  done;
+  Alcotest.(check bool) "streams differ" true !distinct
+
+let test_prng_copy () =
+  let a = Prng.create ~seed:9 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a)
+    (Prng.next_int64 b)
+
+let test_prng_split () =
+  let a = Prng.create ~seed:5 in
+  let b = Prng.split a in
+  (* The split stream and the parent must not be identical. *)
+  let same = ref true in
+  for _ = 1 to 8 do
+    if Prng.next_int64 a <> Prng.next_int64 b then same := false
+  done;
+  Alcotest.(check bool) "split independent" false !same
+
+let test_prng_bounds () =
+  let t = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int t 0))
+
+let test_prng_float () =
+  let t = Prng.create ~seed:4 in
+  for _ = 1 to 1000 do
+    let v = Prng.float t 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_choose_shuffle () =
+  let t = Prng.create ~seed:6 in
+  let arr = [| 1; 2; 3; 4; 5 |] in
+  for _ = 1 to 50 do
+    let v = Prng.choose t arr in
+    Alcotest.(check bool) "chosen from array" true (Array.exists (( = ) v) arr)
+  done;
+  let arr2 = Array.init 20 (fun i -> i) in
+  Prng.shuffle t arr2;
+  let sorted = Array.copy arr2 in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation"
+    (Array.init 20 (fun i -> i))
+    sorted
+
+let test_prng_geometric () =
+  let t = Prng.create ~seed:7 in
+  let v = Prng.geometric t ~p:1.0 in
+  check_int "p=1 gives 0" 0 v;
+  let total = ref 0 in
+  for _ = 1 to 1000 do
+    total := !total + Prng.geometric t ~p:0.5
+  done;
+  (* Mean of Geometric(0.5) failures is 1. *)
+  Alcotest.(check bool) "mean near 1" true (!total > 700 && !total < 1300)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_mean_median () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "median even" 2.5 (Stats.median [ 1.0; 2.0; 3.0; 4.0 ]);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty list")
+    (fun () -> ignore (Stats.mean []))
+
+let test_variance () =
+  check_float "variance" 2.0 (Stats.variance [ 1.0; 2.0; 3.0; 4.0; 5.0 ]);
+  check_float "stddev" (sqrt 2.0) (Stats.stddev [ 1.0; 2.0; 3.0; 4.0; 5.0 ])
+
+let test_percentile () =
+  let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
+  check_float "p0" 10.0 (Stats.percentile xs ~p:0.0);
+  check_float "p100" 40.0 (Stats.percentile xs ~p:1.0);
+  check_float "p50" 25.0 (Stats.percentile xs ~p:0.5);
+  check_float "single" 5.0 (Stats.percentile [ 5.0 ] ~p:0.75)
+
+let test_outliers () =
+  let xs = [ 10.0; 11.0; 9.0; 10.5; 9.5; 100.0 ] in
+  let kept = Stats.remove_outliers xs in
+  Alcotest.(check bool) "outlier removed" false (List.mem 100.0 kept);
+  check_int "kept the rest" 5 (List.length kept);
+  (* trimmed mean is the mean of the kept points *)
+  check_float "trimmed mean" (Stats.mean kept) (Stats.trimmed_mean xs);
+  (* short lists pass through *)
+  Alcotest.(check (list (float 0.0))) "singleton" [ 4.0 ] (Stats.remove_outliers [ 4.0 ])
+
+let test_geometric_mean () =
+  check_float "geomean" 4.0 (Stats.geometric_mean [ 2.0; 8.0 ]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geometric_mean: non-positive value") (fun () ->
+      ignore (Stats.geometric_mean [ 1.0; 0.0 ]))
+
+let test_spearman () =
+  check_float "perfect" 1.0 (Stats.spearman [ 1.0; 2.0; 3.0 ] [ 10.0; 20.0; 30.0 ]);
+  check_float "reversed" (-1.0) (Stats.spearman [ 1.0; 2.0; 3.0 ] [ 3.0; 2.0; 1.0 ]);
+  (* monotone transformations don't change rank correlation *)
+  check_float "monotone invariant" 1.0
+    (Stats.spearman [ 1.0; 2.0; 3.0; 4.0 ] [ 1.0; 100.0; 1000.0; 10000.0 ])
+
+let test_speedup () =
+  check_float "+10%" 10.0 (Stats.speedup_percent ~baseline:100.0 ~measured:110.0);
+  check_float "-50%" (-50.0) (Stats.speedup_percent ~baseline:100.0 ~measured:50.0)
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h ~priority:p p) [ 5; 1; 4; 1; 3; 9; 0 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list int)) "sorted drain" [ 0; 1; 1; 3; 4; 5; 9 ] (drain [])
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  Heap.push h ~priority:1 "a";
+  Heap.push h ~priority:1 "b";
+  Heap.push h ~priority:1 "c";
+  let pop1 = Heap.pop h in
+  let pop2 = Heap.pop h in
+  let pop3 = Heap.pop h in
+  let vals =
+    List.map (function Some (_, v) -> v | None -> "?") [ pop1; pop2; pop3 ]
+  in
+  Alcotest.(check (list string)) "FIFO on equal priorities" [ "a"; "b"; "c" ] vals
+
+let test_heap_basics () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option (pair int int))) "pop empty" None (Heap.pop h);
+  Heap.push h ~priority:2 20;
+  Heap.push h ~priority:1 10;
+  Alcotest.(check (option (pair int int))) "peek min" (Some (1, 10)) (Heap.peek h);
+  check_int "size" 2 (Heap.size h)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_median_bounded =
+  QCheck2.Test.make ~name:"median lies within min/max" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 30) (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      let m = Stats.median xs in
+      m >= List.fold_left min infinity xs && m <= List.fold_left max neg_infinity xs)
+
+let prop_outliers_subset =
+  QCheck2.Test.make ~name:"remove_outliers returns a non-empty subset" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 30) (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      let kept = Stats.remove_outliers xs in
+      kept <> [] && List.for_all (fun x -> List.mem x xs) kept)
+
+let prop_spearman_range =
+  QCheck2.Test.make ~name:"spearman in [-1, 1]" ~count:200
+    QCheck2.Gen.(
+      let* n = int_range 2 20 in
+      let* xs = list_size (return n) (float_range (-100.0) 100.0) in
+      let* ys = list_size (return n) (float_range (-100.0) 100.0) in
+      return (xs, ys))
+    (fun (xs, ys) ->
+      let r = Stats.spearman xs ys in
+      r >= -1.0000001 && r <= 1.0000001)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 50) (int_range (-100) 100))
+    (fun xs ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h ~priority:p p) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let prop_prng_int_range =
+  QCheck2.Test.make ~name:"Prng.int respects bounds" ~count:200
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 1 1000))
+    (fun (seed, bound) ->
+      let t = Prng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Prng.int t bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let props = List.map QCheck_alcotest.to_alcotest
+  [ prop_median_bounded; prop_outliers_subset; prop_spearman_range;
+    prop_heap_sorts; prop_prng_int_range ]
+
+let suites =
+  [
+    ( "util.prng",
+      [
+        Alcotest.test_case "determinism" `Quick test_prng_determinism;
+        Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+        Alcotest.test_case "copy" `Quick test_prng_copy;
+        Alcotest.test_case "split" `Quick test_prng_split;
+        Alcotest.test_case "int bounds" `Quick test_prng_bounds;
+        Alcotest.test_case "float bounds" `Quick test_prng_float;
+        Alcotest.test_case "choose/shuffle" `Quick test_prng_choose_shuffle;
+        Alcotest.test_case "geometric" `Quick test_prng_geometric;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "mean/median" `Quick test_mean_median;
+        Alcotest.test_case "variance" `Quick test_variance;
+        Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "outliers" `Quick test_outliers;
+        Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+        Alcotest.test_case "spearman" `Quick test_spearman;
+        Alcotest.test_case "speedup" `Quick test_speedup;
+      ] );
+    ( "util.heap",
+      [
+        Alcotest.test_case "sorted drain" `Quick test_heap_order;
+        Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "basics" `Quick test_heap_basics;
+      ] );
+    ("util.properties", props);
+  ]
+
+(* Additional properties *)
+
+let prop_percentile_monotone =
+  QCheck2.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 30) (float_range (-100.0) 100.0))
+        (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+    (fun (xs, (p1, p2)) ->
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Stats.percentile xs ~p:lo <= Stats.percentile xs ~p:hi +. 1e-9)
+
+let prop_trimmed_mean_bounded =
+  QCheck2.Test.make ~name:"trimmed mean lies within data range" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 30) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let m = Stats.trimmed_mean xs in
+      m >= List.fold_left min infinity xs -. 1e-9
+      && m <= List.fold_left max neg_infinity xs +. 1e-9)
+
+let prop_heap_interleaved =
+  QCheck2.Test.make ~name:"heap pop is always the minimum of live elements"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 60) (option (int_range (-50) 50)))
+    (fun ops ->
+      (* Some n = push n; None = pop *)
+      let h = Heap.create () in
+      let live = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some n ->
+            Heap.push h ~priority:n n;
+            live := n :: !live;
+            true
+          | None -> (
+            match Heap.pop h with
+            | None -> !live = []
+            | Some (_, v) ->
+              let m = List.fold_left min max_int !live in
+              live :=
+                (let removed = ref false in
+                 List.filter
+                   (fun x ->
+                     if x = v && not !removed then begin
+                       removed := true;
+                       false
+                     end
+                     else true)
+                   !live);
+              v = m))
+        ops)
+
+let suites =
+  suites
+  @ [
+      ( "util.more-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_percentile_monotone; prop_trimmed_mean_bounded;
+            prop_heap_interleaved ] );
+    ]
