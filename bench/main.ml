@@ -7,6 +7,12 @@
      dune exec bench/main.exe              # everything (a few minutes)
      dune exec bench/main.exe -- fig8      # one section
      dune exec bench/main.exe -- quick     # smaller machines / fewer runs
+     dune exec bench/main.exe -- --jobs 4  # parallel simulator runs
+
+   --jobs N (or SLO_JOBS=N; default Domain.recommended_domain_count) fans
+   independent simulator runs and per-struct analyses across a domain
+   pool. Results are byte-identical for every N — the `smoke` section and
+   test/test_exec.ml verify exactly that.
 
    Absolute numbers are simulator cycles, not HP hardware; the shapes (who
    wins, by what factor, where effects vanish) are the reproduction target.
@@ -25,11 +31,30 @@ module Code_concurrency = Slo_concurrency.Code_concurrency
 module Parser = Slo_ir.Parser
 module Typecheck = Slo_ir.Typecheck
 module Stats = Slo_util.Stats
+module Pool = Slo_exec.Pool
 
 let quick = ref false
+let jobs = ref 0 (* 0 = SLO_JOBS / Domain.recommended_domain_count *)
 
 let runs () = if !quick then 3 else 10
 let big_cpus () = if !quick then 32 else 128
+
+let effective_jobs () = if !jobs >= 1 then !jobs else Pool.default_jobs ()
+
+(* One pool for the whole bench run, created on first use; [None] when
+   running with a single job so the serial code paths stay exercised. *)
+let pool_memo = ref None
+
+let pool () =
+  match !pool_memo with
+  | Some p -> p
+  | None ->
+    let n = effective_jobs () in
+    let p = if n <= 1 then None else Some (Pool.create ~domains:n) in
+    (* join the workers on any exit path, including `exit 1` *)
+    (match p with Some p -> at_exit (fun () -> Pool.shutdown p) | None -> ());
+    pool_memo := Some p;
+    p
 
 let section title =
   Printf.printf "\n==============================================================\n";
@@ -48,7 +73,7 @@ let layouts () =
   match !layouts_memo with
   | Some l -> l
   | None ->
-    let l = Exp.analyze_all () in
+    let l = Exp.analyze_all ?pool:(pool ()) () in
     layouts_memo := Some l;
     l
 
@@ -72,7 +97,7 @@ let fig8_rows () =
   match !fig8_memo with
   | Some r -> r
   | None ->
-    let r = Exp.fig8 ~runs:(runs ()) ~cpus:(big_cpus ()) (layouts ()) in
+    let r = Exp.fig8 ~runs:(runs ()) ~cpus:(big_cpus ()) ?pool:(pool ()) (layouts ()) in
     fig8_memo := Some r;
     r
 
@@ -89,7 +114,7 @@ let run_fig8 () =
 
 let run_fig9 () =
   section "Figure 9: same layouts on the 4-way bus machine";
-  let rows = Exp.fig9 ~runs:(runs ()) (layouts ()) in
+  let rows = Exp.fig9 ~runs:(runs ()) ?pool:(pool ()) (layouts ()) in
   print_measurements "4-way bus machine" rows;
   Printf.printf
     "\nPaper shape: with cheap remote caches the false-sharing penalty\n\
@@ -110,7 +135,7 @@ let run_fig10 () =
 
 let run_gvl () =
   section "Extension: Global Variable Layout (paper §7 future work)";
-  let big, bus = Exp.gvl ~runs:(runs ()) ~cpus:(big_cpus ()) () in
+  let big, bus = Exp.gvl ~runs:(runs ()) ~cpus:(big_cpus ()) ?pool:(pool ()) () in
   Printf.printf
     "globals segment: CC-aware layout vs declaration order\n\
      %d-way machine: %+.2f%%\n4-way bus:      %+.2f%%\n" (big_cpus ()) big bus;
@@ -175,7 +200,7 @@ let run_ablation_k2 () =
   let counts = Collect.profile () in
   let samples = Collect.samples () in
   let cfg = Sdet.default_config (Topology.superdome ~cpus:(big_cpus ()) ()) in
-  let base = Sdet.measure cfg ~runs:3 in
+  let base = Sdet.measure ?pool:(pool ()) cfg ~runs:3 in
   Printf.printf "%-6s %18s %18s %10s\n" "k2" "ctr/ctr colocated"
     "ctr on hot line" "speedup";
   List.iter
@@ -184,7 +209,7 @@ let run_ablation_k2 () =
       let flg = Collect.flg ~params ~counts ~samples ~struct_name:"A" () in
       let layout = Pipeline.automatic_layout ~params flg in
       let pairs, on_hot = ctr_mistakes layout in
-      let m = Sdet.measure { cfg with overrides = [ layout ] } ~runs:3 in
+      let m = Sdet.measure ?pool:(pool ()) { cfg with overrides = [ layout ] } ~runs:3 in
       Printf.printf "%-6.1f %18d %18d %+9.2f%%\n%!" k2 pairs on_hot
         (Stats.speedup_percent ~baseline:base ~measured:m))
     [ 0.0; 0.5; 1.0; 2.0; 4.0; 8.0 ];
@@ -223,7 +248,7 @@ let run_ablation_clustering () =
   let flg = Collect.flg ~params ~counts ~samples ~struct_name:"A" () in
   let baseline_layout = Kernel.baseline_layout "A" in
   let cfg = Sdet.default_config (Topology.superdome ~cpus:(big_cpus ()) ()) in
-  let base = Sdet.measure cfg ~runs:3 in
+  let base = Sdet.measure ?pool:(pool ()) cfg ~runs:3 in
   let raw_clusters = Cluster.run ~pack_cold:false flg ~line_size:128 in
   let variants =
     [
@@ -239,7 +264,7 @@ let run_ablation_clustering () =
   Printf.printf "%-34s %8s %10s\n" "policy" "lines" "speedup";
   List.iter
     (fun (name, layout) ->
-      let m = Sdet.measure { cfg with overrides = [ layout ] } ~runs:3 in
+      let m = Sdet.measure ?pool:(pool ()) { cfg with overrides = [ layout ] } ~runs:3 in
       Printf.printf "%-34s %8d %+9.2f%%\n%!" name
         (Layout.lines_used layout ~line_size:128)
         (Stats.speedup_percent ~baseline:base ~measured:m))
@@ -257,10 +282,10 @@ let run_ablation_machines () =
   List.iter
     (fun cpus ->
       let cfg = Sdet.default_config (Topology.superdome ~cpus ()) in
-      let base = Sdet.measure cfg ~runs:3 in
+      let base = Sdet.measure ?pool:(pool ()) cfg ~runs:3 in
       let m layout =
         Stats.speedup_percent ~baseline:base
-          ~measured:(Sdet.measure { cfg with overrides = [ layout ] } ~runs:3)
+          ~measured:(Sdet.measure ?pool:(pool ()) { cfg with overrides = [ layout ] } ~runs:3)
       in
       Printf.printf "%-8d %+13.2f%% %+13.2f%%\n%!" cpus (m a.Exp.hotness)
         (m a.Exp.automatic))
@@ -271,7 +296,7 @@ let run_ablation_machines () =
 
 let run_accumulation () =
   section "§5.2: are the per-struct improvements accumulative?";
-  let acc = Exp.accumulation ~runs:(runs ()) ~cpus:(big_cpus ()) (layouts ()) in
+  let acc = Exp.accumulation ~runs:(runs ()) ~cpus:(big_cpus ()) ?pool:(pool ()) (layouts ()) in
   List.iter
     (fun (name, v) -> Printf.printf "best layout for %-4s alone: %+6.2f%%\n" name v)
     acc.Exp.acc_individual;
@@ -284,7 +309,7 @@ let run_accumulation () =
 let run_userapp () =
   section "Prediction check: an untuned user-level application";
   let module Userapp = Slo_workload.Userapp in
-  let r = Userapp.experiment ~runs:(runs ()) ~cpus:(big_cpus ()) () in
+  let r = Userapp.experiment ~runs:(runs ()) ~cpus:(big_cpus ()) ?pool:(pool ()) () in
   List.iter
     (fun (name, v) ->
       Printf.printf "tool layout for %-5s alone: %+7.2f%%\n" name v)
@@ -421,6 +446,68 @@ let run_micro () =
   List.iter benchmark tests
 
 (* ------------------------------------------------------------------ *)
+(* Differential smoke check: the parallel pipeline must be byte-identical
+   to the serial one. Runs on every `dune runtest` via the runtest-par
+   alias; exits non-zero on any divergence. *)
+
+let run_smoke () =
+  section "Smoke: parallel pipeline = serial pipeline (differential)";
+  let domains = max 2 (effective_jobs ()) in
+  let check name ok =
+    Printf.printf "  %-44s %s\n%!" name (if ok then "identical" else "MISMATCH");
+    ok
+  in
+  let results =
+    Pool.with_pool ~domains (fun p ->
+        let layout_str l = Format.asprintf "%a" Layout.pp l in
+        let serial = Exp.analyze_all () in
+        let par = Exp.analyze_all ~pool:p () in
+        let layouts_ok =
+          List.for_all2
+            (fun (a : Exp.layouts) (b : Exp.layouts) ->
+              a.Exp.struct_name = b.Exp.struct_name
+              && layout_str a.Exp.automatic = layout_str b.Exp.automatic
+              && layout_str a.Exp.hotness = layout_str b.Exp.hotness
+              && layout_str a.Exp.incremental = layout_str b.Exp.incremental)
+            serial par
+        in
+        let cfg =
+          { (Sdet.default_config (Topology.superdome ~cpus:8 ())) with
+            Sdet.reps = 6 }
+        in
+        let t_serial = Sdet.throughputs cfg ~runs:4 in
+        let t_par = Sdet.throughputs ~pool:p cfg ~runs:4 in
+        let flgs_serial =
+          Pipeline.analyze_all ~params:Collect.calibrated_params
+            ~program:(Kernel.program ()) ~counts:(Collect.profile ())
+            ~samples:[] ~struct_names:Kernel.struct_names ()
+        in
+        let flgs_par =
+          Pipeline.analyze_all ~params:Collect.calibrated_params ~pool:p
+            ~program:(Kernel.program ()) ~counts:(Collect.profile ())
+            ~samples:[] ~struct_names:Kernel.struct_names ()
+        in
+        let report_str (_, flg) =
+          Slo_core.Report.render (Pipeline.report flg)
+        in
+        let ok1 =
+          check
+            (Printf.sprintf "analyze_all layouts (%d domains)" domains)
+            layouts_ok
+        in
+        let ok2 = check "sdet cycle counts / throughputs" (t_serial = t_par) in
+        let ok3 =
+          check "FLG reports byte-identical"
+            (List.map report_str flgs_serial = List.map report_str flgs_par)
+        in
+        [ ok1; ok2; ok3 ])
+  in
+  if List.exists not results then begin
+    Printf.eprintf "smoke: parallel/serial divergence detected\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [
@@ -439,10 +526,34 @@ let all_sections =
     ("ablation-machines", run_ablation_machines);
     ("ablation-protocol", run_ablation_protocol);
     ("micro", run_micro);
+    ("smoke", run_smoke);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* --jobs N, --jobs=N, or SLO_JOBS=N in the environment *)
+  let rec parse_jobs acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        jobs := j;
+        parse_jobs acc rest
+      | Some _ | None ->
+        Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+        exit 1)
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" -> (
+      let n = String.sub a 7 (String.length a - 7) in
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        jobs := j;
+        parse_jobs acc rest
+      | Some _ | None ->
+        Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+        exit 1)
+    | a :: rest -> parse_jobs (a :: acc) rest
+  in
+  let args = parse_jobs [] args in
   let args =
     List.filter
       (fun a ->
@@ -455,8 +566,10 @@ let () =
   in
   Printf.printf
     "Structure Layout Optimization for Multithreaded Programs (CGO 2007)\n";
-  Printf.printf "benchmark harness%s\n%!"
-    (if !quick then " (quick mode)" else "");
+  Printf.printf "benchmark harness%s, %d job%s\n%!"
+    (if !quick then " (quick mode)" else "")
+    (effective_jobs ())
+    (if effective_jobs () = 1 then "" else "s");
   match args with
   | [] -> List.iter (fun (_, f) -> f ()) all_sections
   | names ->

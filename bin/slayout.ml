@@ -34,6 +34,7 @@ module Report = Slo_core.Report
 module Flg = Slo_core.Flg
 module Sgraph = Slo_graph.Sgraph
 module Prng = Slo_util.Prng
+module Pool = Slo_exec.Pool
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -422,22 +423,35 @@ let simulate_cmd =
     Term.(const run $ file_arg $ cpus_arg $ period_arg $ int_arg_t $ rounds_arg)
 
 let sdet_cmd =
-  let run cpus bus runs =
+  let run cpus bus runs jobs =
     or_die (fun () ->
         let module Exp = Slo_workload.Experiments in
         let topology =
           if bus then Topology.bus ~cpus () else Topology.superdome ~cpus ()
         in
-        Printf.printf "machine: %s\n%!" (Topology.describe topology);
-        let layouts = Exp.analyze_all () in
-        let rows = Exp.measure_machine ~runs topology layouts in
-        Printf.printf "%-8s %12s %12s %12s\n" "struct" "automatic" "hotness"
-          "incremental";
-        List.iter
-          (fun (m : Exp.measurement) ->
-            Printf.printf "%-8s %+11.2f%% %+11.2f%% %+11.2f%%\n" m.Exp.m_struct
-              m.Exp.m_automatic m.Exp.m_hotness m.Exp.m_incremental)
-          rows)
+        let domains =
+          match jobs with Some n when n >= 1 -> n | _ -> Pool.default_jobs ()
+        in
+        Printf.printf "machine: %s (%d job%s)\n%!" (Topology.describe topology)
+          domains
+          (if domains = 1 then "" else "s");
+        let with_jobs f =
+          (* domains = 1 keeps the serial code path (no pool at all) so the
+             two paths stay observably interchangeable from the CLI *)
+          if domains <= 1 then f None
+          else Pool.with_pool ~domains (fun p -> f (Some p))
+        in
+        with_jobs (fun pool ->
+            let layouts = Exp.analyze_all ?pool () in
+            let rows = Exp.measure_machine ~runs ?pool topology layouts in
+            Printf.printf "%-8s %12s %12s %12s\n" "struct" "automatic" "hotness"
+              "incremental";
+            List.iter
+              (fun (m : Exp.measurement) ->
+                Printf.printf "%-8s %+11.2f%% %+11.2f%% %+11.2f%%\n"
+                  m.Exp.m_struct m.Exp.m_automatic m.Exp.m_hotness
+                  m.Exp.m_incremental)
+              rows))
   in
   let bus_flag =
     Arg.(value & flag & info [ "bus" ] ~doc:"bus topology instead of Superdome")
@@ -450,9 +464,19 @@ let sdet_cmd =
   let cpus_arg =
     Arg.(value & opt int 32 & info [ "cpus" ] ~docv:"N" ~doc:"machine size")
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "worker domains for parallel simulator runs (default: \
+             $(b,SLO_JOBS) if set, else the recommended domain count). \
+             Results are identical for every N.")
+  in
   Cmd.v
     (Cmd.info "sdet" ~doc:"run the built-in SDET-like kernel benchmark")
-    Term.(const run $ cpus_arg $ bus_flag $ runs_arg)
+    Term.(const run $ cpus_arg $ bus_flag $ runs_arg $ jobs_arg)
 
 let () =
   let doc = "structure layout optimization for multithreaded programs" in

@@ -45,6 +45,17 @@ let analyze ?(params = default_params) ~program ~counts ~samples ~struct_name ()
   in
   Flg.build ~k1:params.k1 ~k2:params.k2 ~fields ~affinity ?cycle_loss ()
 
+let analyze_all ?params ?pool ~program ~counts ~samples ~struct_names () =
+  let run name =
+    (name, analyze ?params ~program ~counts ~samples ~struct_name:name ())
+  in
+  (* One task per struct: FLG construction shares nothing across structs
+     (counts and samples are read-only inputs), so the fan-out is safe and
+     the per-domain working sets stay independent. *)
+  match pool with
+  | None -> List.map run struct_names
+  | Some pool -> Slo_exec.Pool.map pool run struct_names
+
 let automatic_layout ?(params = default_params) flg =
   Cluster.automatic_layout flg ~line_size:params.line_size
 

@@ -35,6 +35,20 @@ val analyze :
 (** Build the FLG for one struct. An empty [samples] list yields a
     locality-only FLG (no CycleLoss). *)
 
+val analyze_all :
+  ?params:params ->
+  ?pool:Slo_exec.Pool.t ->
+  program:Slo_ir.Ast.program ->
+  counts:Slo_profile.Counts.t ->
+  samples:Slo_concurrency.Sample.t list ->
+  struct_names:string list ->
+  unit ->
+  (string * Flg.t) list
+(** [analyze] for every named struct, in input order. With [pool], FLG
+    construction fans out one task per struct across the pool's domains;
+    the result is guaranteed identical to the serial path (see the
+    {!Slo_exec.Pool} determinism contract). *)
+
 val automatic_layout : ?params:params -> Flg.t -> Slo_layout.Layout.t
 val hotness_layout : Flg.t -> Slo_layout.Layout.t
 

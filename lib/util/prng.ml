@@ -23,6 +23,18 @@ let split t =
   let seed = next_int64 t in
   { state = seed }
 
+let derive ~seed ~stream =
+  if stream < 0 then invalid_arg "Prng.derive: stream must be non-negative";
+  (* Jump straight to a stream-specific state: offset the seed by
+     [stream + 1] gammas and scramble. Unlike [split], the result depends
+     only on [(seed, stream)], never on how many streams were derived
+     before — the property the parallel pool's determinism contract needs. *)
+  let s =
+    Int64.add (Int64.of_int seed)
+      (Int64.mul golden_gamma (Int64.of_int (stream + 1)))
+  in
+  { state = mix64 s }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Rejection-free modulo is fine here: bounds are tiny relative to 2^62 so

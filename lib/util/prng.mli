@@ -19,6 +19,16 @@ val split : t -> t
 (** [split t] derives a new generator from [t], advancing [t]; the two
     subsequent streams are statistically independent. *)
 
+val derive : seed:int -> stream:int -> t
+(** [derive ~seed ~stream] is an independent generator determined solely by
+    the [(seed, stream)] pair — stream [i] is the same whether generators
+    were derived for streams [0..i-1] first or not, and on which domain.
+    This is the per-task stream derivation used by the parallel pool:
+    seeding task [i] with [derive ~seed ~stream:i] makes results
+    bit-identical for every worker count and scheduling order.
+    [stream] must be non-negative.
+    @raise Invalid_argument otherwise. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -12,24 +12,26 @@ type layouts = {
   incremental : Layout.t;
 }
 
-let analyze_all ?params () =
+let analyze_all ?params ?pool () =
   let params =
     match params with Some p -> p | None -> Collect.calibrated_params
   in
   let counts = Collect.profile () in
   let samples = Collect.samples () in
-  List.map
-    (fun struct_name ->
-      let flg = Collect.flg ~params ~counts ~samples ~struct_name () in
-      let baseline = Kernel.baseline_layout struct_name in
-      {
-        struct_name;
-        baseline;
-        automatic = Pipeline.automatic_layout ~params flg;
-        hotness = Pipeline.hotness_layout flg;
-        incremental = Pipeline.incremental_layout ~params flg ~baseline;
-      })
-    Kernel.struct_names
+  let analyze_one struct_name =
+    let flg = Collect.flg ~params ~counts ~samples ~struct_name () in
+    let baseline = Kernel.baseline_layout struct_name in
+    {
+      struct_name;
+      baseline;
+      automatic = Pipeline.automatic_layout ~params flg;
+      hotness = Pipeline.hotness_layout flg;
+      incremental = Pipeline.incremental_layout ~params flg ~baseline;
+    }
+  in
+  match pool with
+  | None -> List.map analyze_one Kernel.struct_names
+  | Some pool -> Slo_exec.Pool.map pool analyze_one Kernel.struct_names
 
 type measurement = {
   m_struct : string;
@@ -38,11 +40,14 @@ type measurement = {
   m_incremental : float;
 }
 
-let measure_machine ?(runs = 10) topology layouts =
+let measure_machine ?(runs = 10) ?pool topology layouts =
   let cfg = Sdet.default_config topology in
-  let baseline = Sdet.measure cfg ~runs in
+  (* The per-layout loop stays serial; each measurement fans its [runs]
+     independent simulator runs across the pool (pools are not reentrant,
+     so only the inner level parallelizes). *)
+  let baseline = Sdet.measure ?pool cfg ~runs in
   let speedup candidate =
-    let m = Sdet.measure { cfg with overrides = [ candidate ] } ~runs in
+    let m = Sdet.measure ?pool { cfg with overrides = [ candidate ] } ~runs in
     Stats.speedup_percent ~baseline ~measured:m
   in
   List.map
@@ -55,11 +60,11 @@ let measure_machine ?(runs = 10) topology layouts =
       })
     layouts
 
-let fig8 ?(runs = 10) ?(cpus = 128) layouts =
-  measure_machine ~runs (Topology.superdome ~cpus ()) layouts
+let fig8 ?(runs = 10) ?(cpus = 128) ?pool layouts =
+  measure_machine ~runs ?pool (Topology.superdome ~cpus ()) layouts
 
-let fig9 ?(runs = 10) ?(cpus = 4) layouts =
-  measure_machine ~runs (Topology.bus ~cpus ()) layouts
+let fig9 ?(runs = 10) ?(cpus = 4) ?pool layouts =
+  measure_machine ~runs ?pool (Topology.bus ~cpus ()) layouts
 
 type fig10_row = { b_struct : string; b_best : float; b_which : string }
 
@@ -81,14 +86,14 @@ type accumulation = {
 let best_layout (l : layouts) (m : measurement) =
   if m.m_automatic >= m.m_incremental then l.automatic else l.incremental
 
-let accumulation ?(runs = 5) ?(cpus = 128) layouts =
+let accumulation ?(runs = 5) ?(cpus = 128) ?pool layouts =
   let cfg = Sdet.default_config (Topology.superdome ~cpus ()) in
-  let baseline = Sdet.measure cfg ~runs in
+  let baseline = Sdet.measure ?pool cfg ~runs in
   let speedup overrides =
-    let m = Sdet.measure { cfg with overrides } ~runs in
+    let m = Sdet.measure ?pool { cfg with overrides } ~runs in
     Stats.speedup_percent ~baseline ~measured:m
   in
-  let rows = measure_machine ~runs (Topology.superdome ~cpus ()) layouts in
+  let rows = measure_machine ~runs ?pool (Topology.superdome ~cpus ()) layouts in
   let individual =
     List.map2
       (fun l m -> (l.struct_name, speedup [ best_layout l m ]))
@@ -103,7 +108,7 @@ let accumulation ?(runs = 5) ?(cpus = 128) layouts =
     acc_combined = combined;
   }
 
-let gvl ?(runs = 5) ?(cpus = 128) () =
+let gvl ?(runs = 5) ?(cpus = 128) ?pool () =
   let counts = Collect.profile () in
   let samples = Collect.samples () in
   let params = Collect.calibrated_params in
@@ -115,9 +120,9 @@ let gvl ?(runs = 5) ?(cpus = 128) () =
   let measure topology =
     let cfg = Sdet.default_config topology in
     (* the naive declaration-order segment is the reference *)
-    let naive = Sdet.measure { cfg with overrides = [ declared ] } ~runs in
+    let naive = Sdet.measure ?pool { cfg with overrides = [ declared ] } ~runs in
     let speedup layout =
-      let m = Sdet.measure { cfg with overrides = [ layout ] } ~runs in
+      let m = Sdet.measure ?pool { cfg with overrides = [ layout ] } ~runs in
       Stats.speedup_percent ~baseline:naive ~measured:m
     in
     (speedup auto, speedup hand)

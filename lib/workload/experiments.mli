@@ -13,8 +13,11 @@ type layouts = {
   incremental : Slo_layout.Layout.t;
 }
 
-val analyze_all : ?params:Slo_core.Pipeline.params -> unit -> layouts list
-(** Run the collection + analysis pipeline for every kernel struct. *)
+val analyze_all :
+  ?params:Slo_core.Pipeline.params -> ?pool:Slo_exec.Pool.t -> unit -> layouts list
+(** Run the collection + analysis pipeline for every kernel struct. With
+    [pool], the per-struct analysis (FLG + three layouts) fans out across
+    domains; results are identical to the serial path. *)
 
 (** Speedups (percent over the hand-tuned baseline) of the three policies
     for one struct on one machine. *)
@@ -26,15 +29,25 @@ type measurement = {
 }
 
 val measure_machine :
-  ?runs:int -> Slo_sim.Topology.t -> layouts list -> measurement list
+  ?runs:int ->
+  ?pool:Slo_exec.Pool.t ->
+  Slo_sim.Topology.t ->
+  layouts list ->
+  measurement list
 (** Measure every struct's three candidate layouts against a shared
-    baseline measurement ([runs] seeds each, trimmed mean). *)
+    baseline measurement ([runs] seeds each, trimmed mean). With [pool],
+    the [runs] independent simulator runs of each measurement execute in
+    parallel; cycle counts are bit-identical to the serial path. *)
 
-val fig8 : ?runs:int -> ?cpus:int -> layouts list -> measurement list
+val fig8 :
+  ?runs:int -> ?cpus:int -> ?pool:Slo_exec.Pool.t -> layouts list ->
+  measurement list
 (** Figure 8: automatic and sort-by-hotness layouts on the 128-way
     Superdome (scale down with [cpus] for quick tests). *)
 
-val fig9 : ?runs:int -> ?cpus:int -> layouts list -> measurement list
+val fig9 :
+  ?runs:int -> ?cpus:int -> ?pool:Slo_exec.Pool.t -> layouts list ->
+  measurement list
 (** Figure 9: the 4-way bus machine, same layouts. *)
 
 type fig10_row = {
@@ -47,7 +60,8 @@ val fig10 : measurement list -> fig10_row list
 (** Figure 10: best of automatic and incremental per struct, derived from
     the Figure 8 measurements. *)
 
-val gvl : ?runs:int -> ?cpus:int -> unit -> float * float
+val gvl :
+  ?runs:int -> ?cpus:int -> ?pool:Slo_exec.Pool.t -> unit -> float * float
 (** The GVL extension (paper §7 future work): speedup of the
     CodeConcurrency-aware globals layout over the naive declaration-order
     globals segment, on the big machine and on the 4-way bus —
@@ -59,7 +73,9 @@ type accumulation = {
   acc_combined : float;  (** gain with every best layout applied at once *)
 }
 
-val accumulation : ?runs:int -> ?cpus:int -> layouts list -> accumulation
+val accumulation :
+  ?runs:int -> ?cpus:int -> ?pool:Slo_exec.Pool.t -> layouts list ->
+  accumulation
 (** §5.2's closing observation: the per-struct improvements "are not
     accumulative" on a highly tuned kernel. Applies every struct's best
     layout simultaneously and compares against the sum of the individual

@@ -229,15 +229,25 @@ let source =
      }\n";
   Buffer.contents buf
 
+(* The memo is read from worker domains (every parallel simulator run and
+   FLG build starts here), so it must be domain-safe: a mutex both avoids
+   duplicate parses and gives the publication ordering a plain ref lacks
+   under the OCaml 5 memory model. *)
 let program =
   let memo = ref None in
+  let m = Mutex.create () in
   fun () ->
-    match !memo with
-    | Some p -> p
-    | None ->
-      let p = Typecheck.check (Parser.parse_program ~file:"kernel.mc" source) in
-      memo := Some p;
-      p
+    Mutex.lock m;
+    let p =
+      match !memo with
+      | Some p -> p
+      | None ->
+        let p = Typecheck.check (Parser.parse_program ~file:"kernel.mc" source) in
+        memo := Some p;
+        p
+    in
+    Mutex.unlock m;
+    p
 
 (* ----------------------------------------------------------------- *)
 (* Layouts *)

@@ -140,13 +140,20 @@ let trace_oracle cfg =
     ~resolve:(Machine.resolve_addr machine)
     ~line_size:Kernel.line_size result.Machine.trace
 
-let throughputs cfg ~runs =
-  List.init runs (fun i ->
-      Machine.throughput (run_once { cfg with seed = cfg.seed + i }))
+let throughputs ?pool cfg ~runs =
+  (* Each run builds its own machine from an explicit seed, so runs are
+     fully independent; the pool fans them out one machine per task. The
+     seed list (and hence the result list) is identical to the serial
+     List.init path for every pool size. *)
+  let seeds = List.init runs (fun i -> cfg.seed + i) in
+  let run seed = Machine.throughput (run_once { cfg with seed }) in
+  match pool with
+  | None -> List.map run seeds
+  | Some pool -> Slo_exec.Pool.map pool run seeds
 
-let measure cfg ~runs = Stats.trimmed_mean (throughputs cfg ~runs)
+let measure ?pool cfg ~runs = Stats.trimmed_mean (throughputs ?pool cfg ~runs)
 
-let speedup_percent cfg ~runs ~candidate =
-  let baseline = measure { cfg with overrides = [] } ~runs in
-  let measured = measure { cfg with overrides = [ candidate ] } ~runs in
+let speedup_percent ?pool cfg ~runs ~candidate =
+  let baseline = measure ?pool { cfg with overrides = [] } ~runs in
+  let measured = measure ?pool { cfg with overrides = [ candidate ] } ~runs in
   Stats.speedup_percent ~baseline ~measured

@@ -49,13 +49,19 @@ val trace_oracle : config -> Slo_sim.Trace_oracle.t
     {!Slo_sim.Trace_oracle} — the measured-false-sharing oracle of the
     paper's §3 discussion. *)
 
-val throughputs : config -> runs:int -> float list
-(** [runs] independent runs with seeds [seed, seed+1, ...]. *)
+val throughputs : ?pool:Slo_exec.Pool.t -> config -> runs:int -> float list
+(** [runs] independent runs with seeds [seed, seed+1, ...]. With [pool],
+    runs execute in parallel (one self-contained machine per domain task);
+    the list is bit-identical to the serial result for every pool size. *)
 
-val measure : config -> runs:int -> float
+val measure : ?pool:Slo_exec.Pool.t -> config -> runs:int -> float
 (** Outlier-trimmed mean throughput over [runs] runs. *)
 
 val speedup_percent :
-  config -> runs:int -> candidate:Slo_layout.Layout.t -> float
+  ?pool:Slo_exec.Pool.t ->
+  config ->
+  runs:int ->
+  candidate:Slo_layout.Layout.t ->
+  float
 (** Percent throughput change when [candidate] replaces the baseline layout
     of its struct (the paper's Figures 8-10 metric). *)

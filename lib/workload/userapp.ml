@@ -90,15 +90,23 @@ void tick(int n) {
 }
 |}
 
+(* Domain-safe memo, same reasoning as [Kernel.program]: worker domains of
+   the parallel pool may race to the first parse. *)
 let program =
   let memo = ref None in
+  let m = Mutex.create () in
   fun () ->
-    match !memo with
-    | Some p -> p
-    | None ->
-      let p = Typecheck.check (Parser.parse_program ~file:"userapp.mc" source) in
-      memo := Some p;
-      p
+    Mutex.lock m;
+    let p =
+      match !memo with
+      | Some p -> p
+      | None ->
+        let p = Typecheck.check (Parser.parse_program ~file:"userapp.mc" source) in
+        memo := Some p;
+        p
+    in
+    Mutex.unlock m;
+    p
 
 (* ------------------------------------------------------------------ *)
 (* Driver: [cpus] workers; connections are shared between one scanner and
@@ -150,10 +158,13 @@ let run_once cfg =
   done;
   Machine.run machine
 
-let measure cfg ~runs =
+let measure ?pool cfg ~runs =
+  let seeds = List.init runs (fun i -> cfg.seed + i) in
+  let run seed = Machine.throughput (run_once { cfg with seed }) in
   Stats.trimmed_mean
-    (List.init runs (fun i ->
-         Machine.throughput (run_once { cfg with seed = cfg.seed + i })))
+    (match pool with
+    | None -> List.map run seeds
+    | Some pool -> Slo_exec.Pool.map pool run seeds)
 
 (* ------------------------------------------------------------------ *)
 
@@ -195,7 +206,7 @@ let collect_data ~cpus:_ () =
   in
   (counts, samples)
 
-let experiment ?(runs = 5) ?(cpus = 128) () =
+let experiment ?(runs = 5) ?(cpus = 128) ?pool () =
   let p = program () in
   let params = Collect.calibrated_params in
   let counts, samples = collect_data ~cpus () in
@@ -215,10 +226,10 @@ let experiment ?(runs = 5) ?(cpus = 128) () =
       sample_period = None;
     }
   in
-  let baseline = measure cfg ~runs in
+  let baseline = measure ?pool cfg ~runs in
   let speedup overrides =
     Stats.speedup_percent ~baseline
-      ~measured:(measure { cfg with overrides } ~runs)
+      ~measured:(measure ?pool { cfg with overrides } ~runs)
   in
   let per_struct =
     List.map (fun name -> (name, layout_for name)) struct_names

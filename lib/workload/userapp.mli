@@ -33,5 +33,7 @@ type result = {
   u_combined : float;  (** everything applied at once *)
 }
 
-val experiment : ?runs:int -> ?cpus:int -> unit -> result
-(** Analyze with the calibrated pipeline parameters and measure. *)
+val experiment :
+  ?runs:int -> ?cpus:int -> ?pool:Slo_exec.Pool.t -> unit -> result
+(** Analyze with the calibrated pipeline parameters and measure. With
+    [pool], the independent measurement runs execute in parallel. *)
