@@ -1,0 +1,40 @@
+(* Artifact schema check: `check_json FILE KEY...` parses FILE with the
+   in-tree JSON parser and requires every KEY as a top-level object member.
+   Run by the @runtest-obs alias against the smoke-section artifact and the
+   manifest, so `dune runtest` fails if the bench JSON output regresses. *)
+
+module Json = Slo_obs.Json
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: check_json FILE [KEY ...]";
+    exit 2
+  end;
+  let path = Sys.argv.(1) in
+  let contents =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Printf.eprintf "check_json: %s\n" msg;
+      exit 1
+  in
+  match Json.of_string contents with
+  | Error msg ->
+    Printf.eprintf "check_json: %s: invalid JSON: %s\n" path msg;
+    exit 1
+  | Ok j ->
+    let missing = ref [] in
+    for i = Array.length Sys.argv - 1 downto 2 do
+      let key = Sys.argv.(i) in
+      if Json.member j key = None then missing := key :: !missing
+    done;
+    if !missing <> [] then begin
+      Printf.eprintf "check_json: %s: missing top-level keys: %s\n" path
+        (String.concat ", " !missing);
+      exit 1
+    end;
+    Printf.printf "check_json: %s: ok (%d keys)\n" path
+      (Array.length Sys.argv - 2)

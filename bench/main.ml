@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- fig8      # one section
      dune exec bench/main.exe -- quick     # smaller machines / fewer runs
      dune exec bench/main.exe -- --jobs 4  # parallel simulator runs
+     dune exec bench/main.exe -- --json b.json   # JSON artifacts + manifest
 
    --jobs N (or SLO_JOBS=N; default Domain.recommended_domain_count) fans
    independent simulator runs and per-struct analyses across a domain
@@ -32,14 +33,108 @@ module Parser = Slo_ir.Parser
 module Typecheck = Slo_ir.Typecheck
 module Stats = Slo_util.Stats
 module Pool = Slo_exec.Pool
+module Obs = Slo_obs.Obs
+module Json = Slo_obs.Json
 
 let quick = ref false
 let jobs = ref 0 (* 0 = SLO_JOBS / Domain.recommended_domain_count *)
+let json_path = ref None (* --json PATH: manifest path; artifacts go next to it *)
 
 let runs () = if !quick then 3 else 10
 let big_cpus () = if !quick then 32 else 128
 
 let effective_jobs () = if !jobs >= 1 then !jobs else Pool.default_jobs ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON bench artifacts (--json PATH). Each section writes
+   BENCH_<section>.json beside PATH with its data rows plus a metrics
+   snapshot; PATH itself gets a manifest listing what was written.
+   Artifacts exist to be diffed across commits — see EXPERIMENTS.md. *)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  with Sys_error _ | End_of_file -> None
+
+let git_rev () =
+  (* Sandboxed dune actions have no .git; SLO_GIT_REV overrides, and
+     "unknown" is an honest fallback the schema checker accepts. *)
+  match Sys.getenv_opt "SLO_GIT_REV" with
+  | Some r when r <> "" -> r
+  | _ -> (
+    match read_file ".git/HEAD" with
+    | None -> "unknown"
+    | Some s -> (
+      let s = String.trim s in
+      if String.length s > 5 && String.sub s 0 5 = "ref: " then
+        match read_file (Filename.concat ".git" (String.sub s 5 (String.length s - 5))) with
+        | Some c when String.trim c <> "" -> String.trim c
+        | Some _ | None -> "unknown"
+      else if s <> "" then s
+      else "unknown"))
+
+let artifacts = ref [] (* (section, path), reverse run order *)
+
+let pool_json () =
+  (* On a 1-core box (or --jobs 1) no parallel batch runs; the serial
+     path is trivially fully busy, so utilization defaults to 1.0. *)
+  let utilization =
+    match Obs.gauge "pool.utilization" with Some u -> u | None -> 1.0
+  in
+  Json.Obj
+    [
+      ("jobs", Json.Int (effective_jobs ()));
+      ("tasks", Json.Int (Obs.counter "pool.tasks"));
+      ("batches", Json.Int (Obs.counter "pool.batches"));
+      ("utilization", Json.Float utilization);
+    ]
+
+let write_json path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.pretty j))
+
+let write_artifact ~section:name ~wall data =
+  match !json_path with
+  | None -> ()
+  | Some manifest ->
+    let path =
+      Filename.concat (Filename.dirname manifest) ("BENCH_" ^ name ^ ".json")
+    in
+    write_json path
+      (Json.Obj
+         [
+           ("schema", Json.Str "slo-bench/1");
+           ("section", Json.Str name);
+           ("git_rev", Json.Str (git_rev ()));
+           ("jobs", Json.Int (effective_jobs ()));
+           ("quick", Json.Bool !quick);
+           ("wall_s", Json.Float wall);
+           ("data", data);
+           ("metrics", Obs.to_json ());
+           ("pool", pool_json ());
+         ]);
+    artifacts := (name, path) :: !artifacts
+
+let write_manifest () =
+  match !json_path with
+  | None -> ()
+  | Some manifest ->
+    let arts = List.rev !artifacts in
+    write_json manifest
+      (Json.Obj
+         [
+           ("schema", Json.Str "slo-bench-manifest/1");
+           ("git_rev", Json.Str (git_rev ()));
+           ("jobs", Json.Int (effective_jobs ()));
+           ("quick", Json.Bool !quick);
+           ("sections", Json.List (List.map (fun (n, _) -> Json.Str n) arts));
+           ("artifacts", Json.List (List.map (fun (_, p) -> Json.Str p) arts));
+         ])
 
 (* One pool for the whole bench run, created on first use; [None] when
    running with a single job so the serial code paths stay exercised. *)
@@ -91,6 +186,25 @@ let print_measurements title rows =
      runs)\n%!"
     title (runs ())
 
+let measurements_json ~cpus rows =
+  Json.Obj
+    [
+      ("cpus", Json.Int cpus);
+      ("runs", Json.Int (runs ()));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (m : Exp.measurement) ->
+               Json.Obj
+                 [
+                   ("struct", Json.Str m.Exp.m_struct);
+                   ("automatic_pct", Json.Float m.Exp.m_automatic);
+                   ("hotness_pct", Json.Float m.Exp.m_hotness);
+                   ("incremental_pct", Json.Float m.Exp.m_incremental);
+                 ])
+             rows) );
+    ]
+
 let fig8_memo = ref None
 
 let fig8_rows () =
@@ -110,7 +224,8 @@ let run_fig8 () =
   Printf.printf
     "\nPaper shape: struct A degrades >2X under sort-by-hotness but only a\n\
      few %% under the FLG layout; B-E see small effects, with hotness\n\
-     marginally ahead on some locality-dominated structs.\n%!"
+     marginally ahead on some locality-dominated structs.\n%!";
+  measurements_json ~cpus:(big_cpus ()) (fig8_rows ())
 
 let run_fig9 () =
   section "Figure 9: same layouts on the 4-way bus machine";
@@ -118,7 +233,8 @@ let run_fig9 () =
   print_measurements "4-way bus machine" rows;
   Printf.printf
     "\nPaper shape: with cheap remote caches the false-sharing penalty\n\
-     vanishes; every effect is within a few percent of baseline.\n%!"
+     vanishes; every effect is within a few percent of baseline.\n%!";
+  measurements_json ~cpus:4 rows
 
 let run_fig10 () =
   section "Figure 10: best layout per struct (automatic vs incremental)";
@@ -131,7 +247,21 @@ let run_fig10 () =
   Printf.printf
     "\nPaper shape: the incremental (important-edge subgraph) mode beats the\n\
      fully automatic layout on the huge false-sharing struct A; automatic\n\
-     wins on the locality structs; best gains are a few percent.\n%!"
+     wins on the locality structs; best gains are a few percent.\n%!";
+  Json.Obj
+    [
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (r : Exp.fig10_row) ->
+               Json.Obj
+                 [
+                   ("struct", Json.Str r.Exp.b_struct);
+                   ("best_pct", Json.Float r.Exp.b_best);
+                   ("which", Json.Str r.Exp.b_which);
+                 ])
+             rows) );
+    ]
 
 let run_gvl () =
   section "Extension: Global Variable Layout (paper §7 future work)";
@@ -142,7 +272,13 @@ let run_gvl () =
   Printf.printf
     "(expected: the declaration order interleaves per-quadrant counters\n\
      with read-mostly globals on one line; separating them pays on the\n\
-     big machine and is neutral on the bus)\n%!"
+     big machine and is neutral on the bus)\n%!";
+  Json.Obj
+    [
+      ("cpus", Json.Int (big_cpus ()));
+      ("big_pct", Json.Float big);
+      ("bus_pct", Json.Float bus);
+    ]
 
 let run_cc_stability () =
   section "§4.3: CodeConcurrency stability across machine sizes";
@@ -152,27 +288,46 @@ let run_cc_stability () =
     rho;
   Printf.printf
     "(paper: \"source line pairs with high concurrency values remain more\n\
-     or less the same in both the 4 way and 16 way machines\")\n%!"
+     or less the same in both the 4 way and 16 way machines\")\n%!";
+  Json.Obj [ ("spearman_rho", Json.Float rho) ]
 
 let run_topology () =
   section "§5.1: machine characterization (cache-to-cache transfer cycles)";
   let topo = Topology.superdome () in
   Printf.printf "%s\n" (Topology.describe topo);
-  List.iter
-    (fun (label, src, dst) ->
-      Printf.printf "  %-24s cpu%3d -> cpu%3d : %4d cycles\n" label src dst
-        (Topology.transfer_latency topo ~src ~dst))
+  let hops =
     [
       ("same chip", 0, 1);
       ("same bus", 0, 2);
       ("same cell", 0, 4);
       ("same crossbar", 0, 16);
       ("across crossbars", 0, 64);
-    ];
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, src, dst) ->
+        let cycles = Topology.transfer_latency topo ~src ~dst in
+        Printf.printf "  %-24s cpu%3d -> cpu%3d : %4d cycles\n" label src dst
+          cycles;
+        Json.Obj
+          [
+            ("hop", Json.Str label);
+            ("src", Json.Int src);
+            ("dst", Json.Int dst);
+            ("cycles", Json.Int cycles);
+          ])
+      hops
+  in
   Printf.printf "  %-24s %17s : %4d cycles\n" "memory" ""
     (Topology.memory_latency topo);
   let bus = Topology.bus () in
-  Printf.printf "%s\n%!" (Topology.describe bus)
+  Printf.printf "%s\n%!" (Topology.describe bus);
+  Json.Obj
+    [
+      ("transfers", Json.List rows);
+      ("memory_cycles", Json.Int (Topology.memory_latency topo));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablations *)
@@ -218,7 +373,8 @@ let run_ablation_k2 () =
      writers pile onto shared lines (the sort-by-hotness failure); large k2\n\
      separates everything. The default (%.1f) keeps one residual mistake —\n\
      the paper's 'greedy is suboptimal on >100 fields' result.\n%!"
-    Collect.calibrated_params.Pipeline.k2
+    Collect.calibrated_params.Pipeline.k2;
+  Json.Null
 
 let run_ablation_sampling () =
   section "Ablation 2: PMU sampling period vs layout quality (struct A)";
@@ -238,7 +394,8 @@ let run_ablation_sampling () =
   Printf.printf
     "\nExpected: sparser sampling starves CodeConcurrency of coincident\n\
      samples on short code (counter updates), so more counters get\n\
-     colocated — the cost of the paper's lightweight sampling approach.\n%!"
+     colocated — the cost of the paper's lightweight sampling approach.\n%!";
+  Json.Null
 
 let run_ablation_clustering () =
   section "Ablation 3: clustering policies on struct A";
@@ -272,7 +429,8 @@ let run_ablation_clustering () =
   Printf.printf
     "\nExpected: raw Figure-6 clustering explodes the footprint (every cold\n\
      field gets a line); cold packing fixes that; subgraph constraints\n\
-     preserve the hand layout; hotness collapses.\n%!"
+     preserve the hand layout; hotness collapses.\n%!";
+  Json.Null
 
 let run_ablation_machines () =
   section "Ablation 4: false-sharing penalty vs machine size (struct A)";
@@ -292,7 +450,8 @@ let run_ablation_machines () =
     [ 2; 8; 32; 128 ];
   Printf.printf
     "\nExpected: the naive layout's penalty grows with machine size (deeper\n\
-     topology, costlier invalidations); the FLG layout stays near baseline.\n%!"
+     topology, costlier invalidations); the FLG layout stays near baseline.\n%!";
+  Json.Null
 
 let run_accumulation () =
   section "§5.2: are the per-struct improvements accumulative?";
@@ -304,7 +463,16 @@ let run_accumulation () =
   Printf.printf "all best layouts combined:  %+6.2f%%\n" acc.Exp.acc_combined;
   Printf.printf
     "\n(paper: \"Note that these improvements are not accumulative. This can\n\
-     be explained by the highly tuned nature of the HP-UX kernel.\")\n%!"
+     be explained by the highly tuned nature of the HP-UX kernel.\")\n%!";
+  Json.Obj
+    [
+      ( "individual_pct",
+        Json.Obj
+          (List.map (fun (n, v) -> (n, Json.Float v)) acc.Exp.acc_individual)
+      );
+      ("sum_pct", Json.Float acc.Exp.acc_sum);
+      ("combined_pct", Json.Float acc.Exp.acc_combined);
+    ]
 
 let run_userapp () =
   section "Prediction check: an untuned user-level application";
@@ -321,7 +489,17 @@ let run_userapp () =
     "\n(paper §5: for programs without years of hand tuning \"the benefit of\n\
      the tool is likely to be pronounced\", and accumulation \"is not\n\
      expected to be a problem\" — gains here should be larger than the\n\
-     kernel's and roughly additive)\n%!"
+     kernel's and roughly additive)\n%!";
+  Json.Obj
+    [
+      ( "individual_pct",
+        Json.Obj
+          (List.map (fun (n, v) -> (n, Json.Float v)) r.Userapp.u_individual)
+      );
+      ("globals_pct", Json.Float r.Userapp.u_globals);
+      ("sum_pct", Json.Float r.Userapp.u_sum);
+      ("combined_pct", Json.Float r.Userapp.u_combined);
+    ]
 
 let run_oracle () =
   section "§3 discussion: trace oracle vs CodeConcurrency on struct A";
@@ -359,7 +537,8 @@ let run_oracle () =
      exhibits (the baseline's a_gen/a_mask flaw) but reports zero for the\n\
      padded counter pairs — §3's argument for why measuring false sharing\n\
      cannot drive layout, and why CodeConcurrency (which still flags those\n\
-     pairs) exists.\n%!"
+     pairs) exists.\n%!";
+  Json.Null
 
 let run_ablation_protocol () =
   section "Ablation 5: MESI vs MOESI on the SDET workload";
@@ -382,7 +561,8 @@ let run_ablation_protocol () =
   Printf.printf
     "\nExpected: identical invalidation behaviour (layout conclusions are\n\
      protocol-independent across the MESI family, as the paper assumes);\n\
-     MOESI defers dirty writebacks, cutting memory write-back traffic.\n%!"
+     MOESI defers dirty writebacks, cutting memory write-back traffic.\n%!";
+  Json.Null
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the tool's own kernels. *)
@@ -436,14 +616,21 @@ let run_micro () =
       Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
     in
     let results = Analyze.all ols instance raw in
-    Hashtbl.iter
-      (fun name ols ->
-        match Analyze.OLS.estimates ols with
-        | Some [ est ] -> Printf.printf "%-40s %14.0f ns/run\n%!" name est
-        | Some _ | None -> Printf.printf "%-40s (no estimate)\n%!" name)
-      results
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+            Printf.printf "%-40s %14.0f ns/run\n%!" name est;
+            Json.Float est
+          | Some _ | None ->
+            Printf.printf "%-40s (no estimate)\n%!" name;
+            Json.Null
+        in
+        Json.Obj [ ("name", Json.Str name); ("ns_per_run", est) ] :: acc)
+      results []
   in
-  List.iter benchmark tests
+  Json.Obj [ ("rows", Json.List (List.concat_map benchmark tests)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Differential smoke check: the parallel pipeline must be byte-identical
@@ -453,8 +640,10 @@ let run_micro () =
 let run_smoke () =
   section "Smoke: parallel pipeline = serial pipeline (differential)";
   let domains = max 2 (effective_jobs ()) in
+  let checks = ref [] in
   let check name ok =
     Printf.printf "  %-44s %s\n%!" name (if ok then "identical" else "MISMATCH");
+    checks := (name, ok) :: !checks;
     ok
   in
   let results =
@@ -505,7 +694,17 @@ let run_smoke () =
   if List.exists not results then begin
     Printf.eprintf "smoke: parallel/serial divergence detected\n";
     exit 1
-  end
+  end;
+  Json.Obj
+    [
+      ("domains", Json.Int domains);
+      ( "checks",
+        Json.List
+          (List.rev_map
+             (fun (n, ok) ->
+               Json.Obj [ ("name", Json.Str n); ("ok", Json.Bool ok) ])
+             !checks) );
+    ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -529,16 +728,21 @@ let all_sections =
     ("smoke", run_smoke);
   ]
 
+let run_section (name, f) =
+  let t0 = Obs.now () in
+  let data = f () in
+  write_artifact ~section:name ~wall:(Obs.now () -. t0) data
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* --jobs N, --jobs=N, or SLO_JOBS=N in the environment *)
-  let rec parse_jobs acc = function
+  (* --jobs N, --jobs=N, or SLO_JOBS=N in the environment; --json PATH *)
+  let rec parse_opts acc = function
     | [] -> List.rev acc
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
       | Some j when j >= 1 ->
         jobs := j;
-        parse_jobs acc rest
+        parse_opts acc rest
       | Some _ | None ->
         Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
         exit 1)
@@ -547,13 +751,22 @@ let () =
       match int_of_string_opt n with
       | Some j when j >= 1 ->
         jobs := j;
-        parse_jobs acc rest
+        parse_opts acc rest
       | Some _ | None ->
         Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
         exit 1)
-    | a :: rest -> parse_jobs (a :: acc) rest
+    | "--json" :: p :: rest ->
+      json_path := Some p;
+      parse_opts acc rest
+    | [ "--json" ] ->
+      Printf.eprintf "--json expects a path\n";
+      exit 1
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--json=" ->
+      json_path := Some (String.sub a 7 (String.length a - 7));
+      parse_opts acc rest
+    | a :: rest -> parse_opts (a :: acc) rest
   in
-  let args = parse_jobs [] args in
+  let args = parse_opts [] args in
   let args =
     List.filter
       (fun a ->
@@ -570,15 +783,16 @@ let () =
     (if !quick then " (quick mode)" else "")
     (effective_jobs ())
     (if effective_jobs () = 1 then "" else "s");
-  match args with
-  | [] -> List.iter (fun (_, f) -> f ()) all_sections
+  (match args with
+  | [] -> List.iter run_section all_sections
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name all_sections with
-        | Some f -> f ()
+        | Some f -> run_section (name, f)
         | None ->
           Printf.eprintf "unknown section %S; available: %s\n" name
             (String.concat ", " (List.map fst all_sections));
           exit 1)
-      names
+      names);
+  write_manifest ()

@@ -423,9 +423,11 @@ let simulate_cmd =
     Term.(const run $ file_arg $ cpus_arg $ period_arg $ int_arg_t $ rounds_arg)
 
 let sdet_cmd =
-  let run cpus bus runs jobs =
+  let run cpus bus runs jobs stats json_out =
     or_die (fun () ->
         let module Exp = Slo_workload.Experiments in
+        let module Obs = Slo_obs.Obs in
+        let module Json = Slo_obs.Json in
         let topology =
           if bus then Topology.bus ~cpus () else Topology.superdome ~cpus ()
         in
@@ -442,7 +444,9 @@ let sdet_cmd =
           else Pool.with_pool ~domains (fun p -> f (Some p))
         in
         with_jobs (fun pool ->
+            let t0 = Obs.now () in
             let layouts = Exp.analyze_all ?pool () in
+            let analysis_s = Obs.now () -. t0 in
             let rows = Exp.measure_machine ~runs ?pool topology layouts in
             Printf.printf "%-8s %12s %12s %12s\n" "struct" "automatic" "hotness"
               "incremental";
@@ -451,10 +455,70 @@ let sdet_cmd =
                 Printf.printf "%-8s %+11.2f%% %+11.2f%% %+11.2f%%\n"
                   m.Exp.m_struct m.Exp.m_automatic m.Exp.m_hotness
                   m.Exp.m_incremental)
-              rows))
+              rows;
+            if stats then begin
+              Printf.printf "\n--- stats ---\n";
+              Printf.printf "%-28s %12.3f s\n" "analysis wall-clock" analysis_s;
+              List.iter
+                (fun (name, v) ->
+                  if String.length name > 4 && String.sub name 0 4 = "sim." then
+                    Printf.printf "%-28s %12d\n" name v)
+                (Obs.counters ());
+              match Obs.gauge "pool.utilization" with
+              | Some u -> Printf.printf "%-28s %12.2f\n" "pool.utilization" u
+              | None -> ()
+            end;
+            match json_out with
+            | None -> ()
+            | Some path ->
+              let row_json (m : Exp.measurement) =
+                Json.Obj
+                  [
+                    ("struct", Json.Str m.Exp.m_struct);
+                    ("automatic_pct", Json.Float m.Exp.m_automatic);
+                    ("hotness_pct", Json.Float m.Exp.m_hotness);
+                    ("incremental_pct", Json.Float m.Exp.m_incremental);
+                  ]
+              in
+              let j =
+                Json.Obj
+                  [
+                    ("schema", Json.Str "slo-sdet/1");
+                    ("cpus", Json.Int cpus);
+                    ("bus", Json.Bool bus);
+                    ("runs", Json.Int runs);
+                    ("jobs", Json.Int domains);
+                    ("analysis_s", Json.Float analysis_s);
+                    ("rows", Json.List (List.map row_json rows));
+                    ("metrics", Obs.to_json ());
+                  ]
+              in
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () -> output_string oc (Json.pretty j));
+              Printf.printf "wrote %s\n" path))
   in
   let bus_flag =
     Arg.(value & flag & info [ "bus" ] ~doc:"bus topology instead of Superdome")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "after the table, print the analysis wall-clock and the \
+             simulator's cumulative counters (loads, misses, invalidations, \
+             ...) from the observability registry")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "write the measurement rows plus a full metrics snapshot as \
+             pretty-printed JSON to $(docv)")
   in
   let runs_arg =
     Arg.(
@@ -476,7 +540,9 @@ let sdet_cmd =
   in
   Cmd.v
     (Cmd.info "sdet" ~doc:"run the built-in SDET-like kernel benchmark")
-    Term.(const run $ cpus_arg $ bus_flag $ runs_arg $ jobs_arg)
+    Term.(
+      const run $ cpus_arg $ bus_flag $ runs_arg $ jobs_arg $ stats_flag
+      $ json_arg)
 
 let () =
   let doc = "structure layout optimization for multithreaded programs" in

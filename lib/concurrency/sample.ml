@@ -20,12 +20,17 @@ let cpu_freqs tbl ~line =
 
 let total_samples tbl = tbl.total
 
+(* Floor division: OCaml's [/] truncates toward zero, which would collapse
+   ITC timestamps in (-interval, 0) into bin 0 together with the early
+   positive samples, inflating CC across the zero boundary. *)
+let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
 let bin ~interval samples =
   if interval <= 0 then invalid_arg "Sample.bin: interval <= 0";
   let by_interval : (int, interval_table) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun s ->
-      let idx = s.itc / interval in
+      let idx = floor_div s.itc interval in
       let tbl =
         match Hashtbl.find_opt by_interval idx with
         | Some tbl -> tbl

@@ -24,7 +24,9 @@ val cpu_freqs : interval_table -> line:int -> (int * int) list
 
 val bin : interval:int -> t list -> interval_table list
 (** [bin ~interval samples] groups samples into intervals of [interval]
-    ticks ([itc / interval] indexing); empty intervals are omitted.
-    @raise Invalid_argument if [interval <= 0]. *)
+    ticks (floor-division indexing, so negative timestamps land in
+    negative bins rather than sharing bin 0 with early positive samples);
+    empty intervals are omitted and the tables come back in ascending
+    interval order. @raise Invalid_argument if [interval <= 0]. *)
 
 val total_samples : interval_table -> int

@@ -5,31 +5,31 @@ type cluster = { seed : string; members : Field.t list }
 
 (* find_best_match (Figure 7): the unassigned node with the largest
    strictly-positive sum of edge weights into the current cluster, among
-   nodes that still fit in the cluster's cache line. *)
-let find_best_match flg ~line_size ~members ~unassigned =
+   nodes that still fit in the cluster's cache line. [members_size] is the
+   packed size of [members], carried incrementally by the caller so that
+   the fit test is O(1) per candidate instead of re-packing the member
+   list (which made cluster growth quadratic in field count). Returns the
+   chosen name together with the cluster's new packed size. *)
+let find_best_match flg ~line_size ~members_size ~members ~unassigned =
   let member_names = List.map (fun (f : Field.t) -> f.Field.name) members in
-  let best =
-    List.fold_left
-      (fun best name ->
-        let field = Flg.field_of flg name in
-        let fits =
-          Layout.packed_size (members @ [ field ]) <= line_size
+  List.fold_left
+    (fun best name ->
+      let field = Flg.field_of flg name in
+      let size = Layout.packed_extend members_size field in
+      if size > line_size then best
+      else begin
+        let w =
+          List.fold_left
+            (fun acc m -> acc +. Flg.weight flg name m)
+            0.0 member_names
         in
-        if not fits then best
-        else begin
-          let w =
-            List.fold_left
-              (fun acc m -> acc +. Flg.weight flg name m)
-              0.0 member_names
-          in
-          match best with
-          | Some (_, bw) when bw >= w -> best
-          | _ when w > 0.0 -> Some (name, w)
-          | best -> best
-        end)
-      None unassigned
-  in
-  Option.map fst best
+        match best with
+        | Some (_, bw, _) when bw >= w -> best
+        | _ when w > 0.0 -> Some (name, w, size)
+        | best -> best
+      end)
+    None unassigned
+  |> Option.map (fun (name, _, size) -> (name, size))
 
 (* A cold singleton is a cluster whose only member has zero hotness and no
    incident FLG edges: its placement cannot change any edge weight sum. *)
@@ -51,12 +51,16 @@ let pack_cold_singletons flg ~line_size clusters =
         (fun acc c ->
           let f = List.hd c.members in
           match acc with
-          | cur :: others
-            when Layout.packed_size (cur.members @ [ f ]) <= line_size ->
-            { cur with members = cur.members @ [ f ] } :: others
-          | _ -> { seed = f.Field.name; members = [ f ] } :: acc)
+          | (cur, cur_size) :: others
+            when Layout.packed_extend cur_size f <= line_size ->
+            ( { cur with members = cur.members @ [ f ] },
+              Layout.packed_extend cur_size f )
+            :: others
+          | _ ->
+            ({ seed = f.Field.name; members = [ f ] }, Layout.packed_size [ f ])
+            :: acc)
         [] cold
-      |> List.rev
+      |> List.rev_map fst
     in
     rest @ packed
 
@@ -67,14 +71,20 @@ let run ?(pack_cold = true) flg ~line_size =
     match unassigned with
     | [] -> List.rev acc
     | seed :: rest ->
-      let rec grow members unassigned =
-        match find_best_match flg ~line_size ~members ~unassigned with
+      let rec grow members members_size unassigned =
+        match
+          find_best_match flg ~line_size ~members_size ~members ~unassigned
+        with
         | None -> (members, unassigned)
-        | Some name ->
+        | Some (name, members_size) ->
           let field = Flg.field_of flg name in
-          grow (members @ [ field ]) (List.filter (fun n -> n <> name) unassigned)
+          grow (members @ [ field ]) members_size
+            (List.filter (fun n -> n <> name) unassigned)
       in
-      let members, rest = grow [ Flg.field_of flg seed ] rest in
+      let seed_field = Flg.field_of flg seed in
+      let members, rest =
+        grow [ seed_field ] (Layout.packed_size [ seed_field ]) rest
+      in
       build_clusters rest ({ seed; members } :: acc)
   in
   let clusters = build_clusters order [] in

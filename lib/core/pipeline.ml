@@ -4,6 +4,8 @@ module Affinity_graph = Slo_affinity.Affinity_graph
 module Code_concurrency = Slo_concurrency.Code_concurrency
 module Fmf = Slo_concurrency.Fmf
 module Cycle_loss = Slo_concurrency.Cycle_loss
+module Obs = Slo_obs.Obs
+module Json = Slo_obs.Json
 
 type params = {
   k1 : float;
@@ -25,6 +27,7 @@ let default_params =
   }
 
 let analyze ?(params = default_params) ~program ~counts ~samples ~struct_name () =
+  let t0 = Obs.now () in
   let fields =
     match Ast.find_struct program struct_name with
     | Some sd -> Field.of_struct sd
@@ -32,29 +35,43 @@ let analyze ?(params = default_params) ~program ~counts ~samples ~struct_name ()
       invalid_arg (Printf.sprintf "Pipeline.analyze: unknown struct %S" struct_name)
   in
   let affinity =
-    Affinity_graph.build ~require_read:params.require_read program counts
-      ~struct_name
+    Obs.time "pipeline.affinity_s" (fun () ->
+        Affinity_graph.build ~require_read:params.require_read program counts
+          ~struct_name)
   in
   let cycle_loss =
     match samples with
     | [] -> None
     | _ ->
-      let cm = Code_concurrency.compute ~interval:params.cc_interval samples in
-      let fmf = Fmf.of_program program in
-      Some (Cycle_loss.compute ~cm ~fmf ~struct_name)
+      Obs.time "pipeline.concurrency_s" (fun () ->
+          let cm =
+            Code_concurrency.compute ~interval:params.cc_interval samples
+          in
+          let fmf = Fmf.of_program program in
+          Some (Cycle_loss.compute ~cm ~fmf ~struct_name))
   in
-  Flg.build ~k1:params.k1 ~k2:params.k2 ~fields ~affinity ?cycle_loss ()
+  let flg =
+    Obs.time "pipeline.flg_s" (fun () ->
+        Flg.build ~k1:params.k1 ~k2:params.k2 ~fields ~affinity ?cycle_loss ())
+  in
+  let dur = Obs.now () -. t0 in
+  Obs.observe "pipeline.analyze_s" dur;
+  Obs.event "pipeline.analyze"
+    [ ("struct", Json.Str struct_name); ("s", Json.Float dur) ];
+  flg
 
 let analyze_all ?params ?pool ~program ~counts ~samples ~struct_names () =
   let run name =
     (name, analyze ?params ~program ~counts ~samples ~struct_name:name ())
   in
+  Obs.set_gauge "pipeline.structs" (float_of_int (List.length struct_names));
   (* One task per struct: FLG construction shares nothing across structs
      (counts and samples are read-only inputs), so the fan-out is safe and
      the per-domain working sets stay independent. *)
-  match pool with
-  | None -> List.map run struct_names
-  | Some pool -> Slo_exec.Pool.map pool run struct_names
+  Obs.time "pipeline.analyze_all_s" (fun () ->
+      match pool with
+      | None -> List.map run struct_names
+      | Some pool -> Slo_exec.Pool.map pool run struct_names)
 
 let automatic_layout ?(params = default_params) flg =
   Cluster.automatic_layout flg ~line_size:params.line_size

@@ -9,7 +9,15 @@
     field mapping file, CycleLoss, and finally the FLG, from which the
     three layout policies are produced: automatic (greedy clustering),
     incremental (important-edge subgraph constraints on a baseline), and
-    the sort-by-hotness strawman. *)
+    the sort-by-hotness strawman.
+
+    {b Observability.} [analyze] records its phase timings into
+    {!Slo_obs.Obs.default}: histograms [pipeline.affinity_s],
+    [pipeline.concurrency_s], [pipeline.flg_s] and [pipeline.analyze_s],
+    plus one [pipeline.analyze] event per struct carrying the struct name
+    and duration; [analyze_all] adds [pipeline.analyze_all_s] and the
+    [pipeline.structs] gauge. Recording is write-only, so instrumented
+    runs stay byte-identical to uninstrumented ones. *)
 
 type params = {
   k1 : float;  (** CycleGain scale *)

@@ -1,4 +1,5 @@
 module Prng = Slo_util.Prng
+module Obs = Slo_obs.Obs
 
 (* Workers block on [work_available]; [map] enqueues one thunk per task and
    then helps drain the queue from the calling thread, so a pool of size n
@@ -77,10 +78,40 @@ let with_pool ?domains f =
   let t = create ~domains:(match domains with Some n -> n | None -> default_jobs ()) in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+(* Close one instrumented batch: totals, then utilization = busy time over
+   wall time across all lanes. Metrics are write-only (nothing reads them
+   back on this path), so the parallel results stay byte-identical to the
+   serial ones with metrics enabled. *)
+let record_batch ~domains ~tasks ~busy ~wall =
+  Obs.incr ~by:tasks "pool.tasks";
+  Obs.incr "pool.batches";
+  Obs.set_gauge "pool.domains" (float_of_int domains);
+  if wall > 0.0 then begin
+    let u = busy /. (wall *. float_of_int domains) in
+    Obs.set_gauge "pool.utilization" u;
+    Obs.observe "pool.batch.utilization_pct" (100.0 *. u)
+  end
+
 let mapi t f xs =
   if not t.alive then invalid_arg "Pool.mapi: pool is shut down";
   match (t.state, xs) with
-  | None, _ -> List.mapi f xs
+  | None, _ ->
+    let batch_t0 = Obs.now () in
+    let busy = ref 0.0 in
+    let res =
+      List.mapi
+        (fun i x ->
+          let t0 = Obs.now () in
+          let r = f i x in
+          let dur = Obs.now () -. t0 in
+          busy := !busy +. dur;
+          Obs.observe "pool.task.run_s" dur;
+          r)
+        xs
+    in
+    record_batch ~domains:1 ~tasks:(List.length xs) ~busy:!busy
+      ~wall:(Obs.now () -. batch_t0);
+    res
   | _, [] -> []
   | Some st, _ ->
     let arr = Array.of_list xs in
@@ -89,18 +120,25 @@ let mapi t f xs =
     let bm = Mutex.create () in
     let batch_done = Condition.create () in
     let remaining = ref n in
+    let busy = ref 0.0 in
     (* first-by-index exception, so the raised error does not depend on
        which worker happened to finish first *)
     let error = ref None in
+    let batch_t0 = Obs.now () in
     let task i () =
+      let t_start = Obs.now () in
+      Obs.observe "pool.task.queue_s" (t_start -. batch_t0);
       let outcome =
         try Ok (f i arr.(i))
         with e -> Error (e, Printexc.get_raw_backtrace ())
       in
+      let dur = Obs.now () -. t_start in
+      Obs.observe "pool.task.run_s" dur;
       (match outcome with
       | Ok r -> results.(i) <- Some r
       | Error _ -> ());
       Mutex.lock bm;
+      busy := !busy +. dur;
       (match outcome with
       | Ok _ -> ()
       | Error (e, bt) -> (
@@ -135,6 +173,8 @@ let mapi t f xs =
       Condition.wait batch_done bm
     done;
     Mutex.unlock bm;
+    record_batch ~domains:t.domains ~tasks:n ~busy:!busy
+      ~wall:(Obs.now () -. batch_t0);
     (match !error with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());

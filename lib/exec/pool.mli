@@ -25,7 +25,16 @@
     exception; it just stops at the first one.)
 
     Pools are not reentrant: do not call [map] on a pool from inside one of
-    its own tasks. *)
+    its own tasks.
+
+    {b Observability.} Every batch records into {!Slo_obs.Obs.default}:
+    histograms [pool.task.queue_s] (enqueue-to-start latency, parallel
+    batches only), [pool.task.run_s] (task duration) and
+    [pool.batch.utilization_pct]; counters [pool.tasks] / [pool.batches];
+    gauges [pool.domains] and [pool.utilization] (busy time over
+    wall-clock × lanes of the last batch). Metrics are write-only on this
+    path — recording them cannot perturb results, so the determinism
+    contract above holds with metrics enabled. *)
 
 type t
 

@@ -133,6 +133,8 @@ let same_line t ~line_size f1 f2 =
 
 let packed_size fields = snd (place_fields 0 fields)
 
+let packed_extend size f = round_up size (Field.align f) + Field.size f
+
 let straddles_line t ~line_size name =
   match find_slot t name with
   | None -> raise Not_found

@@ -80,6 +80,12 @@ val packed_size : Field.t list -> int
     clustering algorithm to test whether a candidate cluster still fits in a
     cache line. *)
 
+val packed_extend : int -> Field.t -> int
+(** [packed_extend (packed_size fs) f = packed_size (fs @ [f])] in O(1):
+    align the running size to [f], then add [f]'s size. Lets cluster growth
+    carry its packed size incrementally instead of re-walking the member
+    list for every candidate. *)
+
 val straddles_line : t -> line_size:int -> string -> bool
 (** Whether the field's bytes cross a line boundary. *)
 

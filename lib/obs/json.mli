@@ -1,0 +1,43 @@
+(** Minimal JSON tree, writer and parser — the serialization layer of the
+    observability subsystem.
+
+    Deliberately dependency-free: bench artifacts ([BENCH_*.json]) must be
+    producible from any entry point without pulling a JSON package into the
+    core libraries. The writer emits RFC 8259 JSON; the parser accepts what
+    the writer emits (plus standard JSON), so artifacts round-trip through
+    [of_string (to_string j) = Ok j] for trees the writer can represent.
+
+    Strings are treated as byte sequences: bytes below [0x20], the double
+    quote and the backslash are escaped, everything else passes through
+    verbatim (callers feeding UTF-8 get UTF-8 out).
+    Non-finite floats have no JSON representation and are written as
+    [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val pretty : t -> string
+(** Two-space-indented rendering, trailing newline — the artifact format
+    (artifacts are diffed across PRs, so they must be line-oriented). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error msg] carries a byte offset.
+    Numbers without [.], [e] or [E] that fit in [int] parse as [Int],
+    everything else as [Float]. Rejects trailing garbage. *)
+
+val member : t -> string -> t option
+(** [member (Obj kvs) k] is the first binding of [k]; [None] on other
+    constructors or a missing key. *)
+
+val escape_string : string -> string
+(** The writer's string encoder including the surrounding quotes (exposed
+    for tests). *)

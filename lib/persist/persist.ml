@@ -17,6 +17,15 @@ let encode s =
     s;
   Buffer.contents buf
 
+(* Strict hex only: [int_of_string_opt ("0x" ^ ...)] would also accept
+   OCaml literal quirks like underscores ("%5_", "%_1") and silently decode
+   malformed input. *)
+let hex_digit = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
 let decode line s =
   let buf = Buffer.create (String.length s) in
   let n = String.length s in
@@ -24,9 +33,9 @@ let decode line s =
     if i < n then
       if s.[i] = '%' then begin
         if i + 2 >= n then fail line "truncated %%-escape in %S" s;
-        (match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
-        | Some code -> Buffer.add_char buf (Char.chr code)
-        | None -> fail line "bad %%-escape in %S" s);
+        let hi = hex_digit s.[i + 1] and lo = hex_digit s.[i + 2] in
+        if hi < 0 || lo < 0 then fail line "bad %%-escape in %S" s;
+        Buffer.add_char buf (Char.chr ((hi * 16) + lo));
         go (i + 3)
       end
       else begin
@@ -44,6 +53,13 @@ let int_field line s =
   match int_of_string_opt s with
   | Some v -> v
   | None -> fail line "expected integer, found %S" s
+
+(* Counts and identifiers must be non-negative; a negative count would
+   silently bump the profile down instead of failing the load. *)
+let nat_field line s =
+  let v = int_field line s in
+  if v < 0 then fail line "expected non-negative integer, found %S" s;
+  v
 
 (* ------------------------------------------------------------------ *)
 (* Profile counts *)
@@ -102,19 +118,19 @@ let counts_of_string s =
         | [ "block"; proc; block; count ] ->
           let proc = decode ln proc in
           let block = int_field ln block in
-          Counts.bump_block ~n:(int_field ln count) counts ~proc ~block
+          Counts.bump_block ~n:(nat_field ln count) counts ~proc ~block
         | [ "edge"; proc; src; dst; count ] ->
           let proc = decode ln proc in
           let src = int_field ln src and dst = int_field ln dst in
-          Counts.bump_edge ~n:(int_field ln count) counts ~proc ~src ~dst
+          Counts.bump_edge ~n:(nat_field ln count) counts ~proc ~src ~dst
         | [ "field"; proc; block; struct_name; field; reads; writes ] ->
           let proc = decode ln proc in
           let block = int_field ln block in
           let struct_name = decode ln struct_name in
           let field = decode ln field in
-          Counts.bump_field ~n:(int_field ln reads) counts ~proc ~block
+          Counts.bump_field ~n:(nat_field ln reads) counts ~proc ~block
             ~struct_name ~field ~is_write:false;
-          Counts.bump_field ~n:(int_field ln writes) counts ~proc ~block
+          Counts.bump_field ~n:(nat_field ln writes) counts ~proc ~block
             ~struct_name ~field ~is_write:true
         | tok :: _ -> fail ln "unknown record kind %S" tok
         | [] -> ());
@@ -148,9 +164,11 @@ let samples_of_string s =
       else
         match split_ws line with
         | [ cpu; itc; l ] ->
+          (* cpu and line are identifiers (non-negative); itc is a signed
+             timestamp — Sample.bin floor-divides it correctly either way *)
           acc :=
-            { Sample.cpu = int_field ln cpu; itc = int_field ln itc;
-              line = int_field ln l }
+            { Sample.cpu = nat_field ln cpu; itc = int_field ln itc;
+              line = nat_field ln l }
             :: !acc
         | _ -> fail ln "expected '<cpu> <itc> <line>', found %S" line);
   if not !saw_header then fail 1 "empty samples file";

@@ -20,8 +20,11 @@
     <cpu> <itc> <line>
     v}
 
-    Identifiers are percent-encoded so procedure, struct and field names
-    may contain any byte except NUL. *)
+    Identifiers are percent-encoded (exactly two hex digits per escape) so
+    procedure, struct and field names may contain any byte except NUL.
+    Counts, reads/writes, cpu and line must be non-negative; the sample
+    [itc] is a signed timestamp. Anything else — malformed escapes
+    included — raises {!Parse_error} rather than decoding loosely. *)
 
 exception Parse_error of string * int
 (** message, 1-based line number. *)

@@ -699,12 +699,33 @@ let run t =
     t.threads;
   let makespan = Array.fold_left max 0 cpu_cycles in
   let per_cpu_stats = Array.init n (fun cpu -> Coherence.stats t.coherence ~cpu) in
+  let stats = Coherence.total_stats t.coherence in
+  (* Aggregate run counters into the process-wide registry. One bump per
+     run (not per access): the registry mutex never sits on the simulation
+     hot path, and summed counters are scheduling-independent when runs fan
+     out across a pool. *)
+  let module Obs = Slo_obs.Obs in
+  Obs.incr "sim.runs";
+  Obs.incr ~by:makespan "sim.makespan_cycles";
+  Obs.incr ~by:invocations "sim.invocations";
+  Obs.incr ~by:stats.Sim_stats.loads "sim.loads";
+  Obs.incr ~by:stats.Sim_stats.stores "sim.stores";
+  Obs.incr ~by:stats.Sim_stats.hits "sim.hits";
+  Obs.incr ~by:stats.Sim_stats.cold_misses "sim.cold_misses";
+  Obs.incr ~by:stats.Sim_stats.capacity_misses "sim.capacity_misses";
+  Obs.incr ~by:stats.Sim_stats.true_sharing_misses "sim.true_sharing_misses";
+  Obs.incr ~by:stats.Sim_stats.false_sharing_misses "sim.false_sharing_misses";
+  Obs.incr ~by:stats.Sim_stats.upgrades "sim.upgrades";
+  Obs.incr ~by:stats.Sim_stats.invalidations "sim.invalidations";
+  Obs.incr ~by:stats.Sim_stats.writebacks "sim.writebacks";
+  Obs.incr ~by:stats.Sim_stats.stall_cycles "sim.stall_cycles";
+  Obs.incr ~by:(List.length t.samples_rev) "sim.samples";
   {
     makespan;
     cpu_cycles;
     invocations;
     cpu_invocations;
-    stats = Coherence.total_stats t.coherence;
+    stats;
     per_cpu_stats;
     samples = List.rev t.samples_rev;
     trace = List.rev t.trace_rev;

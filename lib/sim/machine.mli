@@ -111,6 +111,11 @@ val add_thread : t -> cpu:int -> work:(string * arg list) list -> unit
 
 val run : t -> result
 (** Execute all threads to completion. A machine can only be run once.
+    On completion the run's aggregates are also bumped into
+    {!Slo_obs.Obs.default} as [sim.*] counters (runs, makespan_cycles,
+    invocations, loads/stores/hits, the miss breakdown, upgrades,
+    invalidations, writebacks, stall_cycles, samples) — one bump per run,
+    never on the per-access hot path, and order-independent under a pool.
     @raise Invalid_argument on re-run.
     @raise Slo_profile.Interp.Runtime_error on dynamic errors. *)
 

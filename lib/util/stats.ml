@@ -78,6 +78,9 @@ let ranks xs =
   Array.to_list rk
 
 let pearson xs ys =
+  if List.length xs <> List.length ys then
+    invalid_arg "Stats.pearson: length mismatch";
+  let xs = require_nonempty "Stats.pearson" xs in
   let mx = mean xs and my = mean ys in
   let num, dx, dy =
     List.fold_left2
@@ -95,4 +98,5 @@ let spearman xs ys =
   pearson (ranks xs) (ranks ys)
 
 let speedup_percent ~baseline ~measured =
+  if baseline = 0.0 then invalid_arg "Stats.speedup_percent: baseline is zero";
   (measured -. baseline) /. baseline *. 100.0

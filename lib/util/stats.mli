@@ -34,6 +34,11 @@ val geometric_mean : float list -> float
     @raise Invalid_argument if any value is non-positive or the list is
     empty. *)
 
+val pearson : float list -> float list -> float
+(** Pearson correlation of two equal-length lists; 0 when either side has
+    zero variance. @raise Invalid_argument on mismatched or empty input
+    (a named error, never a bare [List.fold_left2] leak). *)
+
 val spearman : float list -> float list -> float
 (** Spearman rank correlation of two equal-length lists; used for the
     §4.3 claim that CodeConcurrency rankings are stable across machine
@@ -41,4 +46,6 @@ val spearman : float list -> float list -> float
 
 val speedup_percent : baseline:float -> measured:float -> float
 (** [(measured - baseline) / baseline * 100.], the paper's y-axis for
-    Figures 8-10 (throughput speedup over baseline, in percent). *)
+    Figures 8-10 (throughput speedup over baseline, in percent).
+    @raise Invalid_argument when [baseline] is zero (the quotient would be
+    inf/nan and silently poison every downstream trimmed mean). *)

@@ -32,6 +32,41 @@ let test_bin_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "accepted interval 0"
 
+let test_bin_negative_itc () =
+  (* Regression: [itc / interval] truncates toward zero, so itc -1 and +1
+     both landed in bin 0 and their samples looked concurrent. Floor
+     division sends them to bins -1 and 0. *)
+  let tables = Sample.bin ~interval:100 [ s 0 (-1) 1; s 1 1 2 ] in
+  check_int "two intervals" 2 (List.length tables);
+  let neg = List.hd tables in
+  check_int "negative bin holds its sample" 1 (Sample.freq neg ~cpu:0 ~line:1);
+  check_int "positive sample stays out" 0 (Sample.freq neg ~cpu:1 ~line:2)
+
+let prop_bin_shift_invariant =
+  (* Binning must commute with shifting every timestamp by one interval —
+     truncating division broke this for signed ITC ranges around zero. *)
+  QCheck2.Test.make ~name:"bin: shift by one interval relabels, not regroups"
+    ~count:100
+    QCheck2.Gen.(
+      pair (int_range 1 50)
+        (list_size (int_bound 60)
+           (triple (int_bound 3) (int_range (-500) 500) (int_range 1 5))))
+    (fun (interval, triples) ->
+      let samples = List.map (fun (c, t, l) -> s c t l) triples in
+      let shifted =
+        List.map
+          (fun smp -> { smp with Sample.itc = smp.Sample.itc + interval })
+          samples
+      in
+      let render tables =
+        List.map
+          (fun t ->
+            List.map (fun l -> (l, Sample.cpu_freqs t ~line:l)) (Sample.lines t))
+          tables
+      in
+      render (Sample.bin ~interval samples)
+      = render (Sample.bin ~interval shifted))
+
 (* ------------------------------------------------------------------ *)
 (* CodeConcurrency *)
 
@@ -179,7 +214,8 @@ let test_cycle_loss_same_line_fields () =
     (Cycle_loss.loss loss "a" "b" > 0.0)
 
 let props =
-  List.map QCheck_alcotest.to_alcotest [ prop_cc_symmetric_nonneg; prop_cc_monotone ]
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_cc_symmetric_nonneg; prop_cc_monotone; prop_bin_shift_invariant ]
 
 let suites =
   [
@@ -187,6 +223,7 @@ let suites =
       [
         Alcotest.test_case "binning" `Quick test_bin_basic;
         Alcotest.test_case "validation" `Quick test_bin_validation;
+        Alcotest.test_case "negative itc bins" `Quick test_bin_negative_itc;
       ] );
     ( "concurrency.cc",
       [

@@ -408,6 +408,90 @@ let prop_greedy_vs_oracle =
       && greedy_score <= oracle_score +. 1e-6)
 
 (* ------------------------------------------------------------------ *)
+(* Differential check of the incremental-packed-size clustering: a direct
+   reimplementation of the pre-optimization greedy (Figure 7) that
+   recomputes [packed_size (members @ [field])] from scratch for every
+   candidate. The shipping version carries the size incrementally via
+   [Layout.packed_extend]; both must pick identical clusters. *)
+
+let reference_clusters flg ~line_size =
+  let find_best members unassigned =
+    let member_names = List.map (fun (f : Field.t) -> f.Field.name) members in
+    List.fold_left
+      (fun best name ->
+        let field = Flg.field_of flg name in
+        if Layout.packed_size (members @ [ field ]) > line_size then best
+        else begin
+          let w =
+            List.fold_left
+              (fun acc m -> acc +. Flg.weight flg name m)
+              0.0 member_names
+          in
+          match best with
+          | Some (_, bw) when bw >= w -> best
+          | _ when w > 0.0 -> Some (name, w)
+          | best -> best
+        end)
+      None unassigned
+    |> Option.map fst
+  in
+  let rec build unassigned acc =
+    match unassigned with
+    | [] -> List.rev acc
+    | seed :: rest ->
+      let rec grow members unassigned =
+        match find_best members unassigned with
+        | None -> (members, unassigned)
+        | Some name ->
+          grow
+            (members @ [ Flg.field_of flg name ])
+            (List.filter (fun n -> n <> name) unassigned)
+      in
+      let members, rest = grow [ Flg.field_of flg seed ] rest in
+      build rest (members :: acc)
+  in
+  build (Flg.field_names_by_hotness flg) []
+
+(* Mixed alignments and array fields, up to 24 fields — large enough that
+   the incremental size actually diverges from a naive recomputation if
+   the O(1) step is wrong. *)
+let gen_mixed_flg =
+  QCheck2.Gen.(
+    let* fields = Gen.fields in
+    let names = List.map (fun (f : Field.t) -> f.Field.name) fields in
+    let* edges = Gen.edges_over names in
+    let* hotness = Gen.hotness_for names in
+    return (flg_of ~fields ~edges ~hotness))
+
+let member_names clusters =
+  List.map
+    (fun (c : Cluster.cluster) ->
+      List.map (fun (f : Field.t) -> f.Field.name) c.Cluster.members)
+    clusters
+
+let prop_incremental_eq_reference =
+  QCheck2.Test.make
+    ~name:"incremental packed size = from-scratch reference clustering"
+    ~count:200 gen_mixed_flg
+    (fun flg ->
+      member_names (Cluster.run ~pack_cold:false flg ~line_size)
+      = List.map
+          (List.map (fun (f : Field.t) -> f.Field.name))
+          (reference_clusters flg ~line_size))
+
+let prop_packed_extend_law =
+  QCheck2.Test.make
+    ~name:"packed_extend size f = packed_size (fields @ [f])" ~count:300
+    Gen.fields
+    (fun fields ->
+      match List.rev fields with
+      | [] -> true
+      | last :: rev_init ->
+        let init = List.rev rev_init in
+        Layout.packed_extend (Layout.packed_size init) last
+        = Layout.packed_size fields)
+
+(* ------------------------------------------------------------------ *)
 
 let props =
   List.map QCheck_alcotest.to_alcotest
@@ -428,6 +512,8 @@ let oracle_props =
       prop_greedy_never_adds_negative;
       prop_greedy_respects_line_size;
       prop_greedy_vs_oracle;
+      prop_incremental_eq_reference;
+      prop_packed_extend_law;
     ]
 
 let suites =

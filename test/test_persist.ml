@@ -47,6 +47,43 @@ let test_counts_parse_errors () =
   expect_error "slo-profile 1\nblock f zero 1";
   expect_error "slo-profile 1\nbogus f 0 1"
 
+let test_malformed_escapes_rejected () =
+  (* Regression: decoding with [int_of_string ("0x" ^ sub)] accepted OCaml
+     literal quirks — "%5_" and "%_1" parsed as hex 5 and 1 instead of
+     failing — so corrupt names loaded silently. Strict two-hex-digit
+     escapes reject them. *)
+  let expect_error name =
+    match
+      Persist.counts_of_string ("slo-profile 1\nblock " ^ name ^ " 0 1")
+    with
+    | exception Persist.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("decoded malformed escape: " ^ name)
+  in
+  expect_error "f%5_";
+  expect_error "f%_1";
+  expect_error "f%g1";
+  expect_error "f%5" (* truncated *);
+  expect_error "f%"
+
+let test_negative_counts_rejected () =
+  (* Regression: a negative count silently bumped the profile down. *)
+  let expect_error body =
+    match Persist.counts_of_string ("slo-profile 1\n" ^ body) with
+    | exception Persist.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("accepted negative count: " ^ body)
+  in
+  expect_error "block f 1 -5";
+  expect_error "edge f 0 1 -2";
+  expect_error "field f 0 S a -1 0";
+  expect_error "field f 0 S a 0 -1";
+  (match Persist.samples_of_string "slo-samples 1\n-1 5 3" with
+  | exception Persist.Parse_error _ -> ()
+  | _ -> Alcotest.fail "accepted negative cpu");
+  (* a signed itc is legal: the binning handles negative timestamps *)
+  match Persist.samples_of_string "slo-samples 1\n0 -5 3" with
+  | [ { Sample.itc = -5; _ } ] -> ()
+  | _ -> Alcotest.fail "rejected signed itc"
+
 let test_samples_roundtrip () =
   let samples =
     [ { Sample.cpu = 0; itc = 100; line = 42 };
@@ -88,6 +125,38 @@ let prop_samples_roundtrip =
     (fun samples ->
       Persist.samples_of_string (Persist.samples_to_string samples) = samples)
 
+let prop_samples_signed_itc_roundtrip =
+  QCheck2.Test.make ~name:"samples round trip with signed itc" ~count:100
+    QCheck2.Gen.(
+      list_size (int_range 0 50)
+        (let* cpu = int_range 0 127 in
+         let* itc = int_range (-1_000_000) 1_000_000 in
+         let* line = int_range 0 10_000 in
+         return { Sample.cpu; itc; line }))
+    (fun samples ->
+      Persist.samples_of_string (Persist.samples_to_string samples) = samples)
+
+let prop_adversarial_names_roundtrip =
+  (* Names built from the encoder's own special characters plus hex-ish
+     bytes — exactly the alphabet that tripped the permissive decoder. *)
+  QCheck2.Test.make
+    ~name:"field names over {%, space, tab, newline, hex} round trip"
+    ~count:200
+    QCheck2.Gen.(
+      pair
+        (string_size
+           ~gen:
+             (oneofl [ '%'; ' '; '\t'; '\n'; '_'; '5'; 'a'; 'F'; 'x'; '0' ])
+           (int_range 1 10))
+        (int_range 1 100))
+    (fun (name, n) ->
+      let c = Counts.create () in
+      Counts.bump_field ~n c ~proc:name ~block:0 ~struct_name:name ~field:name
+        ~is_write:false;
+      let c' = Persist.counts_of_string (Persist.counts_to_string c) in
+      (Counts.field_rw c' ~proc:name ~block:0 ~struct_name:name ~field:name)
+        .Counts.reads = n)
+
 let prop_encode_roundtrip =
   QCheck2.Test.make ~name:"counts round trip with arbitrary proc names"
     ~count:100
@@ -108,10 +177,16 @@ let suites =
         Alcotest.test_case "counts round trip" `Quick test_counts_roundtrip;
         Alcotest.test_case "counts file" `Quick test_counts_file_roundtrip;
         Alcotest.test_case "parse errors" `Quick test_counts_parse_errors;
+        Alcotest.test_case "malformed escapes rejected" `Quick
+          test_malformed_escapes_rejected;
+        Alcotest.test_case "negative counts rejected" `Quick
+          test_negative_counts_rejected;
         Alcotest.test_case "samples round trip" `Quick test_samples_roundtrip;
         Alcotest.test_case "samples file" `Quick test_samples_file_roundtrip;
         Alcotest.test_case "kernel profile round trip" `Quick test_real_profile_roundtrip;
         QCheck_alcotest.to_alcotest prop_samples_roundtrip;
+        QCheck_alcotest.to_alcotest prop_samples_signed_itc_roundtrip;
+        QCheck_alcotest.to_alcotest prop_adversarial_names_roundtrip;
         QCheck_alcotest.to_alcotest prop_encode_roundtrip;
       ] );
   ]

@@ -2,8 +2,8 @@
 
 let () =
   Alcotest.run "slo"
-    (Test_util.suites @ Test_graph.suites @ Test_ir.suites @ Test_layout.suites
-   @ Test_profile.suites @ Test_affinity.suites @ Test_sim.suites
-   @ Test_concurrency.suites @ Test_core.suites @ Test_globals.suites
-   @ Test_persist.suites
-   @ Test_workload.suites @ Test_exec.suites)
+    (Test_util.suites @ Test_obs.suites @ Test_graph.suites @ Test_ir.suites
+   @ Test_layout.suites @ Test_profile.suites @ Test_affinity.suites
+   @ Test_sim.suites @ Test_concurrency.suites @ Test_core.suites
+   @ Test_globals.suites @ Test_persist.suites @ Test_workload.suites
+   @ Test_exec.suites)

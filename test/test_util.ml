@@ -129,7 +129,23 @@ let test_spearman () =
 
 let test_speedup () =
   check_float "+10%" 10.0 (Stats.speedup_percent ~baseline:100.0 ~measured:110.0);
-  check_float "-50%" (-50.0) (Stats.speedup_percent ~baseline:100.0 ~measured:50.0)
+  check_float "-50%" (-50.0) (Stats.speedup_percent ~baseline:100.0 ~measured:50.0);
+  (* Regression: baseline 0 used to divide through and return inf/nan. *)
+  Alcotest.check_raises "zero baseline"
+    (Invalid_argument "Stats.speedup_percent: baseline is zero") (fun () ->
+      ignore (Stats.speedup_percent ~baseline:0.0 ~measured:1.0))
+
+let test_pearson () =
+  check_float "perfect" 1.0 (Stats.pearson [ 1.0; 2.0; 3.0 ] [ 2.0; 4.0; 6.0 ]);
+  check_float "anti" (-1.0) (Stats.pearson [ 1.0; 2.0; 3.0 ] [ 3.0; 2.0; 1.0 ]);
+  check_float "constant side gives 0" 0.0 (Stats.pearson [ 1.0; 1.0 ] [ 1.0; 2.0 ]);
+  (* Regression: a length mismatch used to escape as List.fold_left2's bare
+     Invalid_argument; empty inputs divided 0/0. Both are named errors now. *)
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Stats.pearson: length mismatch") (fun () ->
+      ignore (Stats.pearson [ 1.0 ] [ 1.0; 2.0 ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.pearson: empty list")
+    (fun () -> ignore (Stats.pearson [] []))
 
 (* ------------------------------------------------------------------ *)
 (* Heap *)
@@ -240,6 +256,7 @@ let suites =
         Alcotest.test_case "outliers" `Quick test_outliers;
         Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
         Alcotest.test_case "spearman" `Quick test_spearman;
+        Alcotest.test_case "pearson" `Quick test_pearson;
         Alcotest.test_case "speedup" `Quick test_speedup;
       ] );
     ( "util.heap",
