@@ -707,6 +707,81 @@ let run_smoke () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Streaming CC ingestion at scale: persist one collection run, stream it
+   back through Persist.iter_samples_file -> Code_concurrency.compute_stream
+   at several pool sizes, and check every streamed map against the
+   in-memory compute over the same samples. Exits non-zero on divergence,
+   so the runtest-obs wiring doubles as a determinism check. *)
+
+let run_cc_scale () =
+  section "cc_scale: streaming, sharded CodeConcurrency ingestion";
+  let module Persist = Slo_persist.Persist in
+  let samples = Collect.samples () in
+  let n_samples = List.length samples in
+  let interval = Collect.calibrated_params.Pipeline.cc_interval in
+  let reference = Code_concurrency.compute ~interval samples in
+  let path = Filename.temp_file "slo_cc_scale" ".samples" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Persist.save_samples ~path samples;
+  let job_list = List.sort_uniq compare [ 1; 2; max 1 (effective_jobs ()) ] in
+  Printf.printf "%d samples, interval %d, streamed from disk\n" n_samples
+    interval;
+  Printf.printf "%-6s %12s %14s %10s\n" "jobs" "wall (s)" "samples/s"
+    "identical";
+  let rows =
+    List.map
+      (fun jobs ->
+        let stream pool =
+          let t0 = Obs.now () in
+          let cm =
+            Code_concurrency.compute_stream ?pool ~interval (fun f ->
+                Persist.iter_samples_file ~path f)
+          in
+          (cm, Obs.now () -. t0)
+        in
+        let cm, wall =
+          if jobs <= 1 then stream None
+          else Pool.with_pool ~domains:jobs (fun p -> stream (Some p))
+        in
+        let identical =
+          Code_concurrency.pairs cm = Code_concurrency.pairs reference
+        in
+        let rate = if wall > 0.0 then float_of_int n_samples /. wall else 0.0 in
+        Printf.printf "%-6d %12.4f %14.0f %10s\n%!" jobs wall rate
+          (if identical then "yes" else "NO");
+        if not identical then begin
+          Printf.eprintf
+            "cc_scale: streamed map diverges from in-memory compute at \
+             jobs=%d\n"
+            jobs;
+          exit 1
+        end;
+        Json.Obj
+          [
+            ("jobs", Json.Int jobs);
+            ("wall_s", Json.Float wall);
+            ("samples_per_s", Json.Float rate);
+            ("identical", Json.Bool identical);
+          ])
+      job_list
+  in
+  let peak =
+    match Obs.gauge "cc.table.peak_entries" with
+    | Some g -> int_of_float g
+    | None -> 0
+  in
+  Printf.printf "peak interval-table entries: %d\n%!" peak;
+  Json.Obj
+    [
+      ("n_samples", Json.Int n_samples);
+      ("interval", Json.Int interval);
+      ("peak_table_entries", Json.Int peak);
+      ("rows", Json.List rows);
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [
@@ -725,6 +800,7 @@ let all_sections =
     ("ablation-machines", run_ablation_machines);
     ("ablation-protocol", run_ablation_protocol);
     ("micro", run_micro);
+    ("cc_scale", run_cc_scale);
     ("smoke", run_smoke);
   ]
 

@@ -198,6 +198,25 @@ let inline_arg =
           "inline all calls before the analysis (recovers cross-procedure \
            affinity, paper §3.1)")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "worker domains for the parallel stages (default: $(b,SLO_JOBS) \
+           if set, else the recommended domain count). Results are \
+           identical for every N.")
+
+(* domains = 1 keeps the serial code path (no pool at all) so the two
+   paths stay observably interchangeable from the CLI *)
+let with_jobs jobs f =
+  let domains =
+    match jobs with Some n when n >= 1 -> n | _ -> Pool.default_jobs ()
+  in
+  if domains <= 1 then f ~domains None
+  else Pool.with_pool ~domains (fun p -> f ~domains (Some p))
+
 (* ------------------------------------------------------------------ *)
 (* Commands *)
 
@@ -240,24 +259,34 @@ let fmf_cmd =
     (Cmd.info "fmf" ~doc:"print the field mapping file (line -> fields)")
     Term.(const run $ file_arg)
 
-let analyze ?inline ?profile_file ?samples_file file struct_name int_arg rounds
-    cpus period k1 k2 interval line_size =
+let analyze ?inline ?profile_file ?samples_file ?pool file struct_name int_arg
+    rounds cpus period k1 k2 interval line_size =
   let program = load_program ?inline file in
   let counts =
     match profile_file with
     | Some path -> Slo_persist.Persist.load_counts ~path
     | None -> generic_profile program ~int_arg ~rounds
   in
-  let samples =
-    match samples_file with
-    | Some path -> Slo_persist.Persist.load_samples ~path
-    | None -> generic_samples program ~cpus ~period ~reps:(rounds * 8) ~int_arg
-  in
   let params =
     { Pipeline.default_params with
       Pipeline.k1; k2; cc_interval = interval; line_size }
   in
-  let flg = Pipeline.analyze ~params ~program ~counts ~samples ~struct_name () in
+  let samples, cm =
+    match samples_file with
+    | Some path ->
+      (* Streaming ingestion: bin samples straight off the file and shard
+         the per-interval CC computation across the pool — the sample list
+         is never materialized. *)
+      ( [],
+        Some
+          (Pipeline.concurrency_map ?pool ~params (fun f ->
+               Slo_persist.Persist.iter_samples_file ~path f)) )
+    | None ->
+      (generic_samples program ~cpus ~period ~reps:(rounds * 8) ~int_arg, None)
+  in
+  let flg =
+    Pipeline.analyze ~params ?cm ~program ~counts ~samples ~struct_name ()
+  in
   (program, params, flg)
 
 let profile_file_arg =
@@ -274,11 +303,12 @@ let samples_file_arg =
 
 let suggest_cmd =
   let run file struct_name int_arg rounds cpus period k1 k2 interval line_size
-      inline profile_file samples_file =
+      inline profile_file samples_file jobs =
     or_die (fun () ->
         let program, params, flg =
-          analyze ~inline ?profile_file ?samples_file file struct_name int_arg
-            rounds cpus period k1 k2 interval line_size
+          with_jobs jobs (fun ~domains:_ pool ->
+              analyze ~inline ?profile_file ?samples_file ?pool file
+                struct_name int_arg rounds cpus period k1 k2 interval line_size)
         in
         print_endline (Report.render (Pipeline.report ~params flg));
         Format.printf "@.%a@." Slo_core.Advisor.pp (Slo_core.Advisor.analyze flg);
@@ -297,7 +327,8 @@ let suggest_cmd =
     Term.(
       const run $ file_arg $ struct_arg $ int_arg_t $ rounds_arg
       $ cpus_collect_arg $ period_arg $ k1_arg $ k2_arg $ interval_arg
-      $ line_size_arg $ inline_arg $ profile_file_arg $ samples_file_arg)
+      $ line_size_arg $ inline_arg $ profile_file_arg $ samples_file_arg
+      $ jobs_arg)
 
 let collect_cmd =
   let run file int_arg rounds cpus period out_prefix =
@@ -431,19 +462,10 @@ let sdet_cmd =
         let topology =
           if bus then Topology.bus ~cpus () else Topology.superdome ~cpus ()
         in
-        let domains =
-          match jobs with Some n when n >= 1 -> n | _ -> Pool.default_jobs ()
-        in
-        Printf.printf "machine: %s (%d job%s)\n%!" (Topology.describe topology)
-          domains
-          (if domains = 1 then "" else "s");
-        let with_jobs f =
-          (* domains = 1 keeps the serial code path (no pool at all) so the
-             two paths stay observably interchangeable from the CLI *)
-          if domains <= 1 then f None
-          else Pool.with_pool ~domains (fun p -> f (Some p))
-        in
-        with_jobs (fun pool ->
+        with_jobs jobs (fun ~domains pool ->
+            Printf.printf "machine: %s (%d job%s)\n%!"
+              (Topology.describe topology) domains
+              (if domains = 1 then "" else "s");
             let t0 = Obs.now () in
             let layouts = Exp.analyze_all ?pool () in
             let analysis_s = Obs.now () -. t0 in

@@ -1,14 +1,30 @@
+module Obs = Slo_obs.Obs
+
 type t = { tbl : ((int * int), int) Hashtbl.t }
 
 let key l1 l2 = if l1 <= l2 then (l1, l2) else (l2, l1)
 
 let cc t l1 l2 = try Hashtbl.find t.tbl (key l1 l2) with Not_found -> 0
 
+(* Counts are non-negative throughout, so saturation at [max_int] keeps
+   addition associative and commutative: min (a + b) max_int composes the
+   same way in any grouping. That is what lets the sharded reduce below
+   merge partial maps in any order and still match the serial path. *)
+let sat_add a b =
+  let s = a + b in
+  if s < 0 then max_int else s
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p < 0 || p / b <> a then max_int else p
+
 let add t l1 l2 v =
   if v > 0 then begin
     let k = key l1 l2 in
     let cur = try Hashtbl.find t.tbl k with Not_found -> 0 in
-    Hashtbl.replace t.tbl k (cur + v)
+    Hashtbl.replace t.tbl k (sat_add cur v)
   end
 
 (* Per-line per-interval frequency vector, sorted ascending, with prefix
@@ -22,11 +38,13 @@ let vec_of_freqs freqs =
   let cpus = Array.map fst arr and counts = Array.map snd arr in
   let prefix = Array.make (n + 1) 0 in
   for i = 0 to n - 1 do
-    prefix.(i + 1) <- prefix.(i) + counts.(i)
+    prefix.(i + 1) <- sat_add prefix.(i) counts.(i)
   done;
   { cpus; counts; prefix; total = prefix.(n) }
 
-(* Σ_n min(x, b_n) via binary search for the first entry > x. *)
+(* Σ_n min(x, b_n) via binary search for the first entry > x. Profile-scale
+   frequencies can push [x * (n - lo)] past [max_int]; the kernel saturates
+   instead of wrapping negative. *)
 let sum_min_against b x =
   let n = Array.length b.counts in
   let lo = ref 0 and hi = ref n in
@@ -34,11 +52,11 @@ let sum_min_against b x =
     let mid = (!lo + !hi) / 2 in
     if b.counts.(mid) <= x then lo := mid + 1 else hi := mid
   done;
-  b.prefix.(!lo) + (x * (n - !lo))
+  sat_add b.prefix.(!lo) (sat_mul x (n - !lo))
 
 (* Σ_{m,n} min(a_m, b_n) over all index pairs (including same-cpu). *)
 let sum_min_all a b =
-  Array.fold_left (fun acc x -> acc + sum_min_against b x) 0 a.counts
+  Array.fold_left (fun acc x -> sat_add acc (sum_min_against b x)) 0 a.counts
 
 (* Σ over cpus present in both vectors of min(a_cpu, b_cpu). *)
 let sum_min_same_cpu a b =
@@ -48,15 +66,14 @@ let sum_min_same_cpu a b =
   Array.iteri
     (fun i cpu ->
       match Hashtbl.find_opt bmap cpu with
-      | Some bc -> acc := !acc + min a.counts.(i) bc
+      | Some bc -> acc := sat_add !acc (min a.counts.(i) bc)
       | None -> ())
     a.cpus;
   !acc
 
 let cc_of_interval t tbl =
-  let lines = Sample.lines tbl in
   let vecs =
-    List.map (fun line -> (line, vec_of_freqs (Sample.cpu_freqs tbl ~line))) lines
+    List.map (fun (line, fs) -> (line, vec_of_freqs fs)) (Sample.line_freqs tbl)
   in
   let rec over_pairs = function
     | [] -> ()
@@ -72,17 +89,78 @@ let cc_of_interval t tbl =
   in
   over_pairs vecs
 
-let compute ~interval samples =
-  let t = { tbl = Hashtbl.create 256 } in
-  List.iter (cc_of_interval t) (Sample.bin ~interval samples);
+let create () = { tbl = Hashtbl.create 256 }
+
+let of_interval tbl =
+  let t = create () in
+  cc_of_interval t tbl;
   t
+
+let merge_into dst src = Hashtbl.iter (fun (l1, l2) v -> add dst l1 l2 v) src.tbl
+
+(* Deterministic chunking: consecutive runs of [n] tables, in order. The
+   chunk boundaries depend only on the input list, never on the pool, so
+   the partial maps — and, merge being associative and commutative, their
+   reduction — are identical for every worker count. *)
+let chunks_of n xs =
+  let rec go acc cur k = function
+    | [] -> List.rev (match cur with [] -> acc | _ -> List.rev cur :: acc)
+    | x :: rest ->
+      if k + 1 = n then go (List.rev (x :: cur) :: acc) [] 0 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 xs
+
+let default_chunk = 32
+
+let compute_tables ?pool ?(chunk = default_chunk) tables =
+  if chunk <= 0 then invalid_arg "Code_concurrency.compute_tables: chunk <= 0";
+  Obs.incr ~by:(List.length tables) "cc.intervals";
+  Obs.incr
+    ~by:(List.fold_left (fun acc tbl -> acc + Sample.total_samples tbl) 0 tables)
+    "cc.samples";
+  (match tables with
+  | [] -> ()
+  | _ ->
+    let peak =
+      List.fold_left (fun m tbl -> max m (Sample.entries tbl)) 0 tables
+    in
+    Obs.set_gauge "cc.table.peak_entries" (float_of_int peak));
+  Obs.time "cc.compute_s" (fun () ->
+      let compute_chunk tbls =
+        let t = create () in
+        List.iter (cc_of_interval t) tbls;
+        t
+      in
+      let chunks = chunks_of chunk tables in
+      let parts =
+        match pool with
+        | None -> List.map compute_chunk chunks
+        | Some pool -> Slo_exec.Pool.map pool compute_chunk chunks
+      in
+      let acc = create () in
+      List.iter (merge_into acc) parts;
+      acc)
+
+let compute ~interval samples = compute_tables (Sample.bin ~interval samples)
+
+let compute_stream ?pool ?chunk ~interval iter =
+  let tables =
+    Obs.time "cc.ingest_s" (fun () ->
+        let b = Sample.binner ~interval in
+        iter (Sample.feed b);
+        Sample.binned b)
+  in
+  compute_tables ?pool ?chunk tables
 
 let pairs t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
   |> List.sort (fun (k1, v1) (k2, v2) ->
          match compare v2 v1 with 0 -> compare k1 k2 | c -> c)
 
-let top t ~k = List.filteri (fun i _ -> i < k) (pairs t)
+let top t ~k =
+  if k < 0 then invalid_arg "Code_concurrency.top: k < 0";
+  List.filteri (fun i _ -> i < k) (pairs t)
 
 let lines t =
   Hashtbl.fold (fun (l1, l2) _ acc -> l1 :: l2 :: acc) t.tbl []
@@ -90,7 +168,7 @@ let lines t =
 
 let merge a b =
   let t = { tbl = Hashtbl.copy a.tbl } in
-  Hashtbl.iter (fun (l1, l2) v -> add t l1 l2 v) b.tbl;
+  merge_into t b;
   t
 
 let pp ppf t =
@@ -99,3 +177,15 @@ let pp ppf t =
     (fun ((l1, l2), v) -> Format.fprintf ppf "@,lines %d x %d: %d" l1 l2 v)
     (pairs t);
   Format.fprintf ppf "@]"
+
+module For_tests = struct
+  let sum_min_all a b = sum_min_all (vec_of_freqs a) (vec_of_freqs b)
+
+  let sum_min_against b x =
+    let b = vec_of_freqs b in
+    sum_min_against b x
+
+  let add = add
+  let sat_add = sat_add
+  let sat_mul = sat_mul
+end

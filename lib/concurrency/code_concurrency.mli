@@ -10,14 +10,61 @@
 
     The inner double sum over CPU pairs is computed in
     O(|cpus| log |cpus|) per line pair using sorted frequency vectors and
-    prefix sums: Σ_{m,n} min(a_m, b_n) − Σ_m min(a_m, b_m). *)
+    prefix sums: Σ_{m,n} min(a_m, b_n) − Σ_m min(a_m, b_m). All counting
+    arithmetic saturates at [max_int] instead of wrapping — profile-scale
+    frequencies stay non-negative, and saturating addition of non-negative
+    values remains associative and commutative, which the sharded reduce
+    below depends on.
+
+    {b Scaling.} Intervals are independent, so the map decomposes as a
+    merge of per-interval maps: {!compute_tables} splits the interval list
+    into deterministic chunks, computes each chunk's partial map (on an
+    {!Slo_exec.Pool} when given), and reduces with the pointwise-sum
+    {!merge}. Results are identical for every pool size and chunk size
+    (test_concurrency's shard suite pins this). {!compute_stream} feeds a
+    sample {e producer} through {!Sample.binner} first, so a persisted
+    profile is ingested line by line without ever materializing the sample
+    list.
+
+    {b Observability.} {!compute_tables} (and everything routed through
+    it) records counters [cc.intervals] / [cc.samples], gauge
+    [cc.table.peak_entries] and histograms [cc.compute_s] /
+    [cc.ingest_s] into {!Slo_obs.Obs.default}; write-only, so
+    instrumented runs stay byte-identical. *)
 
 type t
 (** A concurrency map. *)
 
+val create : unit -> t
+(** The empty map ([cc] is 0 everywhere) — the unit of {!merge}. *)
+
 val compute : interval:int -> Sample.t list -> t
 (** Bin samples and accumulate CC over all intervals.
     @raise Invalid_argument if [interval <= 0]. *)
+
+val of_interval : Sample.interval_table -> t
+(** CC of a single interval; [compute] is the merge of [of_interval] over
+    the binned tables. *)
+
+val compute_tables :
+  ?pool:Slo_exec.Pool.t -> ?chunk:int -> Sample.interval_table list -> t
+(** Accumulate CC over pre-binned interval tables. With [pool], chunks of
+    [chunk] (default 32) consecutive tables are computed as independent
+    partial maps across the pool's domains and merged; the result is
+    identical to the serial path for every pool and chunk size.
+    @raise Invalid_argument if [chunk <= 0]. *)
+
+val compute_stream :
+  ?pool:Slo_exec.Pool.t ->
+  ?chunk:int ->
+  interval:int ->
+  ((Sample.t -> unit) -> unit) ->
+  t
+(** [compute_stream ~interval iter] drains the sample producer [iter]
+    through a {!Sample.binner} and then runs {!compute_tables}: streaming
+    ingestion plus sharded computation, without a sample list. Equals
+    [compute ~interval samples] whenever [iter] produces [samples] in any
+    order and chunking. @raise Invalid_argument if [interval <= 0]. *)
 
 val cc : t -> int -> int -> int
 (** [cc t l1 l2] — symmetric; 0 when never concurrent. *)
@@ -27,11 +74,29 @@ val pairs : t -> ((int * int) * int) list
     CC. *)
 
 val top : t -> k:int -> ((int * int) * int) list
+(** The [k] hottest pairs ([k = 0] is allowed and yields []).
+    @raise Invalid_argument if [k < 0]. *)
 
 val lines : t -> int list
 (** Lines participating in any pair, sorted. *)
 
 val merge : t -> t -> t
-(** Pointwise sum (combining collection runs). *)
+(** Pointwise (saturating) sum — combining collection runs or shard
+    results. Associative and commutative up to {!pairs}. *)
 
 val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+(** Test-only access to the saturating counting kernel. *)
+module For_tests : sig
+  val sum_min_all : (int * int) list -> (int * int) list -> int
+  (** Σ_{m,n} min(a_m, b_n) over two (cpu, count) vectors. *)
+
+  val sum_min_against : (int * int) list -> int -> int
+  (** Σ_n min(x, b_n). *)
+
+  val add : t -> int -> int -> int -> unit
+  val sat_add : int -> int -> int
+  val sat_mul : int -> int -> int
+end

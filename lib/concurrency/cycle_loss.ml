@@ -29,8 +29,19 @@ let compute ~cm ~fmf ~struct_name =
   List.iter
     (fun ((l1, l2), cc) ->
       contribute l1 l2 cc;
-      (* Both orientations for distinct lines; fields_at is per-line so the
-         diagonal needs no second pass. *)
+      (* Both orientations for distinct lines — deliberately, to keep one
+         scale across the map: one unit of loss per ordered (CPU pair,
+         field orientation) conflict event. A coincident sample pair on a
+         single line l gives CC(l,l) = 2 (ordered CPU pairs), and the one
+         diagonal contribute walks both field orientations, so a same-line
+         field pair collects 4 — its 4 ordered conflict events (both CPUs
+         touch both fields). The same coincident pair across two lines
+         gives CC(l1,l2) = 1 and only 2 ordered conflict events, so the
+         cross-line pair needs both orientation calls to collect 2.
+         Dropping the second call would halve cross-line loss relative to
+         same-line loss and skew the FLG against separating fields that
+         collide across lines; the scale is pinned by test_concurrency's
+         "uniform conflict-event scale" test. *)
       if l1 <> l2 then contribute l2 l1 cc)
     (Code_concurrency.pairs cm);
   t

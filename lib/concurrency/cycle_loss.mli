@@ -5,7 +5,19 @@
     over line pairs where f1 is accessed at L1, f2 at L2, and {e at least
     one} of those two accesses is a write. Both orientations of a line pair
     contribute (f1@L1 with f2@L2, and f1@L2 with f2@L1); the diagonal
-    L1 = L2 contributes once.
+    L1 = L2 contributes once. This is a normalization, not a double count:
+    the invariant is {e one unit of loss per ordered (CPU pair, field
+    orientation) conflict event}. CC's diagonal sums ordered CPU pairs
+    (one coincident sample pair on two CPUs yields CC(L,L) = 2) and a
+    single diagonal contribution walks both field orientations of the
+    line's field set, so a same-line pair {f1,f2} collects 2·CC(L,L) = 4 —
+    matching its 4 ordered conflict events (both CPUs touch both fields).
+    Off-diagonal CC counts each CPU-to-line assignment once
+    (CC(L1,L2) = 1 for the same coincident pair) and each orientation
+    call contributes one field orientation, so a cross-line pair collects
+    2·CC(L1,L2) = 2 — matching its 2 ordered conflict events. Dropping
+    the second orientation call would halve cross-line loss relative to
+    same-line loss.
 
     As the paper notes, this over-approximates false sharing: concurrent
     accesses to fields of {e different instances} of the struct also count.

@@ -3,21 +3,49 @@ type t = { cpu : int; itc : int; line : int }
 type interval_table = {
   freqs : (int * int, int) Hashtbl.t;  (* (cpu, line) -> count *)
   mutable total : int;
+  (* line -> (cpu, count) list sorted by cpu, built from [freqs] on first
+     read and invalidated by [feed]. Readers that walk a table line by line
+     (CodeConcurrency does, for every line pair) would otherwise rescan the
+     whole frequency table once per line: O(lines * entries) per interval
+     instead of O(entries). *)
+  mutable by_line : (int, (int * int) list) Hashtbl.t option;
 }
 
 let freq tbl ~cpu ~line =
   try Hashtbl.find tbl.freqs (cpu, line) with Not_found -> 0
 
+let group tbl =
+  match tbl.by_line with
+  | Some g -> g
+  | None ->
+    let g = Hashtbl.create (max 16 (Hashtbl.length tbl.freqs)) in
+    Hashtbl.iter
+      (fun (cpu, line) count ->
+        let cur = match Hashtbl.find_opt g line with Some l -> l | None -> [] in
+        Hashtbl.replace g line ((cpu, count) :: cur))
+      tbl.freqs;
+    Hashtbl.filter_map_inplace (fun _ l -> Some (List.sort compare l)) g;
+    tbl.by_line <- Some g;
+    g
+
 let lines tbl =
-  Hashtbl.fold (fun (_, line) _ acc -> line :: acc) tbl.freqs []
-  |> List.sort_uniq compare
+  Hashtbl.fold (fun line _ acc -> line :: acc) (group tbl) []
+  |> List.sort compare
 
 let cpu_freqs tbl ~line =
+  match Hashtbl.find_opt (group tbl) line with Some l -> l | None -> []
+
+let cpu_freqs_scan tbl ~line =
   Hashtbl.fold
     (fun (cpu, l) count acc -> if l = line then (cpu, count) :: acc else acc)
     tbl.freqs []
   |> List.sort compare
 
+let line_freqs tbl =
+  Hashtbl.fold (fun line fs acc -> (line, fs) :: acc) (group tbl) []
+  |> List.sort compare
+
+let entries tbl = Hashtbl.length tbl.freqs
 let total_samples tbl = tbl.total
 
 (* Floor division: OCaml's [/] truncates toward zero, which would collapse
@@ -25,25 +53,50 @@ let total_samples tbl = tbl.total
    positive samples, inflating CC across the zero boundary. *)
 let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
 
-let bin ~interval samples =
-  if interval <= 0 then invalid_arg "Sample.bin: interval <= 0";
-  let by_interval : (int, interval_table) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
-    (fun s ->
-      let idx = floor_div s.itc interval in
-      let tbl =
-        match Hashtbl.find_opt by_interval idx with
-        | Some tbl -> tbl
-        | None ->
-          let tbl = { freqs = Hashtbl.create 16; total = 0 } in
-          Hashtbl.replace by_interval idx tbl;
-          tbl
-      in
-      let key = (s.cpu, s.line) in
-      let cur = try Hashtbl.find tbl.freqs key with Not_found -> 0 in
-      Hashtbl.replace tbl.freqs key (cur + 1);
-      tbl.total <- tbl.total + 1)
-    samples;
-  Hashtbl.fold (fun idx tbl acc -> (idx, tbl) :: acc) by_interval []
+type binner = {
+  b_interval : int;
+  b_tables : (int, interval_table) Hashtbl.t;
+  mutable b_fed : int;
+}
+
+let binner ~interval =
+  if interval <= 0 then invalid_arg "Sample.binner: interval <= 0";
+  { b_interval = interval; b_tables = Hashtbl.create 64; b_fed = 0 }
+
+let feed b s =
+  let idx = floor_div s.itc b.b_interval in
+  let tbl =
+    match Hashtbl.find_opt b.b_tables idx with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = { freqs = Hashtbl.create 16; total = 0; by_line = None } in
+      Hashtbl.replace b.b_tables idx tbl;
+      tbl
+  in
+  let key = (s.cpu, s.line) in
+  let cur = try Hashtbl.find tbl.freqs key with Not_found -> 0 in
+  Hashtbl.replace tbl.freqs key (cur + 1);
+  tbl.total <- tbl.total + 1;
+  tbl.by_line <- None;
+  b.b_fed <- b.b_fed + 1
+
+let fed b = b.b_fed
+
+let peak_entries b =
+  Hashtbl.fold (fun _ tbl acc -> max acc (entries tbl)) b.b_tables 0
+
+let binned b =
+  Hashtbl.fold (fun idx tbl acc -> (idx, tbl) :: acc) b.b_tables []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
   |> List.map snd
+
+let bin ~interval samples =
+  if interval <= 0 then invalid_arg "Sample.bin: interval <= 0";
+  let b = binner ~interval in
+  List.iter (feed b) samples;
+  binned b
+
+let fold_binned ~interval iter ~init ~f =
+  let b = binner ~interval in
+  iter (feed b);
+  List.fold_left f init (binned b)

@@ -8,7 +8,16 @@
 
     [bin] divides time into fixed-size intervals and produces, for each
     interval, the frequency table F_I(P, L): how many samples interval I
-    holds for CPU P at line L. *)
+    holds for CPU P at line L.
+
+    {b Streaming.} Profiles need not fit in a list: a {!binner} consumes
+    samples one at a time ({!feed}) and aggregates them into interval
+    tables keyed by the absolute interval index (floor of itc / interval),
+    so the resulting tables — and everything computed from them — are
+    independent of how the sample stream was chunked or buffered. An
+    interval table is a histogram, not a sample list; its size is bounded
+    by the number of distinct (cpu, line) pairs, not by the profile
+    length. *)
 
 type t = { cpu : int; itc : int; line : int }
 
@@ -20,7 +29,23 @@ val lines : interval_table -> int list
 (** Distinct lines sampled in the interval, sorted. *)
 
 val cpu_freqs : interval_table -> line:int -> (int * int) list
-(** (cpu, count) pairs for a line, sorted by cpu. *)
+(** (cpu, count) pairs for a line, sorted by cpu. Served from a per-table
+    line index built once per table (O(entries)), not by rescanning the
+    whole frequency table per line. *)
+
+val cpu_freqs_scan : interval_table -> line:int -> (int * int) list
+(** The pre-index implementation: one full scan of the frequency table per
+    call, O(entries) {e per line}. Kept as the differential oracle for
+    {!cpu_freqs} (see test_concurrency) — new code should not use it. *)
+
+val line_freqs : interval_table -> (int * (int * int) list) list
+(** Every sampled line with its (cpu, count) vector, sorted by line — one
+    index lookup per table, the shape the CC kernel consumes. *)
+
+val entries : interval_table -> int
+(** Distinct (cpu, line) pairs in the table — its memory footprint proxy. *)
+
+val total_samples : interval_table -> int
 
 val bin : interval:int -> t list -> interval_table list
 (** [bin ~interval samples] groups samples into intervals of [interval]
@@ -29,4 +54,34 @@ val bin : interval:int -> t list -> interval_table list
     empty intervals are omitted and the tables come back in ascending
     interval order. @raise Invalid_argument if [interval <= 0]. *)
 
-val total_samples : interval_table -> int
+(** {1 Streaming ingestion} *)
+
+type binner
+(** An incremental sample accumulator. [bin ~interval s] is
+    [binner ~interval] + {!feed} for every sample + {!binned}, and feeding
+    the same samples in any chunking yields the same tables. *)
+
+val binner : interval:int -> binner
+(** @raise Invalid_argument if [interval <= 0]. *)
+
+val feed : binner -> t -> unit
+val fed : binner -> int
+(** Samples fed so far. *)
+
+val peak_entries : binner -> int
+(** Largest {!entries} over the accumulated interval tables (0 when no
+    sample was fed) — the high-water mark streaming ingestion reports. *)
+
+val binned : binner -> interval_table list
+(** The accumulated tables in ascending interval order. *)
+
+val fold_binned :
+  interval:int ->
+  ((t -> unit) -> unit) ->
+  init:'a ->
+  f:('a -> interval_table -> 'a) ->
+  'a
+(** [fold_binned ~interval iter ~init ~f] drains the sample producer
+    [iter] through a fresh binner and folds [f] over the resulting tables
+    in ascending interval order — the whole sample stream is never
+    materialized. @raise Invalid_argument if [interval <= 0]. *)

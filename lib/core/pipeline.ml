@@ -26,7 +26,8 @@ let default_params =
     top_positive = 20;
   }
 
-let analyze ?(params = default_params) ~program ~counts ~samples ~struct_name () =
+let analyze ?(params = default_params) ?cm ~program ~counts ~samples
+    ~struct_name () =
   let t0 = Obs.now () in
   let fields =
     match Ast.find_struct program struct_name with
@@ -40,12 +41,15 @@ let analyze ?(params = default_params) ~program ~counts ~samples ~struct_name ()
           ~struct_name)
   in
   let cycle_loss =
-    match samples with
-    | [] -> None
+    match (cm, samples) with
+    | None, [] -> None
     | _ ->
       Obs.time "pipeline.concurrency_s" (fun () ->
           let cm =
-            Code_concurrency.compute ~interval:params.cc_interval samples
+            match cm with
+            | Some cm -> cm
+            | None ->
+              Code_concurrency.compute ~interval:params.cc_interval samples
           in
           let fmf = Fmf.of_program program in
           Some (Cycle_loss.compute ~cm ~fmf ~struct_name))
@@ -60,9 +64,13 @@ let analyze ?(params = default_params) ~program ~counts ~samples ~struct_name ()
     [ ("struct", Json.Str struct_name); ("s", Json.Float dur) ];
   flg
 
-let analyze_all ?params ?pool ~program ~counts ~samples ~struct_names () =
+let concurrency_map ?pool ?chunk ?(params = default_params) iter =
+  Code_concurrency.compute_stream ?pool ?chunk ~interval:params.cc_interval
+    iter
+
+let analyze_all ?params ?pool ?cm ~program ~counts ~samples ~struct_names () =
   let run name =
-    (name, analyze ?params ~program ~counts ~samples ~struct_name:name ())
+    (name, analyze ?params ?cm ~program ~counts ~samples ~struct_name:name ())
   in
   Obs.set_gauge "pipeline.structs" (float_of_int (List.length struct_names));
   (* One task per struct: FLG construction shares nothing across structs

@@ -32,20 +32,36 @@ val default_params : params
 (** k1 = 1.0, k2 = 1.0, line_size = 128, cc_interval = 20_000,
     require_read = false, top_positive = 20. *)
 
+val concurrency_map :
+  ?pool:Slo_exec.Pool.t ->
+  ?chunk:int ->
+  ?params:params ->
+  ((Slo_concurrency.Sample.t -> unit) -> unit) ->
+  Slo_concurrency.Code_concurrency.t
+(** Streaming, sharded CC ingestion: drain a sample producer (e.g.
+    {!Slo_persist.Persist.iter_samples_file} partially applied to a path)
+    through interval binning and fan the per-interval CC computation
+    across [pool] in deterministic chunks. The map is identical for every
+    pool and chunk size; pass it to [analyze]/[analyze_all] via [?cm] to
+    compute CC once per profile instead of once per struct. *)
+
 val analyze :
   ?params:params ->
+  ?cm:Slo_concurrency.Code_concurrency.t ->
   program:Slo_ir.Ast.program ->
   counts:Slo_profile.Counts.t ->
   samples:Slo_concurrency.Sample.t list ->
   struct_name:string ->
   unit ->
   Flg.t
-(** Build the FLG for one struct. An empty [samples] list yields a
-    locality-only FLG (no CycleLoss). *)
+(** Build the FLG for one struct. With [cm], the precomputed concurrency
+    map is used and [samples] is ignored (pass [[]]); otherwise an empty
+    [samples] list yields a locality-only FLG (no CycleLoss). *)
 
 val analyze_all :
   ?params:params ->
   ?pool:Slo_exec.Pool.t ->
+  ?cm:Slo_concurrency.Code_concurrency.t ->
   program:Slo_ir.Ast.program ->
   counts:Slo_profile.Counts.t ->
   samples:Slo_concurrency.Sample.t list ->
@@ -55,7 +71,9 @@ val analyze_all :
 (** [analyze] for every named struct, in input order. With [pool], FLG
     construction fans out one task per struct across the pool's domains;
     the result is guaranteed identical to the serial path (see the
-    {!Slo_exec.Pool} determinism contract). *)
+    {!Slo_exec.Pool} determinism contract). With [cm] (see
+    {!concurrency_map}), every struct shares one concurrency map instead
+    of re-binning the samples per struct. *)
 
 val automatic_layout : ?params:params -> Flg.t -> Slo_layout.Layout.t
 val hotness_layout : Flg.t -> Slo_layout.Layout.t

@@ -152,27 +152,64 @@ let samples_to_string samples =
     samples;
   Buffer.contents buf
 
-let samples_of_string s =
+(* One pass over a producer of raw lines. This is the single parser both
+   the in-memory and the file paths share: the file path hands it
+   [input_line], so a profile is ingested record by record and the full
+   sample list never has to exist (see Code_concurrency.compute_stream). *)
+let fold_sample_lines next ~init ~f =
   let saw_header = ref false in
-  let acc = ref [] in
-  iter_lines s (fun ln line ->
-      let line = String.trim line in
-      if line = "" then ()
-      else if not !saw_header then
-        if line = samples_header then saw_header := true
-        else fail ln "expected header %S, found %S" samples_header line
-      else
-        match split_ws line with
-        | [ cpu; itc; l ] ->
-          (* cpu and line are identifiers (non-negative); itc is a signed
-             timestamp — Sample.bin floor-divides it correctly either way *)
-          acc :=
-            { Sample.cpu = nat_field ln cpu; itc = int_field ln itc;
-              line = nat_field ln l }
-            :: !acc
-        | _ -> fail ln "expected '<cpu> <itc> <line>', found %S" line);
+  let acc = ref init in
+  let ln = ref 0 in
+  let rec go () =
+    match next () with
+    | None -> ()
+    | Some raw ->
+      incr ln;
+      let line = String.trim raw in
+      (if line = "" then ()
+       else if not !saw_header then
+         if line = samples_header then saw_header := true
+         else fail !ln "expected header %S, found %S" samples_header line
+       else
+         match split_ws line with
+         | [ cpu; itc; l ] ->
+           (* cpu and line are identifiers (non-negative); itc is a signed
+              timestamp — Sample.bin floor-divides it correctly either way *)
+           acc :=
+             f !acc
+               { Sample.cpu = nat_field !ln cpu; itc = int_field !ln itc;
+                 line = nat_field !ln l }
+         | _ -> fail !ln "expected '<cpu> <itc> <line>', found %S" line);
+      go ()
+  in
+  go ();
   if not !saw_header then fail 1 "empty samples file";
-  List.rev !acc
+  !acc
+
+let fold_samples_string s ~init ~f =
+  let rem = ref (String.split_on_char '\n' s) in
+  let next () =
+    match !rem with
+    | [] -> None
+    | l :: tl ->
+      rem := tl;
+      Some l
+  in
+  fold_sample_lines next ~init ~f
+
+let samples_of_string s =
+  List.rev (fold_samples_string s ~init:[] ~f:(fun acc smp -> smp :: acc))
+
+let fold_samples_file ~path ~init ~f =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let next () = try Some (input_line ic) with End_of_file -> None in
+      fold_sample_lines next ~init ~f)
+
+let iter_samples_file ~path f =
+  fold_samples_file ~path ~init:() ~f:(fun () smp -> f smp)
 
 (* ------------------------------------------------------------------ *)
 
@@ -191,4 +228,6 @@ let read_file path =
 let save_counts ~path counts = write_file path (counts_to_string counts)
 let load_counts ~path = counts_of_string (read_file path)
 let save_samples ~path samples = write_file path (samples_to_string samples)
-let load_samples ~path = samples_of_string (read_file path)
+
+let load_samples ~path =
+  List.rev (fold_samples_file ~path ~init:[] ~f:(fun acc smp -> smp :: acc))

@@ -46,3 +46,22 @@ val samples_of_string : string -> Slo_concurrency.Sample.t list
 
 val save_samples : path:string -> Slo_concurrency.Sample.t list -> unit
 val load_samples : path:string -> Slo_concurrency.Sample.t list
+
+(** {1 Streaming sample ingestion}
+
+    The line-oriented sample format needs no lookahead, so a profile can
+    be consumed record by record straight from the file. [load_samples] is
+    [fold_samples_file] with a list accumulator; the streaming CC path
+    ({!Slo_concurrency.Code_concurrency.compute_stream}) uses
+    [iter_samples_file] and never builds the list. *)
+
+val fold_samples_file :
+  path:string -> init:'a -> f:('a -> Slo_concurrency.Sample.t -> 'a) -> 'a
+(** Fold over the samples of a [slo-samples 1] file in record order,
+    reading one line at a time. @raise Parse_error on malformed input
+    (same errors and line numbers as {!samples_of_string}). *)
+
+val iter_samples_file : path:string -> (Slo_concurrency.Sample.t -> unit) -> unit
+(** [iter_samples_file ~path f] applies [f] to every sample in file
+    order; the shape {!Slo_concurrency.Sample.fold_binned} and
+    [compute_stream] consume. @raise Parse_error on malformed input. *)

@@ -1,10 +1,15 @@
 (* Classic array-backed binary heap. The secondary key [seq] makes pop order
-   deterministic under equal priorities (FIFO). *)
+   deterministic under equal priorities (FIFO).
+
+   Slots at or beyond [len] are [None]: a popped entry must not stay
+   reachable from the backing array, or the heap pins every value it ever
+   held against the GC for as long as the array is not overwritten by later
+   pushes (the PR 3 space-leak fix; see test_util's finaliser test). *)
 
 type 'a entry = { prio : int; seq : int; value : 'a }
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a entry option array;
   mutable len : int;
   mutable next_seq : int;
 }
@@ -14,13 +19,16 @@ let create () = { data = [||]; len = 0; next_seq = 0 }
 let is_empty t = t.len = 0
 let size t = t.len
 
+let get t i =
+  match t.data.(i) with Some e -> e | None -> assert false
+
 let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
 
-let grow t entry =
+let grow t =
   let cap = Array.length t.data in
   if t.len = cap then begin
     let ncap = max 16 (2 * cap) in
-    let data = Array.make ncap entry in
+    let data = Array.make ncap None in
     Array.blit t.data 0 data 0 t.len;
     t.data <- data
   end
@@ -28,8 +36,8 @@ let grow t entry =
 let push t ~priority value =
   let entry = { prio = priority; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
-  grow t entry;
-  t.data.(t.len) <- entry;
+  grow t;
+  t.data.(t.len) <- Some entry;
   t.len <- t.len + 1;
   (* sift up *)
   let i = ref (t.len - 1) in
@@ -37,7 +45,7 @@ let push t ~priority value =
     !i > 0
     &&
     let parent = (!i - 1) / 2 in
-    less t.data.(!i) t.data.(parent)
+    less (get t !i) (get t parent)
   do
     let parent = (!i - 1) / 2 in
     let tmp = t.data.(parent) in
@@ -46,23 +54,28 @@ let push t ~priority value =
     i := parent
   done
 
-let peek t = if t.len = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+let peek t =
+  if t.len = 0 then None
+  else
+    let e = get t 0 in
+    Some (e.prio, e.value)
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
     t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.data.(0) <- t.data.(t.len);
+    t.data.(0) <- t.data.(t.len);
+    t.data.(t.len) <- None;
+    if t.len > 1 then begin
       (* sift down *)
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < t.len && less t.data.(l) t.data.(!smallest) then smallest := l;
-        if r < t.len && less t.data.(r) t.data.(!smallest) then smallest := r;
+        if l < t.len && less (get t l) (get t !smallest) then smallest := l;
+        if r < t.len && less (get t r) (get t !smallest) then smallest := r;
         if !smallest = !i then continue := false
         else begin
           let tmp = t.data.(!smallest) in

@@ -12,6 +12,8 @@ val size : 'a t -> int
 val push : 'a t -> priority:int -> 'a -> unit
 
 val pop : 'a t -> (int * 'a) option
-(** Remove and return the minimum-priority element. *)
+(** Remove and return the minimum-priority element. The vacated backing
+    slot is cleared, so popped values become collectable as soon as the
+    caller drops them — the heap never pins values it no longer holds. *)
 
 val peek : 'a t -> (int * 'a) option

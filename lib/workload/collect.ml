@@ -62,6 +62,6 @@ let samples ?config ?(period = 400) () =
 let calibrated_params =
   { Pipeline.default_params with Pipeline.k2 = 2.6; cc_interval = 4_000 }
 
-let flg ?(params = calibrated_params) ~counts ~samples ~struct_name () =
-  Pipeline.analyze ~params ~program:(Kernel.program ()) ~counts ~samples
+let flg ?(params = calibrated_params) ?cm ~counts ~samples ~struct_name () =
+  Pipeline.analyze ~params ?cm ~program:(Kernel.program ()) ~counts ~samples
     ~struct_name ()

@@ -24,12 +24,14 @@ val samples :
 
 val flg :
   ?params:Slo_core.Pipeline.params ->
+  ?cm:Slo_concurrency.Code_concurrency.t ->
   counts:Slo_profile.Counts.t ->
   samples:Slo_concurrency.Sample.t list ->
   struct_name:string ->
   unit ->
   Slo_core.Flg.t
-(** Assemble the FLG for one kernel struct. *)
+(** Assemble the FLG for one kernel struct. With [cm], the precomputed
+    concurrency map is shared instead of re-binning [samples]. *)
 
 val calibrated_params : Slo_core.Pipeline.params
 (** Pipeline parameters calibrated for this kernel workload: the CC

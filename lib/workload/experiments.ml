@@ -18,8 +18,14 @@ let analyze_all ?params ?pool () =
   in
   let counts = Collect.profile () in
   let samples = Collect.samples () in
+  (* One shared concurrency map for the whole struct fan-out (the map does
+     not depend on the struct), computed with the sharded per-interval
+     reduce — rather than re-binning the sample list once per struct. *)
+  let cm =
+    Pipeline.concurrency_map ?pool ~params (fun f -> List.iter f samples)
+  in
   let analyze_one struct_name =
-    let flg = Collect.flg ~params ~counts ~samples ~struct_name () in
+    let flg = Collect.flg ~params ~cm ~counts ~samples:[] ~struct_name () in
     let baseline = Kernel.baseline_layout struct_name in
     {
       struct_name;

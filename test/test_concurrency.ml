@@ -213,9 +213,261 @@ let test_cycle_loss_same_line_fields () =
   Alcotest.(check bool) "a-b loss from diagonal" true
     (Cycle_loss.loss loss "a" "b" > 0.0)
 
+let test_cycle_loss_uniform_scale () =
+  (* Pins the uniform conflict-event scale (see Cycle_loss.compute): one
+     unit of loss per ordered (CPU pair, field orientation) conflict
+     event. One coincident sample pair, same line 4 ({a,b}, a written):
+     CC(4,4) = 2 ordered CPU pairs, one diagonal contribute walks both
+     field orientations -> loss(a,b) = 4, matching its 4 ordered conflict
+     events (both CPUs touch both fields). The same coincident pair split
+     across lines 4 (a write) and 5 (c read): CC(4,5) = 1 with 2 ordered
+     conflict events -> loss(a,c) = 2. Removing the second [contribute]
+     orientation call in Cycle_loss.compute drops the cross figure to 1.0
+     and fails this test. *)
+  let p = Typecheck.check (Parser.parse_program ~file:"t.mc" fmf_src) in
+  let fmf = Fmf.of_program p in
+  let loss_of samples =
+    let cm = CC.compute ~interval:100 samples in
+    Cycle_loss.compute ~cm ~fmf ~struct_name:"S"
+  in
+  let same = loss_of [ s 0 10 4; s 1 12 4 ] in
+  checkf "same-line {a,b}: 4 ordered conflict events" 4.0
+    (Cycle_loss.loss same "a" "b");
+  let cross = loss_of [ s 0 10 4; s 1 12 5 ] in
+  checkf "cross-line {a,c}: 2 ordered conflict events" 2.0
+    (Cycle_loss.loss cross "a" "c");
+  checkf "read-read pair stays zero" 0.0 (Cycle_loss.loss cross "b" "c")
+
+(* ------------------------------------------------------------------ *)
+(* Streaming ingestion and the grouped per-line index *)
+
+let render_tables tables =
+  List.map
+    (fun t ->
+      List.map (fun l -> (l, Sample.cpu_freqs t ~line:l)) (Sample.lines t))
+    tables
+
+let gen_triples =
+  QCheck2.Gen.(
+    list_size (int_bound 80)
+      (triple (int_bound 3) (int_range (-500) 500) (int_range 1 5)))
+
+let prop_grouped_index_matches_scan =
+  (* Regression for the cpu_freqs full-table scan: the grouped per-line
+     index must serve exactly what the O(entries) scan computed. *)
+  QCheck2.Test.make ~name:"cpu_freqs grouped index = full-table scan"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 1 50) gen_triples)
+    (fun (interval, triples) ->
+      let samples = List.map (fun (c, t, l) -> s c t l) triples in
+      let tables = Sample.bin ~interval samples in
+      List.for_all
+        (fun t ->
+          List.for_all
+            (fun l -> Sample.cpu_freqs t ~line:l = Sample.cpu_freqs_scan t ~line:l)
+            (Sample.lines t))
+        tables)
+
+let test_grouped_index_invalidation () =
+  (* Feeding a binner after the index was built must invalidate the memo;
+     a stale index would miss the third sample. *)
+  let b = Sample.binner ~interval:100 in
+  Sample.feed b (s 0 10 1);
+  Sample.feed b (s 1 20 1);
+  let t = List.hd (Sample.binned b) in
+  Alcotest.(check (list (pair int int)))
+    "grouped = scan before"
+    (Sample.cpu_freqs_scan t ~line:1)
+    (Sample.cpu_freqs t ~line:1);
+  Sample.feed b (s 0 30 1);
+  Alcotest.(check (list (pair int int)))
+    "index invalidated by feed"
+    (Sample.cpu_freqs_scan t ~line:1)
+    (Sample.cpu_freqs t ~line:1);
+  check_int "updated count visible" 2 (Sample.freq t ~cpu:0 ~line:1)
+
+let test_binner_counters () =
+  let b = Sample.binner ~interval:100 in
+  check_int "fed starts at 0" 0 (Sample.fed b);
+  check_int "peak starts at 0" 0 (Sample.peak_entries b);
+  List.iter (Sample.feed b) [ s 0 10 1; s 1 20 2; s 0 15 1; s 0 150 1 ];
+  check_int "fed counts samples" 4 (Sample.fed b);
+  (* interval 0 holds entries (0,1) and (1,2); interval 1 holds one *)
+  check_int "peak interval-table entries" 2 (Sample.peak_entries b);
+  check_int "two tables" 2 (List.length (Sample.binned b))
+
+let test_fold_binned_matches_bin () =
+  let samples = [ s 0 10 1; s 1 20 2; s 0 150 1; s 2 (-5) 3 ] in
+  let streamed =
+    Sample.fold_binned ~interval:100
+      (fun f -> List.iter f samples)
+      ~init:[]
+      ~f:(fun acc t -> t :: acc)
+  in
+  Alcotest.(check bool) "fold_binned = bin" true
+    (render_tables (List.rev streamed)
+    = render_tables (Sample.bin ~interval:100 samples));
+  match Sample.fold_binned ~interval:0 (fun _ -> ()) ~init:() ~f:(fun () _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "fold_binned accepted interval 0"
+
+(* ------------------------------------------------------------------ *)
+(* Saturating arithmetic in the CC kernel *)
+
+let naive_sat_sum_min a b =
+  List.fold_left
+    (fun acc (_, ca) ->
+      List.fold_left
+        (fun acc (_, cb) -> CC.For_tests.sat_add acc (min ca cb))
+        acc b)
+    0 a
+
+let gen_count =
+  (* Mostly small counts, with a fat tail near max_int to force overflow
+     in both the prefix sums and the m*n accumulation. *)
+  QCheck2.Gen.(
+    frequency
+      [
+        (3, int_range 0 1000);
+        (1, int_range (max_int / 2) max_int);
+        (1, int_range (max_int - 4) max_int);
+      ])
+
+let prop_sum_min_saturates =
+  QCheck2.Test.make
+    ~name:"sum_min_all saturates exactly like the naive double loop"
+    ~count:200
+    QCheck2.Gen.(
+      pair (list_size (int_bound 6) gen_count) (list_size (int_bound 6) gen_count))
+    (fun (ca, cb) ->
+      let a = List.mapi (fun i c -> (i, c)) ca in
+      let b = List.mapi (fun i c -> (100 + i, c)) cb in
+      CC.For_tests.sum_min_all a b = naive_sat_sum_min a b)
+
+let test_saturation_units () =
+  let module F = CC.For_tests in
+  check_int "sat_add caps" max_int (F.sat_add max_int 1);
+  check_int "sat_add caps (sym)" max_int (F.sat_add 1 max_int);
+  check_int "sat_add normal" 7 (F.sat_add 3 4);
+  check_int "sat_mul caps" max_int (F.sat_mul (max_int / 2) 3);
+  check_int "sat_mul normal" 12 (F.sat_mul 3 4);
+  check_int "sat_mul zero" 0 (F.sat_mul 0 max_int);
+  check_int "sum_min_against saturates" max_int
+    (F.sum_min_against [ (0, max_int); (1, max_int) ] max_int);
+  (* the stored cell saturates instead of wrapping negative *)
+  let cm = CC.create () in
+  F.add cm 1 2 (max_int - 1);
+  F.add cm 1 2 5;
+  check_int "accumulated cc saturates" max_int (CC.cc cm 1 2)
+
+let test_top_validation () =
+  let cm = CC.compute ~interval:100 [ s 0 1 1; s 1 2 2 ] in
+  (match CC.top cm ~k:(-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "top accepted k = -1");
+  Alcotest.(check (list (pair (pair int int) int))) "k = 0 is empty" []
+    (CC.top cm ~k:0)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded / streaming compute: merge laws and boundary invariance.
+   These are the invariants the parallel reduce in compute_tables rests
+   on; the suite also runs under @runtest-par. *)
+
+let mk_samples triples = List.map (fun (c, t, l) -> s c t l) triples
+
+let prop_stream_matches_compute =
+  QCheck2.Test.make ~name:"compute_stream = compute" ~count:100
+    QCheck2.Gen.(pair (int_range 1 300) gen_triples)
+    (fun (interval, triples) ->
+      let samples = mk_samples triples in
+      let cm = CC.compute ~interval samples in
+      let cm' = CC.compute_stream ~interval (fun f -> List.iter f samples) in
+      CC.pairs cm' = CC.pairs cm)
+
+let prop_chunk_invariant =
+  QCheck2.Test.make ~name:"compute_tables is chunk-size invariant" ~count:60
+    QCheck2.Gen.(triple (int_range 1 300) (int_range 1 9) gen_triples)
+    (fun (interval, chunk, triples) ->
+      let samples = mk_samples triples in
+      let tables = Sample.bin ~interval samples in
+      CC.pairs (CC.compute_tables ~chunk tables)
+      = CC.pairs (CC.compute ~interval samples))
+
+let prop_table_shard_invariant =
+  (* Split the interval-table list at any boundary, compute each shard
+     independently, merge: must equal the unsharded map. (Raw samples of
+     ONE interval cannot be sharded — min is not additive — which is why
+     the pipeline bins first and shards the table list.) *)
+  QCheck2.Test.make ~name:"shard boundary invariance (tables + merge)"
+    ~count:80
+    QCheck2.Gen.(triple (int_range 1 300) (int_bound 100) gen_triples)
+    (fun (interval, cut, triples) ->
+      let samples = mk_samples triples in
+      let tables = Sample.bin ~interval samples in
+      let n = List.length tables in
+      let k = if n = 0 then 0 else cut mod (n + 1) in
+      let left = List.filteri (fun i _ -> i < k) tables in
+      let right = List.filteri (fun i _ -> i >= k) tables in
+      let merged =
+        CC.merge (CC.compute_tables left) (CC.compute_tables right)
+      in
+      CC.pairs merged = CC.pairs (CC.compute ~interval samples))
+
+let gen_cm =
+  (* A concurrency map from random samples, optionally carrying one cell
+     near max_int so the laws are exercised at the saturation boundary. *)
+  QCheck2.Gen.(
+    let* triples = gen_triples in
+    let* big = opt (pair (int_range 1 5) (int_range 1 5)) in
+    return
+      (let cm = CC.compute ~interval:250 (mk_samples triples) in
+       (match big with
+       | Some (l1, l2) -> CC.For_tests.add cm l1 l2 (max_int - 3)
+       | None -> ());
+       cm))
+
+let prop_merge_commutative =
+  QCheck2.Test.make ~name:"merge is commutative (up to pairs)" ~count:80
+    QCheck2.Gen.(pair gen_cm gen_cm)
+    (fun (a, b) -> CC.pairs (CC.merge a b) = CC.pairs (CC.merge b a))
+
+let prop_merge_associative =
+  QCheck2.Test.make ~name:"merge is associative (up to pairs)" ~count:80
+    QCheck2.Gen.(triple gen_cm gen_cm gen_cm)
+    (fun (a, b, c) ->
+      CC.pairs (CC.merge (CC.merge a b) c)
+      = CC.pairs (CC.merge a (CC.merge b c)))
+
+let test_pool_shard_identical () =
+  (* The full parallel path: streaming ingestion fanned over a real
+     domain pool must be byte-identical to the serial compute. *)
+  let samples =
+    List.concat_map
+      (fun i -> [ s (i mod 4) (i * 37) (1 + (i mod 5)); s ((i + 1) mod 4) (i * 53) (1 + (i * 3 mod 5)) ])
+      (List.init 200 Fun.id)
+  in
+  let serial = CC.compute ~interval:100 samples in
+  Slo_exec.Pool.with_pool ~domains:2 (fun pool ->
+      let par =
+        CC.compute_stream ~pool ~chunk:3 ~interval:100 (fun f ->
+            List.iter f samples)
+      in
+      Alcotest.(check bool) "pool = serial" true
+        (CC.pairs par = CC.pairs serial))
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [ prop_cc_symmetric_nonneg; prop_cc_monotone; prop_bin_shift_invariant ]
+
+let shard_props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_stream_matches_compute;
+      prop_chunk_invariant;
+      prop_table_shard_invariant;
+      prop_merge_commutative;
+      prop_merge_associative;
+    ]
 
 let suites =
   [
@@ -224,6 +476,12 @@ let suites =
         Alcotest.test_case "binning" `Quick test_bin_basic;
         Alcotest.test_case "validation" `Quick test_bin_validation;
         Alcotest.test_case "negative itc bins" `Quick test_bin_negative_itc;
+        Alcotest.test_case "grouped index invalidation" `Quick
+          test_grouped_index_invalidation;
+        Alcotest.test_case "binner counters" `Quick test_binner_counters;
+        Alcotest.test_case "fold_binned = bin" `Quick
+          test_fold_binned_matches_bin;
+        QCheck_alcotest.to_alcotest prop_grouped_index_matches_scan;
       ] );
     ( "concurrency.cc",
       [
@@ -241,6 +499,19 @@ let suites =
       [
         Alcotest.test_case "write filter" `Quick test_cycle_loss_requires_write;
         Alcotest.test_case "same-line loss" `Quick test_cycle_loss_same_line_fields;
+        Alcotest.test_case "uniform conflict-event scale" `Quick
+          test_cycle_loss_uniform_scale;
       ] );
+    ( "concurrency.saturation",
+      [
+        Alcotest.test_case "saturating kernel units" `Quick
+          test_saturation_units;
+        Alcotest.test_case "top k validation" `Quick test_top_validation;
+        QCheck_alcotest.to_alcotest prop_sum_min_saturates;
+      ] );
+    ( "concurrency.shard",
+      Alcotest.test_case "pool shard identical" `Quick
+        test_pool_shard_identical
+      :: shard_props );
     ("concurrency.properties", props);
   ]

@@ -170,6 +170,74 @@ let prop_encode_roundtrip =
         Counts.block_count c' ~proc ~block:1 = n
       end)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming sample ingestion *)
+
+let test_streaming_reader_matches_load () =
+  let path = Filename.temp_file "slo_test" ".samples" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let samples =
+        List.init 100 (fun i ->
+            { Sample.cpu = i mod 8; itc = (i * 37) - 500; line = i mod 13 })
+      in
+      Persist.save_samples ~path samples;
+      let streamed =
+        List.rev
+          (Persist.fold_samples_file ~path ~init:[] ~f:(fun acc s -> s :: acc))
+      in
+      Alcotest.(check bool) "fold_samples_file = load_samples" true
+        (streamed = Persist.load_samples ~path);
+      Alcotest.(check bool) "streamed = original" true (streamed = samples);
+      let n = ref 0 in
+      Persist.iter_samples_file ~path (fun _ -> incr n);
+      check_int "iter visits every sample" 100 !n)
+
+let test_streaming_reader_errors () =
+  (* The streaming reader must keep the in-memory parser's Parse_error
+     discipline: bad or missing header, malformed rows, negative cpu. *)
+  let write s =
+    let path = Filename.temp_file "slo_test" ".samples" in
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc;
+    path
+  in
+  let expect s =
+    let path = write s in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        match Persist.iter_samples_file ~path (fun _ -> ()) with
+        | exception Persist.Parse_error _ -> ()
+        | () ->
+          Alcotest.fail ("streamed invalid samples file: " ^ String.escaped s))
+  in
+  expect "";
+  expect "wrong-header\n0 1 2";
+  expect "slo-samples 1\n0 1" (* missing field *);
+  expect "slo-samples 1\n0 one 2";
+  expect "slo-samples 1\n-1 5 3" (* negative cpu *)
+
+let prop_streamed_equals_string_parse =
+  QCheck2.Test.make ~name:"streamed file parse = in-memory parse" ~count:50
+    QCheck2.Gen.(
+      list_size (int_range 0 60)
+        (let* cpu = int_range 0 127 in
+         let* itc = int_range (-1_000_000) 1_000_000 in
+         let* line = int_range 0 10_000 in
+         return { Sample.cpu; itc; line }))
+    (fun samples ->
+      let path = Filename.temp_file "slo_test" ".samples" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Persist.save_samples ~path samples;
+          List.rev
+            (Persist.fold_samples_file ~path ~init:[] ~f:(fun a s -> s :: a))
+          = Persist.samples_of_string (Persist.samples_to_string samples)))
+
 let suites =
   [
     ( "persist",
@@ -184,6 +252,11 @@ let suites =
         Alcotest.test_case "samples round trip" `Quick test_samples_roundtrip;
         Alcotest.test_case "samples file" `Quick test_samples_file_roundtrip;
         Alcotest.test_case "kernel profile round trip" `Quick test_real_profile_roundtrip;
+        Alcotest.test_case "streaming reader = load" `Quick
+          test_streaming_reader_matches_load;
+        Alcotest.test_case "streaming reader errors" `Quick
+          test_streaming_reader_errors;
+        QCheck_alcotest.to_alcotest prop_streamed_equals_string_parse;
         QCheck_alcotest.to_alcotest prop_samples_roundtrip;
         QCheck_alcotest.to_alcotest prop_samples_signed_itc_roundtrip;
         QCheck_alcotest.to_alcotest prop_adversarial_names_roundtrip;

@@ -180,6 +180,48 @@ let test_heap_basics () =
   Alcotest.(check (option (pair int int))) "peek min" (Some (1, 10)) (Heap.peek h);
   check_int "size" 2 (Heap.size h)
 
+let test_heap_pop_releases_values () =
+  (* Regression for a space leak: pop moved the last entry to the root
+     but left the vacated t.data.(len) slot pointing at it, so popped
+     values stayed reachable from the backing array for as long as the
+     heap lived. Every popped value must be collectable while the heap
+     itself is still alive. *)
+  let h = Heap.create () in
+  let finalised = ref 0 in
+  for i = 0 to 63 do
+    let v = ref i in
+    Gc.finalise (fun _ -> incr finalised) v;
+    Heap.push h ~priority:i v
+  done;
+  let rec drain () =
+    match Heap.pop h with None -> () | Some _ -> drain ()
+  in
+  drain ();
+  Gc.full_major ();
+  Gc.full_major ();
+  check_int "all popped values collected" 64 !finalised;
+  (* the heap must stay reachable past the GC, otherwise collecting the
+     heap itself would mask the leak *)
+  Alcotest.(check bool) "heap still alive and empty" true
+    (Heap.is_empty (Sys.opaque_identity h))
+
+let prop_heap_stable_order_law =
+  (* The push/pop order law in one line: draining equals the stable sort
+     of the pushed values by (priority, insertion index). Subsumes both
+     the sorted-drain and FIFO-ties facts. *)
+  QCheck2.Test.make
+    ~name:"heap drain = stable sort by (priority, push order)" ~count:200
+    QCheck2.Gen.(list_size (int_bound 60) (int_range (-20) 20))
+    (fun ps ->
+      let h = Heap.create () in
+      List.iteri (fun i p -> Heap.push h ~priority:p (p, i)) ps;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      drain [] = List.sort compare (List.mapi (fun i p -> (p, i)) ps))
+
 (* ------------------------------------------------------------------ *)
 (* Properties *)
 
@@ -264,6 +306,9 @@ let suites =
         Alcotest.test_case "sorted drain" `Quick test_heap_order;
         Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
         Alcotest.test_case "basics" `Quick test_heap_basics;
+        Alcotest.test_case "pop releases values" `Quick
+          test_heap_pop_releases_values;
+        QCheck_alcotest.to_alcotest prop_heap_stable_order_law;
       ] );
     ("util.properties", props);
   ]
