@@ -1,9 +1,17 @@
 (* Artifact schema check: `check_json FILE KEY...` parses FILE with the
-   in-tree JSON parser and requires every KEY as a top-level object member.
-   Run by the @runtest-obs alias against the smoke-section artifact and the
-   manifest, so `dune runtest` fails if the bench JSON output regresses. *)
+   in-tree JSON parser and requires every KEY to resolve as an object
+   member. A KEY may be a dotted path ("metrics.counters"): each segment
+   descends one object level. Run by the @runtest-obs alias against the
+   bench artifacts and the manifest, so `dune runtest` fails if the bench
+   JSON output regresses. *)
 
 module Json = Slo_obs.Json
+
+let lookup_path j path =
+  List.fold_left
+    (fun j seg -> match j with None -> None | Some j -> Json.member j seg)
+    (Some j)
+    (String.split_on_char '.' path)
 
 let () =
   if Array.length Sys.argv < 2 then begin
@@ -29,10 +37,10 @@ let () =
     let missing = ref [] in
     for i = Array.length Sys.argv - 1 downto 2 do
       let key = Sys.argv.(i) in
-      if Json.member j key = None then missing := key :: !missing
+      if lookup_path j key = None then missing := key :: !missing
     done;
     if !missing <> [] then begin
-      Printf.eprintf "check_json: %s: missing top-level keys: %s\n" path
+      Printf.eprintf "check_json: %s: missing keys: %s\n" path
         (String.concat ", " !missing);
       exit 1
     end;

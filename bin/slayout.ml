@@ -35,6 +35,7 @@ module Flg = Slo_core.Flg
 module Sgraph = Slo_graph.Sgraph
 module Prng = Slo_util.Prng
 module Pool = Slo_exec.Pool
+module Optimizer = Slo_search.Optimizer
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -303,12 +304,27 @@ let samples_file_arg =
 
 let suggest_cmd =
   let run file struct_name int_arg rounds cpus period k1 k2 interval line_size
-      inline profile_file samples_file jobs =
+      inline profile_file samples_file jobs optimizer restarts seed =
     or_die (fun () ->
-        let program, params, flg =
+        (* parse the optimizer name before doing any work so a typo dies
+           with the list of valid choices *)
+        let selector = Option.map Optimizer.selector_of_string optimizer in
+        let program, params, flg, portfolio =
+          (* the pool only lives inside this closure, so the search stage
+             (which fans its candidates across it) runs here too *)
           with_jobs jobs (fun ~domains:_ pool ->
-              analyze ~inline ?profile_file ?samples_file ?pool file
-                struct_name int_arg rounds cpus period k1 k2 interval line_size)
+              let program, params, flg =
+                analyze ~inline ?profile_file ?samples_file ?pool file
+                  struct_name int_arg rounds cpus period k1 k2 interval
+                  line_size
+              in
+              let portfolio =
+                Option.map
+                  (fun selector ->
+                    Pipeline.search ~params ?pool ~seed ~restarts ~selector flg)
+                  selector
+              in
+              (program, params, flg, portfolio))
         in
         print_endline (Report.render (Pipeline.report ~params flg));
         Format.printf "@.%a@." Slo_core.Advisor.pp (Slo_core.Advisor.analyze flg);
@@ -320,7 +336,51 @@ let suggest_cmd =
         Format.printf
           "@.--- incremental layout (constraints on declared) ---@.%a@."
           (Layout.pp_lines ~line_size)
-          (Pipeline.incremental_layout ~params flg ~baseline:declared))
+          (Pipeline.incremental_layout ~params flg ~baseline:declared);
+        match (selector, portfolio) with
+        | Some selector, Some p ->
+          Format.printf "@.--- layout search (%s, restarts=%d, seed=%d) ---@."
+            (Optimizer.selector_name selector)
+            restarts seed;
+          Printf.printf "%-12s %12s %8s\n" "candidate" "score" "moves";
+          List.iter
+            (fun (r : Optimizer.result) ->
+              Printf.printf "%-12s %12.2f %8d\n" r.Optimizer.label
+                r.Optimizer.score r.Optimizer.moves)
+            p.Optimizer.scoreboard;
+          Printf.printf "best: %s (%.2f vs greedy %.2f)\n"
+            p.Optimizer.best.Optimizer.label p.Optimizer.best.Optimizer.score
+            p.Optimizer.greedy.Optimizer.score;
+          Format.printf "@.--- searched layout (%s) ---@.%a@."
+            p.Optimizer.best.Optimizer.label
+            (Layout.pp_lines ~line_size)
+            p.Optimizer.best.Optimizer.layout
+        | _ -> ())
+  in
+  let optimizer_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "optimizer" ] ~docv:"NAME"
+          ~doc:
+            "run the metaheuristic layout search after the analysis and \
+             print its scoreboard plus the best layout found. $(docv) is \
+             one of $(b,greedy) (score the clustering as-is), $(b,swap) \
+             (steepest-descent pairwise swaps), $(b,anneal) (simulated \
+             annealing restarts), or $(b,portfolio) (all of them, fanned \
+             across the worker domains). Results are identical for every \
+             $(b,--jobs) value.")
+  in
+  let restarts_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "restarts" ] ~docv:"N"
+          ~doc:"annealing restarts for $(b,--optimizer) anneal|portfolio")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"master seed of the search PRNG streams")
   in
   Cmd.v
     (Cmd.info "suggest" ~doc:"run the full pipeline and print the layout report")
@@ -328,7 +388,7 @@ let suggest_cmd =
       const run $ file_arg $ struct_arg $ int_arg_t $ rounds_arg
       $ cpus_collect_arg $ period_arg $ k1_arg $ k2_arg $ interval_arg
       $ line_size_arg $ inline_arg $ profile_file_arg $ samples_file_arg
-      $ jobs_arg)
+      $ jobs_arg $ optimizer_arg $ restarts_arg $ seed_arg)
 
 let collect_cmd =
   let run file int_arg rounds cpus period out_prefix =

@@ -98,22 +98,8 @@ let automatic_layout flg ~line_size =
   layout_of_clusters flg ~line_size (run flg ~line_size)
 
 let intra_cluster_weight flg c =
-  let rec pairs acc = function
-    | [] -> acc
-    | (f : Field.t) :: rest ->
-      let acc =
-        List.fold_left
-          (fun acc (g : Field.t) -> acc +. Flg.weight flg f.Field.name g.Field.name)
-          acc rest
-      in
-      pairs acc rest
-  in
-  pairs 0.0 c.members
+  Slo_search.Objective.pair_weight_sum ~weight:(Flg.weight flg) c.members
 
 let inter_cluster_weight flg c1 c2 =
-  List.fold_left
-    (fun acc (f : Field.t) ->
-      List.fold_left
-        (fun acc (g : Field.t) -> acc +. Flg.weight flg f.Field.name g.Field.name)
-        acc c2.members)
-    0.0 c1.members
+  Slo_search.Objective.cross_weight_sum ~weight:(Flg.weight flg) c1.members
+    c2.members

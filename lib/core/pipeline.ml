@@ -84,6 +84,22 @@ let analyze_all ?params ?pool ?cm ~program ~counts ~samples ~struct_names () =
 let automatic_layout ?(params = default_params) flg =
   Cluster.automatic_layout flg ~line_size:params.line_size
 
+let search_problem ?(params = default_params) (flg : Flg.t) =
+  Slo_search.Objective.make ~struct_name:flg.Flg.struct_name
+    ~fields:flg.Flg.fields ~graph:flg.Flg.graph ~line_size:params.line_size
+
+let search ?(params = default_params) ?pool ?seed ?restarts ?steps ~selector
+    flg =
+  Obs.time "pipeline.search_s" (fun () ->
+      let obj = search_problem ~params flg in
+      let init =
+        List.map
+          (fun (c : Cluster.cluster) -> c.Cluster.members)
+          (Cluster.run flg ~line_size:params.line_size)
+      in
+      Slo_search.Optimizer.run_selector ?pool ?seed ?restarts ?steps obj ~init
+        selector)
+
 let hotness_layout flg = Hotness_heuristic.layout_of_flg flg
 
 let incremental_layout ?(params = default_params) flg ~baseline =

@@ -78,6 +78,27 @@ val analyze_all :
 val automatic_layout : ?params:params -> Flg.t -> Slo_layout.Layout.t
 val hotness_layout : Flg.t -> Slo_layout.Layout.t
 
+val search_problem : ?params:params -> Flg.t -> Slo_search.Objective.t
+(** The FLG as a first-class layout objective ({!Slo_search.Objective}):
+    same fields, same combined edge weights, [params.line_size] as the
+    colocation granularity. *)
+
+val search :
+  ?params:params ->
+  ?pool:Slo_exec.Pool.t ->
+  ?seed:int ->
+  ?restarts:int ->
+  ?steps:int ->
+  selector:Slo_search.Optimizer.selector ->
+  Flg.t ->
+  Slo_search.Optimizer.portfolio
+(** Metaheuristic layout search: seed with the greedy clustering
+    ({!Cluster.run}) and refine via {!Slo_search.Optimizer.run_selector}.
+    The portfolio's [greedy] entry therefore scores exactly the paper's
+    automatic layout, and [best] never scores below it. With [pool] the
+    candidates fan out across domains; results are bit-identical for
+    every pool size. Timed into the [pipeline.search_s] histogram. *)
+
 val incremental_layout :
   ?params:params -> Flg.t -> baseline:Slo_layout.Layout.t -> Slo_layout.Layout.t
 

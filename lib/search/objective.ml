@@ -1,0 +1,91 @@
+module Field = Slo_layout.Field
+module Layout = Slo_layout.Layout
+module Sgraph = Slo_graph.Sgraph
+
+type t = {
+  struct_name : string;
+  fields : Field.t list;
+  graph : Sgraph.t;
+  line_size : int;
+}
+
+let make ~struct_name ~fields ~graph ~line_size =
+  if line_size <= 0 then invalid_arg "Search.Objective.make: line_size <= 0";
+  if fields = [] then invalid_arg "Search.Objective.make: no fields";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Field.t) ->
+      if Hashtbl.mem seen f.Field.name then
+        invalid_arg
+          (Printf.sprintf "Search.Objective.make: duplicate field %S"
+             f.Field.name);
+      Hashtbl.replace seen f.Field.name ())
+    fields;
+  { struct_name; fields; graph; line_size }
+
+let weight t f1 f2 = Sgraph.weight0 t.graph f1 f2
+
+(* fold over unordered pairs of distinct fields *)
+let fold_pairs ~f init fields =
+  let rec go acc = function
+    | [] -> acc
+    | (x : Field.t) :: rest ->
+      let acc =
+        List.fold_left (fun acc (y : Field.t) -> f acc x.Field.name y.Field.name) acc rest
+      in
+      go acc rest
+  in
+  go init fields
+
+let pair_weight_sum ~weight fields =
+  fold_pairs ~f:(fun acc a b -> acc +. weight a b) 0.0 fields
+
+let cross_weight_sum ~weight b1 b2 =
+  List.fold_left
+    (fun acc (x : Field.t) ->
+      List.fold_left
+        (fun acc (y : Field.t) -> acc +. weight x.Field.name y.Field.name)
+        acc b2)
+    0.0 b1
+
+let block_weight t block = pair_weight_sum ~weight:(weight t) block
+
+let score_blocks t blocks =
+  List.fold_left (fun acc b -> acc +. block_weight t b) 0.0 blocks
+
+let line_groups t (layout : Layout.t) =
+  let rev =
+    List.fold_left
+      (fun acc (s : Layout.slot) ->
+        let line = s.Layout.offset / t.line_size in
+        match acc with
+        | (l, fs) :: rest when l = line -> (l, s.Layout.field :: fs) :: rest
+        | _ -> (line, [ s.Layout.field ]) :: acc)
+      [] layout.Layout.slots
+  in
+  List.rev_map (fun (_, fs) -> List.rev fs) rev
+
+let score t layout = score_blocks t (line_groups t layout)
+
+let gain_loss t layout =
+  List.fold_left
+    (fun acc block ->
+      fold_pairs
+        ~f:(fun (g, l) a b ->
+          let w = weight t a b in
+          if w >= 0.0 then (g +. w, l) else (g, l -. w))
+        acc block)
+    (0.0, 0.0) (line_groups t layout)
+
+let active_fields t =
+  List.filter
+    (fun (f : Field.t) -> Sgraph.degree t.graph f.Field.name > 0)
+    t.fields
+
+let block_fits t = function
+  | [] | [ _ ] -> true
+  | block -> Layout.packed_size block <= t.line_size
+
+let layout_of_blocks t blocks =
+  Layout.of_clusters ~struct_name:t.struct_name ~line_size:t.line_size
+    (List.filter (fun b -> b <> []) blocks)

@@ -1,0 +1,53 @@
+(** A greedy-clustering trap workload: the capacity-myopia counterexample
+    that motivates the metaheuristic search (lib/search).
+
+    Struct [T] has a hot decoy field [t_x] whose best friend is [t_y], a
+    seed-adjacent field [t_s], and fifteen mutually-affine scan fields
+    [t_c0..t_c14]. The access mix is tuned so the affinity weights come
+    out as
+
+    - [w(t_x, t_y)] largest (the pair),
+    - [w(t_s, t_x)] next (the decoy edge),
+    - [w(t_ci, t_cj)] solid (the scan block),
+    - [w(t_s, t_ci)] small.
+
+    All sixteen of [t_s] + the scan fields fit exactly one 128-byte line,
+    so the objective-optimal partition is [{t_s, t_c*} | {t_x, t_y}]. The
+    paper's greedy clusterer (Figure 7) instead seeds at the hottest field,
+    follows the heaviest immediate edge, and packs the decoy chain plus as
+    many scan fields as still fit onto one line — stranding the scan
+    leftovers on a second line and splitting the scan block. That is a
+    strictly worse partition under the shared {!Slo_search.Objective}, and
+    a local repair (swap the decoy pair out, reunite the scan block) is
+    exactly what the swap-descent optimizer finds.
+
+    {!measure_makespan} replays the same access mix on the execution-driven
+    simulator under cache-capacity pressure, so the objective gap is
+    confirmed in cycles: the scan threads touch two lines per instance
+    under the greedy layout but one under the repaired layout. *)
+
+val source : string
+(** The minic source (struct [T] + the four access procedures). *)
+
+val program : unit -> Slo_ir.Ast.program
+(** Parsed and typechecked, memoized. *)
+
+val struct_name : string
+(** ["T"]. *)
+
+val line_size : int
+(** 128, as everywhere else. *)
+
+val profile : unit -> Slo_profile.Counts.t
+(** Profile counts from one interpreter pass with the calibrated per-op
+    trip counts (the mix described above). Deterministic. *)
+
+val flg : unit -> Slo_core.Flg.t
+(** The trap FLG: {!profile} fed through {!Slo_core.Pipeline.analyze} with
+    default parameters and no PMU samples (the trap is locality-only). *)
+
+val measure_makespan : ?cpus:int -> Slo_layout.Layout.t -> int
+(** Total simulator makespan (cycles) of the trap workload with [T] laid
+    out as given: [cpus] threads (default 8, even = scan sweeps, odd =
+    pair sweeps) over a shared population sized to overflow the per-CPU
+    cache. Deterministic for a fixed layout. *)

@@ -186,6 +186,65 @@ let test_intra_inter_weights () =
   checkf "inter includes the negative edge" (-500.0)
     (Cluster.inter_cluster_weight flg c0 c_f2)
 
+(* Hand-authored FLG for the shared scoring primitives: four longs with
+   edge weights small enough to sum by hand. *)
+let hand_flg () =
+  let fields = [ fld "f0"; fld "f1"; fld "f2"; fld "f3" ] in
+  let names = List.map (fun (f : Field.t) -> f.Field.name) fields in
+  let g0 = List.fold_left Sgraph.add_node Sgraph.empty names in
+  let graph =
+    List.fold_left
+      (fun g (u, v, w) -> Sgraph.add_edge g u v w)
+      g0
+      [
+        ("f0", "f1", 10.0);
+        ("f0", "f2", -3.0);
+        ("f1", "f3", 2.0);
+        ("f2", "f3", 7.0);
+      ]
+  in
+  {
+    Flg.struct_name = "S";
+    fields;
+    graph;
+    gain = graph;
+    loss = Sgraph.empty;
+    hotness = List.map (fun n -> (n, 1)) names;
+  }
+
+let test_inter_weight_hand_computed () =
+  let flg = hand_flg () in
+  let c1 = { Cluster.seed = "f0"; members = [ fld "f0"; fld "f1" ] } in
+  let c2 = { Cluster.seed = "f2"; members = [ fld "f2"; fld "f3" ] } in
+  (* cross pairs: (f0,f2) = -3, (f0,f3) = 0, (f1,f2) = 0, (f1,f3) = 2 *)
+  checkf "inter by hand" (-1.0) (Cluster.inter_cluster_weight flg c1 c2);
+  checkf "inter symmetric" (-1.0) (Cluster.inter_cluster_weight flg c2 c1);
+  checkf "intra c1" 10.0 (Cluster.intra_cluster_weight flg c1);
+  checkf "intra c2" 7.0 (Cluster.intra_cluster_weight flg c2)
+
+let test_cluster_score_law () =
+  (* Laying each cluster on its own line keeps exactly the intra pairs
+     colocated, so the shared objective scores the clustering's layout as
+     the sum of its intra-cluster weights. *)
+  let flg = hand_flg () in
+  let line_size = 32 in
+  let params = { Pipeline.default_params with Pipeline.line_size } in
+  List.iter
+    (fun pack_cold ->
+      let clusters = Cluster.run ~pack_cold flg ~line_size in
+      let layout = Cluster.layout_of_clusters flg ~line_size clusters in
+      let obj = Pipeline.search_problem ~params flg in
+      let sum_intra =
+        List.fold_left
+          (fun acc c -> acc +. Cluster.intra_cluster_weight flg c)
+          0.0 clusters
+      in
+      checkf
+        (Printf.sprintf "score = sum intra (pack_cold=%b)" pack_cold)
+        sum_intra
+        (Slo_search.Objective.score obj layout))
+    [ false; true ]
+
 (* ------------------------------------------------------------------ *)
 (* Hotness heuristic *)
 
@@ -403,6 +462,10 @@ let suites =
         Alcotest.test_case "cold packing" `Quick test_cluster_pack_cold;
         Alcotest.test_case "oversized field" `Quick test_cluster_oversized_field;
         Alcotest.test_case "intra/inter weights" `Quick test_intra_inter_weights;
+        Alcotest.test_case "inter weight, hand-computed FLG" `Quick
+          test_inter_weight_hand_computed;
+        Alcotest.test_case "score(layout of clusters) = sum intra" `Quick
+          test_cluster_score_law;
       ] );
     ( "core.hotness",
       [ Alcotest.test_case "alignment groups" `Quick test_hotness_alignment_groups ] );

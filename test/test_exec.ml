@@ -279,7 +279,9 @@ let test_throughputs_pool_eq_serial () =
 
 (* ------------------------------------------------------------------ *)
 (* Small-instance oracle: brute-force all line-respecting partitions of a
-   ≤6-field FLG and check the greedy clustering's invariants against it. *)
+   ≤7-field FLG and check the greedy clustering's invariants against it.
+   Scoring goes through the shared Search.Objective evaluator — the same
+   implementation the optimizers and Cluster's intra/inter weights use. *)
 
 (* Direct FLG construction from a random graph (the clustering only reads
    [graph], [hotness] and the field list). *)
@@ -298,7 +300,13 @@ let flg_of ~fields ~edges ~hotness =
     hotness;
   }
 
-(* All set partitions of a list (Bell(6) = 203 for the sizes we generate). *)
+let line_size = 32 (* 4 longs per line: the capacity constraint bites *)
+
+let objective_of ?(line_size = line_size) flg =
+  Slo_search.Objective.make ~struct_name:flg.Flg.struct_name
+    ~fields:flg.Flg.fields ~graph:flg.Flg.graph ~line_size
+
+(* All set partitions of a list (Bell(7) = 877 for the sizes we generate). *)
 let rec partitions = function
   | [] -> [ [] ]
   | x :: rest ->
@@ -319,27 +327,13 @@ let block_fits ~line_size block =
   | _ -> Layout.packed_size block <= line_size
 
 let partition_score flg blocks =
-  let pair_sum block =
-    let rec go acc = function
-      | [] -> acc
-      | (f : Field.t) :: rest ->
-        let acc =
-          List.fold_left
-            (fun acc (g : Field.t) ->
-              acc +. Flg.weight flg f.Field.name g.Field.name)
-            acc rest
-        in
-        go acc rest
-    in
-    go 0.0 block
-  in
-  List.fold_left (fun acc b -> acc +. pair_sum b) 0.0 blocks
+  Slo_search.Objective.score_blocks (objective_of flg) blocks
 
 (* Uniform 8-byte longs make packed_size order-independent, so a partition
    (a set of blocks) has a well-defined fit and score. *)
 let gen_small_flg =
   QCheck2.Gen.(
-    let* n = int_range 1 6 in
+    let* n = int_range 1 7 in
     let fields =
       List.init n (fun i ->
           Field.make ~name:(Printf.sprintf "f%d" i) ~prim:Ast.Long ~count:1 ())
@@ -348,8 +342,6 @@ let gen_small_flg =
     let* edges = Gen.edges_over names in
     let* hotness = Gen.hotness_for names in
     return (flg_of ~fields ~edges ~hotness))
-
-let line_size = 32 (* 4 longs per line: the capacity constraint bites *)
 
 let prop_greedy_never_adds_negative =
   QCheck2.Test.make
@@ -387,7 +379,7 @@ let prop_greedy_respects_line_size =
 
 let prop_greedy_vs_oracle =
   QCheck2.Test.make
-    ~name:"greedy never beats the brute-force oracle (≤6 fields)" ~count:150
+    ~name:"greedy never beats the brute-force oracle (≤7 fields)" ~count:150
     gen_small_flg
     (fun flg ->
       let clusters = Cluster.run ~pack_cold:false flg ~line_size in
