@@ -935,6 +935,218 @@ let run_layout_search () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Flat memory-system kernel vs the boxed reference implementation. Three
+   checks in one section: (1) result identity — full Machine.result records
+   (makespan, per-CPU cycles, stats, samples, trace events) must be equal
+   across protocols and topologies, including a >62-CPU machine that
+   exercises the multi-word sharer masks; (2) parallel fan-out over
+   Exec.Pool stays byte-identical for pool sizes 1/2/4; (3) throughput of
+   both backends on the SDET workload (accesses/s, misses/s by class).
+   Exits non-zero on any mismatch, so the runtest-obs wiring doubles as a
+   kernel-vs-oracle differential check. *)
+
+let run_sim_scale () =
+  section "sim_scale: flat memory-system kernel vs boxed reference";
+  let module Machine = Slo_sim.Machine in
+  let module Coherence = Slo_sim.Coherence in
+  let module Sim_stats = Slo_sim.Sim_stats in
+  let base ~cpus = Sdet.default_config (Topology.superdome ~cpus ()) in
+  (* 1. Identity across protocols / topologies. Superdome-64 exceeds the
+     62-bit mask word, so the kernel's multi-word fallback is on the line
+     here, not just in the unit tests. *)
+  let identity_cases =
+    [
+      ( "superdome16 MESI sampled+traced",
+        { (base ~cpus:16) with Sdet.reps = 8; sample_period = Some 500;
+          trace = true } );
+      ( "superdome64 MOESI multi-word masks",
+        { (base ~cpus:64) with Sdet.reps = 4;
+          protocol = Slo_sim.Coherence.Moesi } );
+      ( "bus4 MESI small cache (evictions)",
+        { (Sdet.default_config (Topology.bus ~cpus:4 ())) with
+          Sdet.reps = 10; cache_lines = 64 } );
+    ]
+  in
+  Printf.printf "%-36s %12s %10s %10s\n" "identity case" "makespan" "accesses"
+    "identical";
+  let identity_rows =
+    List.map
+      (fun (name, cfg) ->
+        let r_ref = Sdet.run_once { cfg with Sdet.backend = Coherence.Reference } in
+        let r_flat = Sdet.run_once { cfg with Sdet.backend = Coherence.Flat } in
+        let identical = r_flat = r_ref in
+        let accesses =
+          r_flat.Machine.stats.Sim_stats.loads
+          + r_flat.Machine.stats.Sim_stats.stores
+        in
+        Printf.printf "%-36s %12d %10d %10s\n%!" name r_flat.Machine.makespan
+          accesses
+          (if identical then "yes" else "NO");
+        if not identical then begin
+          Printf.eprintf
+            "sim_scale: kernel diverges from reference on %s\n" name;
+          exit 1
+        end;
+        Json.Obj
+          [
+            ("case", Json.Str name);
+            ("makespan", Json.Int r_flat.Machine.makespan);
+            ("accesses", Json.Int accesses);
+            ("identical", Json.Bool identical);
+          ])
+      identity_cases
+  in
+  (* 2. Parallel multi-config fan-out over Exec.Pool: byte-identical
+     results for pool sizes 1, 2 and 4. *)
+  let pool_cfg = { (base ~cpus:8) with Sdet.reps = 6 } in
+  let pool_seeds = [ 1; 2; 3; 4; 5; 6 ] in
+  let run_seed seed = Sdet.run_once { pool_cfg with Sdet.seed } in
+  let serial = List.map run_seed pool_seeds in
+  let pool_sizes = [ 1; 2; 4 ] in
+  let pool_ok =
+    List.for_all
+      (fun n ->
+        let rs =
+          Pool.with_pool ~domains:n (fun p -> Pool.map p run_seed pool_seeds)
+        in
+        let ok = rs = serial in
+        Printf.printf "pool fan-out, %d domain%s: %s\n%!" n
+          (if n = 1 then "" else "s")
+          (if ok then "identical" else "MISMATCH");
+        ok)
+      pool_sizes
+  in
+  if not pool_ok then begin
+    Printf.eprintf "sim_scale: pooled runs diverge from serial runs\n";
+    exit 1
+  end;
+  (* 3. Memory-system throughput: record SDET's access trace once, then
+     replay it through each backend's Coherence directly. This isolates
+     what the kernel rewrote — the interpreter around it is shared by both
+     backends and would only dilute the comparison. End-to-end simulation
+     wall time is reported alongside as context. *)
+  let cpus = if !quick then 16 else 32 in
+  let reps = if !quick then 12 else 30 in
+  let runs = if !quick then 4 else 8 in
+  let replays = if !quick then 10 else 20 in
+  let cfg = { (base ~cpus) with Sdet.reps } in
+  let trace =
+    Array.of_list
+      (Sdet.run_once { cfg with Sdet.trace = true }).Machine.trace
+  in
+  let n_trace = Array.length trace in
+  let replay backend =
+    let coh =
+      Coherence.create cfg.Sdet.topology ~line_size:Kernel.line_size
+        ~cache_capacity:cfg.Sdet.cache_lines ~protocol:cfg.Sdet.protocol
+        ~backend ()
+    in
+    let t0 = Obs.now () in
+    for _rep = 1 to replays do
+      Array.iter
+        (fun (ev : Machine.trace_event) ->
+          ignore
+            (Coherence.access coh ~cpu:ev.Machine.t_cpu ~addr:ev.Machine.t_addr
+               ~size:ev.Machine.t_size ~is_write:ev.Machine.t_is_write))
+        trace
+    done;
+    (Coherence.total_stats coh, Obs.now () -. t0)
+  in
+  let ref_totals, ref_wall = replay Coherence.Reference in
+  let flat_totals, flat_wall = replay Coherence.Flat in
+  if flat_totals <> ref_totals then begin
+    Printf.eprintf "sim_scale: replay statistics diverge between backends\n";
+    exit 1
+  end;
+  (* End-to-end simulation wall time (interpreter + memory system). *)
+  let sim_wall backend =
+    let t0 = Obs.now () in
+    List.iter
+      (fun seed -> ignore (Sdet.run_once { cfg with Sdet.backend; seed }))
+      (List.init runs (fun i -> cfg.Sdet.seed + i));
+    Obs.now () -. t0
+  in
+  let ref_sim_wall = sim_wall Coherence.Reference in
+  let flat_sim_wall = sim_wall Coherence.Flat in
+  let accesses st = st.Sim_stats.loads + st.Sim_stats.stores in
+  let per_s wall n = if wall > 0.0 then float_of_int n /. wall else 0.0 in
+  let backend_json st wall =
+    Json.Obj
+      [
+        ("wall_s", Json.Float wall);
+        ("accesses_per_s", Json.Float (per_s wall (accesses st)));
+        ( "misses_per_s",
+          Json.Obj
+            [
+              ("cold", Json.Float (per_s wall st.Sim_stats.cold_misses));
+              ("capacity", Json.Float (per_s wall st.Sim_stats.capacity_misses));
+              ( "true_sharing",
+                Json.Float (per_s wall st.Sim_stats.true_sharing_misses) );
+              ( "false_sharing",
+                Json.Float (per_s wall st.Sim_stats.false_sharing_misses) );
+            ] );
+      ]
+  in
+  let flat_rate = per_s flat_wall (accesses flat_totals) in
+  let ref_rate = per_s ref_wall (accesses ref_totals) in
+  let speedup = if ref_rate > 0.0 then flat_rate /. ref_rate else 0.0 in
+  let sim_speedup =
+    if flat_sim_wall > 0.0 then ref_sim_wall /. flat_sim_wall else 0.0
+  in
+  Printf.printf
+    "trace replay: %d SDET accesses x %d replays (%d CPUs, %d reps)\n" n_trace
+    replays cpus reps;
+  Printf.printf "%-10s %12s %14s %14s\n" "backend" "wall (s)" "accesses/s"
+    "misses/s";
+  let print_row name st wall =
+    let misses =
+      st.Sim_stats.cold_misses + st.Sim_stats.capacity_misses
+      + st.Sim_stats.true_sharing_misses + st.Sim_stats.false_sharing_misses
+    in
+    Printf.printf "%-10s %12.4f %14.0f %14.0f\n%!" name wall
+      (per_s wall (accesses st))
+      (per_s wall misses)
+  in
+  print_row "reference" ref_totals ref_wall;
+  print_row "kernel" flat_totals flat_wall;
+  Printf.printf "memory-system speedup: %.2fx accesses/s%s\n" speedup
+    (if speedup < 2.0 then "  (below the 2x target)" else "");
+  Printf.printf
+    "end-to-end simulation: reference %.4fs, kernel %.4fs (%.2fx) over %d runs\n%!"
+    ref_sim_wall flat_sim_wall sim_speedup runs;
+  if Obs.counter "sim.kernel.runs" = 0 then begin
+    Printf.eprintf "sim_scale: sim.kernel.* obs counters never moved\n";
+    exit 1
+  end;
+  Json.Obj
+    [
+      ("cpus", Json.Int cpus);
+      ("reps", Json.Int reps);
+      ("runs", Json.Int runs);
+      ("trace_accesses", Json.Int n_trace);
+      ("replays", Json.Int replays);
+      ("identity", Json.List identity_rows);
+      ("identical", Json.Bool true);
+      ( "pool",
+        Json.Obj
+          [
+            ("sizes", Json.List (List.map (fun n -> Json.Int n) pool_sizes));
+            ("identical", Json.Bool pool_ok);
+          ] );
+      ("kernel", backend_json flat_totals flat_wall);
+      ("reference", backend_json ref_totals ref_wall);
+      ("speedup_x", Json.Float speedup);
+      ( "sim_end_to_end",
+        Json.Obj
+          [
+            ("reference_wall_s", Json.Float ref_sim_wall);
+            ("kernel_wall_s", Json.Float flat_sim_wall);
+            ("speedup_x", Json.Float sim_speedup);
+          ] );
+      ("kernel_runs_counter", Json.Int (Obs.counter "sim.kernel.runs"));
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [
@@ -955,6 +1167,7 @@ let all_sections =
     ("micro", run_micro);
     ("layout_search", run_layout_search);
     ("cc_scale", run_cc_scale);
+    ("sim_scale", run_sim_scale);
     ("smoke", run_smoke);
   ]
 

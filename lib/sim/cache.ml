@@ -79,8 +79,12 @@ let set_state t line st =
   match Hashtbl.find_opt t.tbl line with
   | None -> invalid_arg (Printf.sprintf "Cache.set_state: line %d absent" line)
   | Some n ->
+    (* Touch inline: going through [touch] would re-find the node we
+       already hold, doubling the hash lookups on a hot coherence path. *)
     n.st <- st;
-    touch t line
+    let set = set_of t line in
+    unlink set n;
+    push_front set n
 
 let remove t line =
   match Hashtbl.find_opt t.tbl line with
@@ -89,6 +93,9 @@ let remove t line =
     unlink (set_of t line) n;
     Hashtbl.remove t.tbl line
 
+(* remove/insert hold the lookup count at the stdlib floor: one find to
+   locate (or rule out) the node, one keyed write. Only set_state had a
+   redundant re-find (fixed above). *)
 let insert t line st =
   if Hashtbl.mem t.tbl line then
     invalid_arg (Printf.sprintf "Cache.insert: line %d already resident" line);
@@ -108,4 +115,8 @@ let insert t line st =
   push_front set node;
   victim
 
-let iter t f = Hashtbl.iter (fun line node -> f line node.st) t.tbl
+(* Sorted so reports and snapshots never depend on Hashtbl seed/order. *)
+let iter t f =
+  Hashtbl.fold (fun line node acc -> (line, node.st) :: acc) t.tbl []
+  |> List.sort compare
+  |> List.iter (fun (line, st) -> f line st)

@@ -45,4 +45,5 @@ val remove : t -> int -> unit
 (** Invalidate (drop) a line. No-op when absent. *)
 
 val iter : t -> (int -> state -> unit) -> unit
-(** In no particular order. *)
+(** In ascending line order — deterministic regardless of hash-table
+    iteration order, so derived reports and snapshots are stable. *)

@@ -1,317 +1,446 @@
 type protocol = Mesi | Moesi
+type backend = Flat | Reference
 
-type dir_entry = {
-  mutable owner : int option;  (* CPU holding the line in M, E or O *)
-  mutable sharers : int list;  (* CPUs holding the line in S, sorted *)
-}
-
-type t = {
-  topo : Topology.t;
-  lsize : int;
-  proto : protocol;
-  caches : Cache.t array;
-  directory : (int, dir_entry) Hashtbl.t;
-  touched : (int, unit) Hashtbl.t;  (* lines ever accessed, for cold misses *)
-  inv_hints : (int * int, int * int) Hashtbl.t;
-      (* (cpu, line) -> byte interval (off, len) of the write that
-         invalidated this cpu's copy *)
-  stats : Sim_stats.t array;
-}
-
-let create topo ~line_size ~cache_capacity ?ways ?(protocol = Mesi) () =
-  if line_size <= 0 then invalid_arg "Coherence.create: line_size <= 0";
-  if cache_capacity <= 0 then invalid_arg "Coherence.create: cache_capacity <= 0";
-  let n = Topology.num_cpus topo in
-  {
-    topo;
-    lsize = line_size;
-    proto = protocol;
-    caches = Array.init n (fun _ -> Cache.create ~capacity:cache_capacity ?ways ());
-    directory = Hashtbl.create 4096;
-    touched = Hashtbl.create 4096;
-    inv_hints = Hashtbl.create 256;
-    stats = Array.init n (fun _ -> Sim_stats.create ());
+(* The boxed reference implementation. It is the semantic spec: readable
+   OCaml over Hashtbl/list structures, kept as the differential oracle the
+   flat kernel (memkern.ml) is tested against. Protocol changes must land
+   in both in lock-step — the QCheck2 suites will catch a divergence. *)
+module Ref = struct
+  type dir_entry = {
+    mutable owner : int option;  (* CPU holding the line in M, E or O *)
+    mutable sharers : int list;  (* CPUs holding the line in S, sorted *)
   }
 
-let line_size t = t.lsize
-let topology t = t.topo
-let protocol t = t.proto
+  type t = {
+    topo : Topology.t;
+    lsize : int;
+    proto : protocol;
+    caches : Cache.t array;
+    directory : (int, dir_entry) Hashtbl.t;
+    touched : (int, unit) Hashtbl.t;  (* lines ever accessed, for cold misses *)
+    inv_hints : (int, (int * (int * int)) list) Hashtbl.t;
+        (* line -> (cpu, byte interval (off, len)) of the write that
+           invalidated each cpu's copy. Keyed by line so that when the
+           line's last cached copy disappears the whole hint set can be
+           dropped — a hint outliving the sharing episode would misclassify
+           a much-later capacity miss as a sharing miss. *)
+    stats : Sim_stats.t array;
+  }
 
-let dir_entry t line =
-  match Hashtbl.find_opt t.directory line with
-  | Some e -> e
-  | None ->
-    let e = { owner = None; sharers = [] } in
-    Hashtbl.replace t.directory line e;
-    e
+  let create topo ~line_size ~cache_capacity ?ways ~protocol () =
+    if line_size <= 0 then invalid_arg "Coherence.create: line_size <= 0";
+    if cache_capacity <= 0 then
+      invalid_arg "Coherence.create: cache_capacity <= 0";
+    let n = Topology.num_cpus topo in
+    {
+      topo;
+      lsize = line_size;
+      proto = protocol;
+      caches = Array.init n (fun _ -> Cache.create ~capacity:cache_capacity ?ways ());
+      directory = Hashtbl.create 4096;
+      touched = Hashtbl.create 4096;
+      inv_hints = Hashtbl.create 256;
+      stats = Array.init n (fun _ -> Sim_stats.create ());
+    }
 
-let add_sharer e cpu =
-  if not (List.mem cpu e.sharers) then
-    e.sharers <- List.sort compare (cpu :: e.sharers)
+  let dir_entry t line =
+    match Hashtbl.find_opt t.directory line with
+    | Some e -> e
+    | None ->
+      let e = { owner = None; sharers = [] } in
+      Hashtbl.replace t.directory line e;
+      e
 
-let remove_sharer e cpu = e.sharers <- List.filter (fun c -> c <> cpu) e.sharers
+  let add_sharer e cpu =
+    if not (List.mem cpu e.sharers) then
+      e.sharers <- List.sort compare (cpu :: e.sharers)
 
-let count_writeback t cpu =
-  t.stats.(cpu).Sim_stats.writebacks <- t.stats.(cpu).Sim_stats.writebacks + 1
+  let remove_sharer e cpu = e.sharers <- List.filter (fun c -> c <> cpu) e.sharers
 
-(* Keep the directory consistent when a cache evicts a victim line. Dirty
-   victims (M or O) write back. *)
-let note_eviction t cpu (victim_line, victim_state) =
-  let e = dir_entry t victim_line in
-  (match victim_state with
-  | Cache.Modified | Cache.Owned ->
-    count_writeback t cpu;
-    if e.owner = Some cpu then e.owner <- None
-  | Cache.Exclusive -> if e.owner = Some cpu then e.owner <- None
-  | Cache.Shared -> remove_sharer e cpu);
-  if e.owner = None && e.sharers = [] then Hashtbl.remove t.directory victim_line
+  let hint_set t ~cpu ~line interval =
+    let prev =
+      match Hashtbl.find_opt t.inv_hints line with Some l -> l | None -> []
+    in
+    Hashtbl.replace t.inv_hints line ((cpu, interval) :: List.remove_assoc cpu prev)
 
-let insert_line t cpu line st =
-  match Cache.insert t.caches.(cpu) line st with
-  | None -> ()
-  | Some victim -> note_eviction t cpu victim
+  let hint_find t ~cpu ~line =
+    match Hashtbl.find_opt t.inv_hints line with
+    | None -> None
+    | Some l -> List.assoc_opt cpu l
 
-(* Invalidate every other copy of [line]; record the writer's byte interval
-   so the next miss by an invalidated CPU can be classified. Returns the
-   holders that were invalidated. *)
-let invalidate_others t ~line ~writer ~interval =
-  let e = dir_entry t line in
-  let victims = ref [] in
-  (match e.owner with
-  | Some o when o <> writer ->
-    (match Cache.state t.caches.(o) line with
-    | Some (Cache.Modified | Cache.Owned) -> count_writeback t o
-    | Some (Cache.Exclusive | Cache.Shared) | None -> ());
-    Cache.remove t.caches.(o) line;
-    Hashtbl.replace t.inv_hints (o, line) interval;
-    victims := o :: !victims;
-    e.owner <- None
-  | _ -> ());
-  List.iter
-    (fun s ->
-      if s <> writer then begin
-        Cache.remove t.caches.(s) line;
-        Hashtbl.replace t.inv_hints (s, line) interval;
-        victims := s :: !victims
-      end)
-    e.sharers;
-  e.sharers <- List.filter (fun s -> s = writer) e.sharers;
-  !victims
+  let hint_consume t ~cpu ~line =
+    match Hashtbl.find_opt t.inv_hints line with
+    | None -> ()
+    | Some l -> (
+      match List.remove_assoc cpu l with
+      | [] -> Hashtbl.remove t.inv_hints line
+      | rest -> Hashtbl.replace t.inv_hints line rest)
 
-let classify_miss t ~cpu ~line ~off ~size =
-  let st = t.stats.(cpu) in
-  if not (Hashtbl.mem t.touched line) then
-    st.Sim_stats.cold_misses <- st.Sim_stats.cold_misses + 1
-  else
-    match Hashtbl.find_opt t.inv_hints (cpu, line) with
-    | Some (w_off, w_len) ->
-      Hashtbl.remove t.inv_hints (cpu, line);
-      let overlap = off < w_off + w_len && w_off < off + size in
-      if overlap then
-        st.Sim_stats.true_sharing_misses <- st.Sim_stats.true_sharing_misses + 1
-      else
-        st.Sim_stats.false_sharing_misses <- st.Sim_stats.false_sharing_misses + 1
-    | None -> st.Sim_stats.capacity_misses <- st.Sim_stats.capacity_misses + 1
+  let count_writeback t cpu =
+    t.stats.(cpu).Sim_stats.writebacks <- t.stats.(cpu).Sim_stats.writebacks + 1
 
-let lat t = Topology.latencies t.topo
+  (* Keep the directory consistent when a cache evicts a victim line. Dirty
+     victims (M or O) write back. When the last cached copy goes, the
+     directory entry is dropped — and with it any pending invalidation
+     hints: the sharing episode is over, so a later miss on the line is a
+     capacity (or cold) miss, not a sharing miss. *)
+  let note_eviction t cpu (victim_line, victim_state) =
+    let e = dir_entry t victim_line in
+    (match victim_state with
+    | Cache.Modified | Cache.Owned ->
+      count_writeback t cpu;
+      if e.owner = Some cpu then e.owner <- None
+    | Cache.Exclusive -> if e.owner = Some cpu then e.owner <- None
+    | Cache.Shared -> remove_sharer e cpu);
+    if e.owner = None && e.sharers = [] then begin
+      Hashtbl.remove t.directory victim_line;
+      Hashtbl.remove t.inv_hints victim_line
+    end
 
-let read t ~cpu ~line ~off ~size =
-  let cache = t.caches.(cpu) in
-  let st = t.stats.(cpu) in
-  match Cache.state cache line with
-  | Some _ ->
-    Cache.touch cache line;
-    st.Sim_stats.hits <- st.Sim_stats.hits + 1;
-    (lat t).Topology.l1_hit
-  | None ->
-    classify_miss t ~cpu ~line ~off ~size;
+  let insert_line t cpu line st =
+    match Cache.insert t.caches.(cpu) line st with
+    | None -> ()
+    | Some victim -> note_eviction t cpu victim
+
+  (* Invalidate every other copy of [line]; record the writer's byte
+     interval so the next miss by an invalidated CPU can be classified.
+     Returns the holders that were invalidated. *)
+  let invalidate_others t ~line ~writer ~interval =
     let e = dir_entry t line in
-    let latency =
-      match e.owner with
-      | Some o ->
-        (* Owner supplies the data cache-to-cache. MESI: M downgrades to S
-           with a writeback; MOESI: M downgrades to O, deferring the
-           writeback; E downgrades to S (clean); O stays O. *)
-        (match Cache.state t.caches.(o) line with
-        | Some Cache.Modified -> (
-          match t.proto with
-          | Mesi ->
-            count_writeback t o;
+    let victims = ref [] in
+    (match e.owner with
+    | Some o when o <> writer ->
+      (match Cache.state t.caches.(o) line with
+      | Some (Cache.Modified | Cache.Owned) -> count_writeback t o
+      | Some (Cache.Exclusive | Cache.Shared) | None -> ());
+      Cache.remove t.caches.(o) line;
+      hint_set t ~cpu:o ~line interval;
+      victims := o :: !victims;
+      e.owner <- None
+    | _ -> ());
+    List.iter
+      (fun s ->
+        if s <> writer then begin
+          Cache.remove t.caches.(s) line;
+          hint_set t ~cpu:s ~line interval;
+          victims := s :: !victims
+        end)
+      e.sharers;
+    e.sharers <- List.filter (fun s -> s = writer) e.sharers;
+    !victims
+
+  let classify_miss t ~cpu ~line ~off ~size =
+    let st = t.stats.(cpu) in
+    if not (Hashtbl.mem t.touched line) then
+      st.Sim_stats.cold_misses <- st.Sim_stats.cold_misses + 1
+    else
+      match hint_find t ~cpu ~line with
+      | Some (w_off, w_len) ->
+        hint_consume t ~cpu ~line;
+        let overlap = off < w_off + w_len && w_off < off + size in
+        if overlap then
+          st.Sim_stats.true_sharing_misses <- st.Sim_stats.true_sharing_misses + 1
+        else
+          st.Sim_stats.false_sharing_misses <-
+            st.Sim_stats.false_sharing_misses + 1
+      | None -> st.Sim_stats.capacity_misses <- st.Sim_stats.capacity_misses + 1
+
+  let lat t = Topology.latencies t.topo
+
+  let read t ~cpu ~line ~off ~size =
+    let cache = t.caches.(cpu) in
+    let st = t.stats.(cpu) in
+    match Cache.state cache line with
+    | Some _ ->
+      Cache.touch cache line;
+      st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+      (lat t).Topology.l1_hit
+    | None ->
+      classify_miss t ~cpu ~line ~off ~size;
+      let e = dir_entry t line in
+      let latency =
+        match e.owner with
+        | Some o ->
+          (* Owner supplies the data cache-to-cache. MESI: M downgrades to S
+             with a writeback; MOESI: M downgrades to O, deferring the
+             writeback; E downgrades to S (clean); O stays O. *)
+          (match Cache.state t.caches.(o) line with
+          | Some Cache.Modified -> (
+            match t.proto with
+            | Mesi ->
+              count_writeback t o;
+              Cache.set_state t.caches.(o) line Cache.Shared;
+              e.owner <- None;
+              add_sharer e o
+            | Moesi -> Cache.set_state t.caches.(o) line Cache.Owned)
+          | Some Cache.Exclusive ->
             Cache.set_state t.caches.(o) line Cache.Shared;
             e.owner <- None;
             add_sharer e o
-          | Moesi -> Cache.set_state t.caches.(o) line Cache.Owned)
-        | Some Cache.Exclusive ->
-          Cache.set_state t.caches.(o) line Cache.Shared;
-          e.owner <- None;
-          add_sharer e o
-        | Some Cache.Owned -> ()
-        | Some Cache.Shared | None ->
-          (* Directory said owner but cache disagrees: repair. *)
-          e.owner <- None);
-        add_sharer e cpu;
-        Topology.transfer_latency t.topo ~src:o ~dst:cpu
-      | None ->
-        if e.sharers <> [] then begin
-          let nearest =
+          | Some Cache.Owned -> ()
+          | Some Cache.Shared | None ->
+            (* Directory said owner but cache disagrees: repair. *)
+            e.owner <- None);
+          add_sharer e cpu;
+          Topology.transfer_latency t.topo ~src:o ~dst:cpu
+        | None ->
+          if e.sharers <> [] then begin
+            let nearest =
+              List.fold_left
+                (fun acc s ->
+                  let d = Topology.transfer_latency t.topo ~src:s ~dst:cpu in
+                  min acc d)
+                max_int e.sharers
+            in
+            add_sharer e cpu;
+            nearest
+          end
+          else begin
+            (* No cached copy anywhere: fetch from memory, Exclusive. *)
+            e.owner <- Some cpu;
+            Topology.memory_latency t.topo
+          end
+      in
+      let state = if e.owner = Some cpu then Cache.Exclusive else Cache.Shared in
+      insert_line t cpu line state;
+      latency
+
+  let write t ~cpu ~line ~off ~size =
+    let cache = t.caches.(cpu) in
+    let st = t.stats.(cpu) in
+    let interval = (off, size) in
+    match Cache.state cache line with
+    | Some Cache.Modified ->
+      Cache.touch cache line;
+      st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+      (lat t).Topology.l1_hit
+    | Some Cache.Exclusive ->
+      (* Silent E->M upgrade. *)
+      Cache.set_state cache line Cache.Modified;
+      let e = dir_entry t line in
+      e.owner <- Some cpu;
+      st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+      (lat t).Topology.l1_hit
+    | Some (Cache.Shared | Cache.Owned) ->
+      (* Upgrade: invalidate every other copy; we already have the data. *)
+      st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+      st.Sim_stats.upgrades <- st.Sim_stats.upgrades + 1;
+      let victims = invalidate_others t ~line ~writer:cpu ~interval in
+      st.Sim_stats.invalidations <-
+        st.Sim_stats.invalidations + List.length victims;
+      let e = dir_entry t line in
+      remove_sharer e cpu;
+      e.owner <- Some cpu;
+      e.sharers <- [];
+      Cache.set_state cache line Cache.Modified;
+      let inv_lat =
+        Topology.invalidation_latency t.topo ~writer:cpu ~holders:victims
+      in
+      max (lat t).Topology.l1_hit inv_lat
+    | None ->
+      classify_miss t ~cpu ~line ~off ~size;
+      let e = dir_entry t line in
+      let fetch_latency =
+        match e.owner with
+        | Some o -> Topology.transfer_latency t.topo ~src:o ~dst:cpu
+        | None ->
+          if e.sharers <> [] then
+            (* Data can come from a sharer; invalidations proceed in
+               parallel; pay the farther of the two below. *)
             List.fold_left
               (fun acc s ->
-                let d = Topology.transfer_latency t.topo ~src:s ~dst:cpu in
-                min acc d)
+                min acc (Topology.transfer_latency t.topo ~src:s ~dst:cpu))
               max_int e.sharers
-          in
-          add_sharer e cpu;
-          nearest
-        end
-        else begin
-          (* No cached copy anywhere: fetch from memory, Exclusive. *)
-          e.owner <- Some cpu;
-          Topology.memory_latency t.topo
-        end
+          else Topology.memory_latency t.topo
+      in
+      let victims = invalidate_others t ~line ~writer:cpu ~interval in
+      st.Sim_stats.invalidations <-
+        st.Sim_stats.invalidations + List.length victims;
+      let inv_lat =
+        Topology.invalidation_latency t.topo ~writer:cpu ~holders:victims
+      in
+      let e = dir_entry t line in
+      e.owner <- Some cpu;
+      e.sharers <- [];
+      insert_line t cpu line Cache.Modified;
+      max fetch_latency inv_lat
+
+  let access t ~cpu ~addr ~size ~is_write =
+    if cpu < 0 || cpu >= Array.length t.caches then
+      invalid_arg (Printf.sprintf "Coherence.access: cpu %d out of range" cpu);
+    if size <= 0 then invalid_arg "Coherence.access: size <= 0";
+    let line = addr / t.lsize in
+    let off = addr mod t.lsize in
+    if off + size > t.lsize then
+      invalid_arg
+        (Printf.sprintf
+           "Coherence.access: access at %d size %d straddles a %d-byte line"
+           addr size t.lsize);
+    let st = t.stats.(cpu) in
+    if is_write then st.Sim_stats.stores <- st.Sim_stats.stores + 1
+    else st.Sim_stats.loads <- st.Sim_stats.loads + 1;
+    let latency =
+      if is_write then write t ~cpu ~line ~off ~size
+      else read t ~cpu ~line ~off ~size
     in
-    let state = if e.owner = Some cpu then Cache.Exclusive else Cache.Shared in
-    insert_line t cpu line state;
+    Hashtbl.replace t.touched line ();
+    st.Sim_stats.stall_cycles <- st.Sim_stats.stall_cycles + latency;
     latency
 
-let write t ~cpu ~line ~off ~size =
-  let cache = t.caches.(cpu) in
-  let st = t.stats.(cpu) in
-  let interval = (off, size) in
-  match Cache.state cache line with
-  | Some Cache.Modified ->
-    Cache.touch cache line;
-    st.Sim_stats.hits <- st.Sim_stats.hits + 1;
-    (lat t).Topology.l1_hit
-  | Some Cache.Exclusive ->
-    (* Silent E->M upgrade. *)
-    Cache.set_state cache line Cache.Modified;
-    let e = dir_entry t line in
-    e.owner <- Some cpu;
-    st.Sim_stats.hits <- st.Sim_stats.hits + 1;
-    (lat t).Topology.l1_hit
-  | Some (Cache.Shared | Cache.Owned) ->
-    (* Upgrade: invalidate every other copy; we already have the data. *)
-    st.Sim_stats.hits <- st.Sim_stats.hits + 1;
-    st.Sim_stats.upgrades <- st.Sim_stats.upgrades + 1;
-    let victims = invalidate_others t ~line ~writer:cpu ~interval in
-    st.Sim_stats.invalidations <- st.Sim_stats.invalidations + List.length victims;
-    let e = dir_entry t line in
-    remove_sharer e cpu;
-    e.owner <- Some cpu;
-    e.sharers <- [];
-    Cache.set_state cache line Cache.Modified;
-    let inv_lat = Topology.invalidation_latency t.topo ~writer:cpu ~holders:victims in
-    max (lat t).Topology.l1_hit inv_lat
-  | None ->
-    classify_miss t ~cpu ~line ~off ~size;
-    let e = dir_entry t line in
-    let fetch_latency =
-      match e.owner with
-      | Some o -> Topology.transfer_latency t.topo ~src:o ~dst:cpu
-      | None ->
-        if e.sharers <> [] then
-          (* Data can come from a sharer; invalidations proceed in
-             parallel; pay the farther of the two below. *)
-          List.fold_left
-            (fun acc s ->
-              min acc (Topology.transfer_latency t.topo ~src:s ~dst:cpu))
-            max_int e.sharers
-        else Topology.memory_latency t.topo
+  let holders t ~line =
+    match Hashtbl.find_opt t.directory line with
+    | None -> []
+    | Some e ->
+      let base = e.sharers in
+      let all = match e.owner with Some o -> o :: base | None -> base in
+      List.sort_uniq compare all
+
+  let check_invariants t =
+    let fail fmt = Format.kasprintf invalid_arg fmt in
+    let state_name = function
+      | None -> "nothing"
+      | Some Cache.Shared -> "S"
+      | Some Cache.Modified -> "M"
+      | Some Cache.Exclusive -> "E"
+      | Some Cache.Owned -> "O"
     in
-    let victims = invalidate_others t ~line ~writer:cpu ~interval in
-    st.Sim_stats.invalidations <- st.Sim_stats.invalidations + List.length victims;
-    let inv_lat = Topology.invalidation_latency t.topo ~writer:cpu ~holders:victims in
-    let e = dir_entry t line in
-    e.owner <- Some cpu;
-    e.sharers <- [];
-    insert_line t cpu line Cache.Modified;
-    max fetch_latency inv_lat
+    (* Directory -> caches *)
+    Hashtbl.iter
+      (fun line e ->
+        (match e.owner with
+        | Some o ->
+          (match Cache.state t.caches.(o) line with
+          | Some (Cache.Modified | Cache.Exclusive) ->
+            if e.sharers <> [] then
+              fail "Coherence invariant: line %d has M/E owner %d and sharers"
+                line o
+          | Some Cache.Owned ->
+            if t.proto = Mesi then
+              fail "Coherence invariant: Owned state under MESI (line %d)" line
+          | other ->
+            fail "Coherence invariant: owner %d of line %d holds %s" o line
+              (state_name other));
+          if List.mem o e.sharers then
+            fail "Coherence invariant: owner %d of line %d is also a sharer" o
+              line
+        | None -> ());
+        List.iter
+          (fun s ->
+            match Cache.state t.caches.(s) line with
+            | Some Cache.Shared -> ()
+            | other ->
+              fail "Coherence invariant: sharer %d of line %d holds %s" s line
+                (state_name other))
+          e.sharers)
+      t.directory;
+    (* Caches -> directory *)
+    Array.iteri
+      (fun cpu cache ->
+        Cache.iter cache (fun line st ->
+            let e =
+              match Hashtbl.find_opt t.directory line with
+              | Some e -> e
+              | None ->
+                fail "Coherence invariant: line %d cached but not in directory"
+                  line
+            in
+            match st with
+            | Cache.Modified | Cache.Exclusive | Cache.Owned ->
+              if e.owner <> Some cpu then
+                fail
+                  "Coherence invariant: cpu %d holds line %d in %s but is not \
+                   owner"
+                  cpu line (state_name (Some st))
+            | Cache.Shared ->
+              if not (List.mem cpu e.sharers) then
+                fail
+                  "Coherence invariant: cpu %d holds line %d in S but is not a \
+                   sharer"
+                  cpu line))
+      t.caches;
+    (* Hints -> directory: a hint must not outlive its line's directory
+       entry (the staleness fix). *)
+    Hashtbl.iter
+      (fun line hints ->
+        if hints = [] then
+          fail "Coherence invariant: empty hint list kept for line %d" line;
+        if not (Hashtbl.mem t.directory line) then
+          fail "Coherence invariant: invalidation hint outlives line %d" line)
+      t.inv_hints
+end
+
+(* Dispatcher: the flat kernel is the default everyone rides (Machine,
+   slayout, bench, Trace_oracle); the boxed reference stays addressable for
+   differential tests and as the bench sim_scale baseline. *)
+type t = Flat_k of Memkern.t | Ref_k of Ref.t
+
+let create topo ~line_size ~cache_capacity ?ways ?(protocol = Mesi)
+    ?(backend = Flat) () =
+  match backend with
+  | Flat ->
+    Flat_k
+      (Memkern.create topo ~line_size ~cache_capacity ?ways
+         ~moesi:(protocol = Moesi) ())
+  | Reference -> Ref_k (Ref.create topo ~line_size ~cache_capacity ?ways ~protocol ())
+
+let backend = function Flat_k _ -> Flat | Ref_k _ -> Reference
+
+let line_size = function
+  | Flat_k k -> Memkern.line_size k
+  | Ref_k r -> r.Ref.lsize
+
+let topology = function
+  | Flat_k k -> Memkern.topology k
+  | Ref_k r -> r.Ref.topo
+
+let protocol = function
+  | Flat_k k -> if Memkern.moesi k then Moesi else Mesi
+  | Ref_k r -> r.Ref.proto
 
 let access t ~cpu ~addr ~size ~is_write =
-  if cpu < 0 || cpu >= Array.length t.caches then
-    invalid_arg (Printf.sprintf "Coherence.access: cpu %d out of range" cpu);
-  if size <= 0 then invalid_arg "Coherence.access: size <= 0";
-  let line = addr / t.lsize in
-  let off = addr mod t.lsize in
-  if off + size > t.lsize then
-    invalid_arg
-      (Printf.sprintf
-         "Coherence.access: access at %d size %d straddles a %d-byte line"
-         addr size t.lsize);
-  let st = t.stats.(cpu) in
-  if is_write then st.Sim_stats.stores <- st.Sim_stats.stores + 1
-  else st.Sim_stats.loads <- st.Sim_stats.loads + 1;
-  let latency =
-    if is_write then write t ~cpu ~line ~off ~size else read t ~cpu ~line ~off ~size
-  in
-  Hashtbl.replace t.touched line ();
-  st.Sim_stats.stall_cycles <- st.Sim_stats.stall_cycles + latency;
-  latency
+  match t with
+  | Flat_k k -> Memkern.access k ~cpu ~addr ~size ~is_write
+  | Ref_k r -> Ref.access r ~cpu ~addr ~size ~is_write
 
-let stats t ~cpu = t.stats.(cpu)
-let total_stats t = Sim_stats.sum (Array.to_list t.stats)
+let stats t ~cpu =
+  match t with
+  | Flat_k k -> Memkern.stats k ~cpu
+  | Ref_k r -> r.Ref.stats.(cpu)
+
+let total_stats = function
+  | Flat_k k -> Memkern.total_stats k
+  | Ref_k r -> Sim_stats.sum (Array.to_list r.Ref.stats)
 
 let holders t ~line =
-  match Hashtbl.find_opt t.directory line with
-  | None -> []
-  | Some e ->
-    let base = e.sharers in
-    let all = match e.owner with Some o -> o :: base | None -> base in
-    List.sort_uniq compare all
+  match t with
+  | Flat_k k -> Memkern.holders k ~line
+  | Ref_k r -> Ref.holders r ~line
 
-let check_invariants t =
-  let fail fmt = Format.kasprintf invalid_arg fmt in
-  let state_name = function
-    | None -> "nothing"
-    | Some Cache.Shared -> "S"
-    | Some Cache.Modified -> "M"
-    | Some Cache.Exclusive -> "E"
-    | Some Cache.Owned -> "O"
-  in
-  (* Directory -> caches *)
-  Hashtbl.iter
-    (fun line e ->
-      (match e.owner with
-      | Some o -> (
-        match Cache.state t.caches.(o) line with
-        | Some (Cache.Modified | Cache.Exclusive) ->
-          if e.sharers <> [] then
-            fail "Coherence invariant: line %d has M/E owner %d and sharers"
-              line o
-        | Some Cache.Owned ->
-          if t.proto = Mesi then
-            fail "Coherence invariant: Owned state under MESI (line %d)" line
-        | other ->
-          fail "Coherence invariant: owner %d of line %d holds %s" o line
-            (state_name other))
-      | None -> ());
-      List.iter
-        (fun s ->
-          match Cache.state t.caches.(s) line with
-          | Some Cache.Shared -> ()
-          | other ->
-            fail "Coherence invariant: sharer %d of line %d holds %s" s line
-              (state_name other))
-        e.sharers)
-    t.directory;
-  (* Caches -> directory *)
-  Array.iteri
-    (fun cpu cache ->
-      Cache.iter cache (fun line st ->
-          let e =
-            match Hashtbl.find_opt t.directory line with
-            | Some e -> e
-            | None ->
-              fail "Coherence invariant: line %d cached but not in directory" line
-          in
-          match st with
-          | Cache.Modified | Cache.Exclusive | Cache.Owned ->
-            if e.owner <> Some cpu then
-              fail
-                "Coherence invariant: cpu %d holds line %d in %s but is not owner"
-                cpu line (state_name (Some st))
-          | Cache.Shared ->
-            if not (List.mem cpu e.sharers) then
-              fail "Coherence invariant: cpu %d holds line %d in S but is not a sharer"
-                cpu line))
-    t.caches
+let owner t ~line =
+  match t with
+  | Flat_k k -> Memkern.owner k ~line
+  | Ref_k r -> (
+    match Hashtbl.find_opt r.Ref.directory line with
+    | None -> None
+    | Some e -> e.Ref.owner)
+
+let sharers t ~line =
+  match t with
+  | Flat_k k -> Memkern.sharers k ~line
+  | Ref_k r -> (
+    match Hashtbl.find_opt r.Ref.directory line with
+    | None -> []
+    | Some e -> e.Ref.sharers)
+
+let cache_state t ~cpu ~line =
+  match t with
+  | Flat_k k -> Memkern.cache_state k ~cpu ~line
+  | Ref_k r -> Cache.state r.Ref.caches.(cpu) line
+
+let check_invariants = function
+  | Flat_k k -> Memkern.check_invariants k
+  | Ref_k r -> Ref.check_invariants r
+
+let kstats = function
+  | Flat_k k -> Some (Memkern.kstats k)
+  | Ref_k _ -> None

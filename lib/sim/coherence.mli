@@ -27,9 +27,27 @@
     invalidated CPU; if that CPU later misses on the line with an access
     disjoint from the recorded interval, the miss is a false-sharing miss,
     otherwise a true-sharing miss. (Only the most recent invalidating write
-    is kept — the same approximation HITM-based tools make.) *)
+    is kept — the same approximation HITM-based tools make.) Hints are
+    scoped to the sharing episode: when the last cached copy of a line is
+    evicted its pending hints are dropped, so a much-later re-fetch counts
+    as a capacity miss rather than a stale sharing miss.
+
+    Two interchangeable implementations sit behind this interface:
+
+    - {!Flat} (default): the flat, allocation-free kernel ({!Memkern}) —
+      packed int-array caches, bitmask sharer sets, open-addressing side
+      tables. This is what {!Machine} (and so slayout, bench and the trace
+      oracle) rides.
+    - {!Reference}: the boxed Hashtbl/list implementation, kept as the
+      readable spec and differential oracle. The QCheck2 suites drive
+      random traces through both and demand identical statistics,
+      latencies and holder sets. *)
 
 type protocol = Mesi | Moesi
+
+type backend =
+  | Flat  (** flat allocation-free kernel, {!Memkern} *)
+  | Reference  (** boxed oracle implementation *)
 
 type t
 
@@ -39,15 +57,17 @@ val create :
   cache_capacity:int ->
   ?ways:int ->
   ?protocol:protocol ->
+  ?backend:backend ->
   unit ->
   t
-(** [ways] defaults to fully associative; [protocol] to {!Mesi}.
-    @raise Invalid_argument on non-positive sizes or invalid
+(** [ways] defaults to fully associative; [protocol] to {!Mesi}; [backend]
+    to {!Flat}. @raise Invalid_argument on non-positive sizes or invalid
     associativity. *)
 
 val line_size : t -> int
 val topology : t -> Topology.t
 val protocol : t -> protocol
+val backend : t -> backend
 
 val access : t -> cpu:int -> addr:int -> size:int -> is_write:bool -> int
 (** Perform one access of [size] bytes at byte address [addr] by [cpu];
@@ -62,9 +82,26 @@ val total_stats : t -> Sim_stats.t
 
 val check_invariants : t -> unit
 (** Protocol invariants, used by property tests: at most one M/E/O holder
-    per line; an M/E holder excludes sharers; every sharer holds S; every
-    cached line is directory-tracked consistently.
+    per line; an M/E holder excludes sharers; the owner is never in the
+    sharer set; every sharer holds S; MESI never produces Owned; every
+    cached line is directory-tracked consistently; no invalidation hint
+    outlives its line's directory entry. The {!Flat} backend additionally
+    checks its representation (LRU chains, slot tables, free lists).
     @raise Invalid_argument describing the violated invariant. *)
 
 val holders : t -> line:int -> int list
 (** CPUs currently holding the line (any state), sorted. *)
+
+val owner : t -> line:int -> int option
+(** The directory's M/E/O owner of the line, if any (introspection for the
+    invariant property tests). *)
+
+val sharers : t -> line:int -> int list
+(** The directory's sharer set for the line, ascending. *)
+
+val cache_state : t -> cpu:int -> line:int -> Cache.state option
+(** The given CPU's cached state of the line ([None] = not resident). *)
+
+val kstats : t -> Memkern.kstats option
+(** Kernel-health numbers ([Some] only for the {!Flat} backend) — feeds
+    the [sim.kernel.*] observability counters. *)

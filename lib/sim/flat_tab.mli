@@ -1,0 +1,50 @@
+(** Flat open-addressing int -> int hash table for the simulator hot path.
+
+    The boxed [Hashtbl] the memory system used to sit on allocates an
+    [option] per [find_opt], a bucket cons per insert and (for the
+    coherence side tables) a tuple per key. This table is two int arrays
+    with linear probing and backward-shift deletion: lookups, inserts and
+    deletes allocate nothing (growth reallocates the arrays, amortized),
+    probe sequences are short because deletion leaves no tombstones, and
+    the layout is two contiguous arrays the CPU prefetches well — the
+    flat-kernel discipline of the resource-oblivious multicore literature
+    applied to our own simulator.
+
+    Keys must be non-negative (the sentinel for an empty slot is -1);
+    values are arbitrary ints. Iteration order is the internal slot order —
+    deterministic for a fixed operation history, but {e not} sorted;
+    callers that need canonical output sort, as {!Cache.iter} does. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is a size hint (rounded up to a power of two, minimum 8). *)
+
+val length : t -> int
+(** Number of live bindings. *)
+
+val mem : t -> int -> bool
+
+val find : t -> int -> default:int -> int
+(** The bound value, or [default] when absent. Never allocates. *)
+
+val set : t -> int -> int -> unit
+(** Insert or replace. @raise Invalid_argument on a negative key. *)
+
+val remove : t -> int -> unit
+(** Delete a binding (no-op when absent). Backward-shift deletion: no
+    tombstones, so load factor — and probe length — only reflects live
+    bindings. *)
+
+val iter : t -> (int -> int -> unit) -> unit
+(** In slot order (see above). *)
+
+val fold : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+
+val clear : t -> unit
+(** Drop all bindings, keeping the current arrays. *)
+
+val probe_steps : t -> int
+(** Cumulative probe steps beyond the home slot across all operations so
+    far — the kernel-health number behind the [sim.kernel.probe_steps]
+    observability counter. *)

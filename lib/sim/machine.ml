@@ -19,6 +19,7 @@ type config = {
   load_base : int;
   store_base : int;
   trace : bool;
+  backend : Coherence.backend;
 }
 
 type trace_event = {
@@ -32,7 +33,8 @@ type trace_event = {
 let default_config topology =
   { topology; line_size = 128; cache_lines = 4096; cache_ways = None;
     protocol = Coherence.Mesi; sample_period = None; seed = 42;
-    load_base = 2; store_base = 8; trace = false }
+    load_base = 2; store_base = 8; trace = false;
+    backend = Coherence.Flat }
 
 let call_overhead = 5
 
@@ -153,7 +155,7 @@ type t = {
   program : Ast.program;
   config : config;
   coherence : Coherence.t;
-  memory : (int, int) Hashtbl.t;  (* byte address of a field slot -> value *)
+  memory : Flat_tab.t;  (* byte address of a field slot -> value *)
   layouts : (string, Layout.t) Hashtbl.t;
   mutable arena_next : int;
   mutable next_instance : int;
@@ -190,8 +192,8 @@ let create config program =
     coherence =
       Coherence.create config.topology ~line_size:config.line_size
         ~cache_capacity:config.cache_lines ?ways:config.cache_ways
-        ~protocol:config.protocol ();
-    memory = Hashtbl.create 4096;
+        ~protocol:config.protocol ~backend:config.backend ();
+    memory = Flat_tab.create ~capacity:4096 ();
     layouts;
     arena_next = 0;
     next_instance = 0;
@@ -576,8 +578,7 @@ let step t thread =
         let latency =
           Coherence.access t.coherence ~cpu:thread.t_cpu ~addr ~size ~is_write:false
         in
-        frame.f_regs.(dst) <-
-          (try Hashtbl.find t.memory addr with Not_found -> 0);
+        frame.f_regs.(dst) <- Flat_tab.find t.memory addr ~default:0;
         t.config.load_base + latency
       | CStore { acc; src } ->
         let addr, size = address_of frame acc frame.f_regs thread.t_prng in
@@ -590,21 +591,20 @@ let step t thread =
         let latency =
           Coherence.access t.coherence ~cpu:thread.t_cpu ~addr ~size ~is_write:true
         in
-        Hashtbl.replace t.memory addr v;
+        Flat_tab.set t.memory addr v;
         t.config.store_base + latency
       | CGload { dst; addr; size } ->
         let latency =
           Coherence.access t.coherence ~cpu:thread.t_cpu ~addr ~size ~is_write:false
         in
-        frame.f_regs.(dst) <-
-          (try Hashtbl.find t.memory addr with Not_found -> 0);
+        frame.f_regs.(dst) <- Flat_tab.find t.memory addr ~default:0;
         t.config.load_base + latency
       | CGstore { addr; size; src } ->
         let v = eval_cexpr frame.f_regs thread.t_prng src in
         let latency =
           Coherence.access t.coherence ~cpu:thread.t_cpu ~addr ~size ~is_write:true
         in
-        Hashtbl.replace t.memory addr v;
+        Flat_tab.set t.memory addr v;
         t.config.store_base + latency
       | CCall { callee; int_args; inst_args; _ } ->
         let child = make_frame t callee in
@@ -720,6 +720,22 @@ let run t =
   Obs.incr ~by:stats.Sim_stats.writebacks "sim.writebacks";
   Obs.incr ~by:stats.Sim_stats.stall_cycles "sim.stall_cycles";
   Obs.incr ~by:(List.length t.samples_rev) "sim.samples";
+  (match Coherence.kstats t.coherence with
+  | Some k ->
+    Obs.incr "sim.kernel.runs";
+    Obs.incr
+      ~by:(stats.Sim_stats.loads + stats.Sim_stats.stores)
+      "sim.kernel.accesses";
+    Obs.incr ~by:k.Memkern.k_hint_drops "sim.kernel.hint_drops";
+    Obs.incr ~by:k.Memkern.k_probe_steps "sim.kernel.probe_steps";
+    let peak = float_of_int k.Memkern.k_dir_peak in
+    let prev =
+      match Obs.gauge "sim.kernel.dir_peak_entries" with
+      | Some g -> g
+      | None -> 0.0
+    in
+    Obs.set_gauge "sim.kernel.dir_peak_entries" (Float.max prev peak)
+  | None -> Obs.incr "sim.reference.runs");
   {
     makespan;
     cpu_cycles;
@@ -750,7 +766,7 @@ let read_field t inst ~field ?(index = 0) () =
       (Printf.sprintf "Machine.read_field: index %d out of range for %s.%s"
          index inst.i_struct field);
   let addr = inst.i_base + off + (index * Ast.prim_size fdesc.Field.prim) in
-  try Hashtbl.find t.memory addr with Not_found -> 0
+  Flat_tab.find t.memory addr ~default:0
 
 let read_global t ~name =
   let layout = layout_of t ~struct_name:Ast.globals_struct_name in
@@ -759,7 +775,7 @@ let read_global t ~name =
     with Not_found ->
       invalid_arg (Printf.sprintf "Machine.read_global: unknown global %S" name)
   in
-  try Hashtbl.find t.memory (globals_base + off) with Not_found -> 0
+  Flat_tab.find t.memory (globals_base + off) ~default:0
 
 (* Resolve a byte address to (struct, instance id, field, element index);
    global addresses resolve to the globals pseudo-struct with instance -1. *)

@@ -33,6 +33,10 @@ type config = {
           that costs real time is also what lets the PMU sampler observe
           write-heavy code in proportion to its cost. *)
   trace : bool;  (** record the full memory-access trace (expensive) *)
+  backend : Coherence.backend;
+      (** memory-system implementation: the flat allocation-free kernel
+          (default) or the boxed reference oracle — bit-identical results,
+          different speed *)
 }
 
 (** One struct/global memory access, as recorded when [config.trace] is
@@ -49,7 +53,7 @@ type trace_event = {
 
 val default_config : Topology.t -> config
 (** line_size 128, 4096 fully-associative lines, MESI, no sampling,
-    seed 42, load_base 2, store_base 8. *)
+    seed 42, load_base 2, store_base 8, flat kernel backend. *)
 
 val call_overhead : int
 

@@ -1,0 +1,758 @@
+(* Flat, allocation-free memory-system kernel. Behaviour is a transcription
+   of the boxed reference in coherence.ml — every branch below names the
+   reference path it mirrors, and the differential suites in
+   test/test_simkern.ml hold the two to identical stats, latencies and
+   holder sets. Keep the two in lock-step when changing protocol logic. *)
+
+(* Cache-line states, packed into the low 2 bits of a slot word. *)
+let st_m = 0 (* Modified *)
+let st_o = 1 (* Owned (MOESI only) *)
+let st_e = 2 (* Exclusive *)
+let st_s = 3 (* Shared *)
+
+let state_of_code c =
+  if c = st_m then Cache.Modified
+  else if c = st_o then Cache.Owned
+  else if c = st_e then Cache.Exclusive
+  else Cache.Shared
+
+(* Sharer sets are bitmasks over 62-bit words: OCaml's native int has 63
+   usable bits and keeping to 62 leaves every mask word non-negative, so
+   machines up to 62 CPUs run on single-word arithmetic and larger ones
+   (the Superdome's 128) take the same code over (cpus + 61) / 62 words. *)
+let bpw = 62
+
+(* Index of the (single) set bit of [b]. Sharer masks are sparse and only
+   walked on misses, so a plain shift loop beats a de Bruijn table here. *)
+let bit_index b =
+  let rec go i p = if p = b then i else go (i + 1) (p lsl 1) in
+  go 0 1
+
+type t = {
+  topo : Topology.t;
+  lsize : int;
+  moesi : bool;
+  ncpus : int;
+  nsets : int;
+  nways : int;
+  (* Caches: slot index s = ((cpu * nsets) + set) * nways + way. slots.(s)
+     packs [line lsl 2 lor state]; -1 = empty. nxt/prv link the slots of a
+     set into a true-LRU chain (head = MRU, tail = victim); empty slots are
+     chained through nxt from free_head. head/tail/fill/free_head are
+     indexed by sb = cpu * nsets + set. *)
+  slots : int array;
+  nxt : int array;
+  prv : int array;
+  head : int array;
+  tail : int array;
+  fill : int array;
+  free_head : int array;
+  where : Flat_tab.t array; (* per CPU: line -> slot index *)
+  (* Directory: line -> pool entry index; entries are rows of the parallel
+     growable arrays below. owner.(e) = CPU holding M/E/O, or -1. sharers
+     and hintm hold nwords mask words per entry: the S-state holders and
+     the CPUs with a pending invalidation hint on the line. *)
+  dir : Flat_tab.t;
+  nwords : int;
+  mutable owner : int array;
+  mutable sharers : int array;
+  mutable hintm : int array;
+  mutable nentries : int;
+  mutable freelist : int array;
+  mutable nfree : int;
+  (* Classifier state: hints is (line * ncpus + cpu) -> packed interval
+     (off * (lsize + 1) + size); touched is line -> 1. *)
+  hints : Flat_tab.t;
+  touched : Flat_tab.t;
+  stats : Sim_stats.t array;
+  (* Scratch for invalidate_others: victim count and max invalidation
+     latency of the last call (returning a tuple would allocate). *)
+  mutable iv_count : int;
+  mutable iv_lat : int;
+  (* Kernel health, surfaced as sim.kernel.* observability counters. *)
+  mutable dir_live : int;
+  mutable dir_peak : int;
+  mutable hint_drops : int;
+}
+
+let create topo ~line_size ~cache_capacity ?ways ~moesi () =
+  if line_size <= 0 then invalid_arg "Memkern.create: line_size <= 0";
+  if cache_capacity <= 0 then invalid_arg "Memkern.create: cache_capacity <= 0";
+  let nways = match ways with Some w -> w | None -> cache_capacity in
+  if nways <= 0 then invalid_arg "Memkern.create: ways <= 0";
+  if cache_capacity mod nways <> 0 then
+    invalid_arg "Memkern.create: ways must divide capacity";
+  let nsets = cache_capacity / nways in
+  let ncpus = Topology.num_cpus topo in
+  let nwords = (ncpus + bpw - 1) / bpw in
+  let nslots = ncpus * cache_capacity in
+  let t =
+    {
+      topo;
+      lsize = line_size;
+      moesi;
+      ncpus;
+      nsets;
+      nways;
+      slots = Array.make nslots (-1);
+      nxt = Array.make nslots (-1);
+      prv = Array.make nslots (-1);
+      head = Array.make (ncpus * nsets) (-1);
+      tail = Array.make (ncpus * nsets) (-1);
+      fill = Array.make (ncpus * nsets) 0;
+      free_head = Array.make (ncpus * nsets) (-1);
+      where =
+        Array.init ncpus (fun _ ->
+            Flat_tab.create ~capacity:(min (2 * cache_capacity) 8192) ());
+      dir = Flat_tab.create ~capacity:4096 ();
+      nwords;
+      owner = Array.make 64 (-1);
+      sharers = Array.make (64 * nwords) 0;
+      hintm = Array.make (64 * nwords) 0;
+      nentries = 0;
+      freelist = Array.make 64 0;
+      nfree = 0;
+      hints = Flat_tab.create ~capacity:1024 ();
+      touched = Flat_tab.create ~capacity:4096 ();
+      stats = Array.init ncpus (fun _ -> Sim_stats.create ());
+      iv_count = 0;
+      iv_lat = 0;
+      dir_live = 0;
+      dir_peak = 0;
+      hint_drops = 0;
+    }
+  in
+  (* Chain every way of every set onto its free list. *)
+  for sb = 0 to (ncpus * nsets) - 1 do
+    let base = sb * nways in
+    for w = 0 to nways - 1 do
+      t.nxt.(base + w) <- (if w = nways - 1 then -1 else base + w + 1)
+    done;
+    t.free_head.(sb) <- base
+  done;
+  t
+
+let line_size t = t.lsize
+let topology t = t.topo
+let moesi t = t.moesi
+
+(* ---------- cache primitives (mirror cache.ml, minus the boxing) ---------- *)
+
+let sb_of t cpu line = (cpu * t.nsets) + (line mod t.nsets)
+
+(* Slot of [line] in [cpu]'s cache, or -1. *)
+let cache_slot t cpu line = Flat_tab.find t.where.(cpu) line ~default:(-1)
+
+let cache_state_code t cpu line =
+  let s = cache_slot t cpu line in
+  if s < 0 then -1 else t.slots.(s) land 3
+
+let unlink t sb s =
+  let p = t.prv.(s) and n = t.nxt.(s) in
+  if p >= 0 then t.nxt.(p) <- n else t.head.(sb) <- n;
+  if n >= 0 then t.prv.(n) <- p else t.tail.(sb) <- p;
+  t.prv.(s) <- -1;
+  t.nxt.(s) <- -1;
+  t.fill.(sb) <- t.fill.(sb) - 1
+
+let push_front t sb s =
+  let h = t.head.(sb) in
+  t.nxt.(s) <- h;
+  t.prv.(s) <- -1;
+  if h >= 0 then t.prv.(h) <- s else t.tail.(sb) <- s;
+  t.head.(sb) <- s;
+  t.fill.(sb) <- t.fill.(sb) + 1
+
+let free_push t sb s =
+  t.slots.(s) <- -1;
+  t.nxt.(s) <- t.free_head.(sb);
+  t.free_head.(sb) <- s
+
+let free_pop t sb =
+  let s = t.free_head.(sb) in
+  t.free_head.(sb) <- t.nxt.(s);
+  s
+
+(* Mirror of Cache.touch — but with the slot already in hand, so the
+   re-find the reference pays inside set_state never happens here. *)
+let touch_slot t sb s =
+  unlink t sb s;
+  push_front t sb s
+
+(* Mirror of Cache.set_state: update the state bits and mark MRU. One
+   table lookup total (the satellite-1 discipline). *)
+let cache_set_state t cpu line code =
+  let s = cache_slot t cpu line in
+  if s < 0 then
+    invalid_arg (Printf.sprintf "Memkern.set_state: line %d absent" line);
+  t.slots.(s) <- t.slots.(s) land lnot 3 lor code;
+  touch_slot t (sb_of t cpu line) s
+
+(* Mirror of Cache.remove (no-op when absent). *)
+let cache_remove t cpu line =
+  let s = cache_slot t cpu line in
+  if s >= 0 then begin
+    let sb = sb_of t cpu line in
+    unlink t sb s;
+    free_push t sb s;
+    Flat_tab.remove t.where.(cpu) line
+  end
+
+(* ---------- directory entry pool ---------- *)
+
+let dir_find t line = Flat_tab.find t.dir line ~default:(-1)
+
+let alloc_entry t =
+  let e =
+    if t.nfree > 0 then begin
+      t.nfree <- t.nfree - 1;
+      t.freelist.(t.nfree)
+    end
+    else begin
+      (if t.nentries >= Array.length t.owner then begin
+         let cap = 2 * Array.length t.owner in
+         let ow = Array.make cap (-1) in
+         Array.blit t.owner 0 ow 0 t.nentries;
+         t.owner <- ow;
+         let sh = Array.make (cap * t.nwords) 0 in
+         Array.blit t.sharers 0 sh 0 (t.nentries * t.nwords);
+         t.sharers <- sh;
+         let hm = Array.make (cap * t.nwords) 0 in
+         Array.blit t.hintm 0 hm 0 (t.nentries * t.nwords);
+         t.hintm <- hm
+       end);
+      let e = t.nentries in
+      t.nentries <- t.nentries + 1;
+      e
+    end
+  in
+  t.owner.(e) <- -1;
+  for w = 0 to t.nwords - 1 do
+    t.sharers.((e * t.nwords) + w) <- 0;
+    t.hintm.((e * t.nwords) + w) <- 0
+  done;
+  t.dir_live <- t.dir_live + 1;
+  if t.dir_live > t.dir_peak then t.dir_peak <- t.dir_live;
+  e
+
+(* Mirror of coherence.ml dir_entry: find or create. *)
+let dir_entry t line =
+  let e = dir_find t line in
+  if e >= 0 then e
+  else begin
+    let e = alloc_entry t in
+    Flat_tab.set t.dir line e;
+    e
+  end
+
+let rec drop_hints_word t line w m =
+  if m <> 0 then begin
+    let b = m land -m in
+    let cpu = (w * bpw) + bit_index b in
+    Flat_tab.remove t.hints ((line * t.ncpus) + cpu);
+    t.hint_drops <- t.hint_drops + 1;
+    drop_hints_word t line w (m land (m - 1))
+  end
+
+(* The line's last cached copy is gone: the sharing episode is over, so any
+   pending invalidation hints are stale — a later miss on the line is a
+   capacity (or cold) miss, not a sharing miss. Dropping them here is the
+   fix for the classifier-staleness bug (see the regression test). *)
+let remove_entry t line e =
+  for w = 0 to t.nwords - 1 do
+    let idx = (e * t.nwords) + w in
+    drop_hints_word t line w t.hintm.(idx);
+    t.hintm.(idx) <- 0;
+    t.sharers.(idx) <- 0
+  done;
+  t.owner.(e) <- -1;
+  (if t.nfree >= Array.length t.freelist then begin
+     let fl = Array.make (2 * Array.length t.freelist) 0 in
+     Array.blit t.freelist 0 fl 0 t.nfree;
+     t.freelist <- fl
+   end);
+  t.freelist.(t.nfree) <- e;
+  t.nfree <- t.nfree + 1;
+  Flat_tab.remove t.dir line;
+  t.dir_live <- t.dir_live - 1
+
+let add_sharer t e cpu =
+  let i = (e * t.nwords) + (cpu / bpw) in
+  t.sharers.(i) <- t.sharers.(i) lor (1 lsl (cpu mod bpw))
+
+let remove_sharer t e cpu =
+  let i = (e * t.nwords) + (cpu / bpw) in
+  t.sharers.(i) <- t.sharers.(i) land lnot (1 lsl (cpu mod bpw))
+
+let sharer_mem t e cpu =
+  t.sharers.((e * t.nwords) + (cpu / bpw)) land (1 lsl (cpu mod bpw)) <> 0
+
+let sharers_empty t e =
+  let rec go w = w >= t.nwords || (t.sharers.((e * t.nwords) + w) = 0 && go (w + 1)) in
+  go 0
+
+let clear_sharers t e =
+  for w = 0 to t.nwords - 1 do
+    t.sharers.((e * t.nwords) + w) <- 0
+  done
+
+(* ---------- classifier state ---------- *)
+
+let set_hint t e line cpu off size =
+  Flat_tab.set t.hints ((line * t.ncpus) + cpu) ((off * (t.lsize + 1)) + size);
+  let i = (e * t.nwords) + (cpu / bpw) in
+  t.hintm.(i) <- t.hintm.(i) lor (1 lsl (cpu mod bpw))
+
+let count_writeback t cpu =
+  t.stats.(cpu).Sim_stats.writebacks <- t.stats.(cpu).Sim_stats.writebacks + 1
+
+(* Mirror of coherence.ml note_eviction. *)
+let note_eviction t cpu vline vst =
+  let e = dir_entry t vline in
+  (if vst = st_m || vst = st_o then begin
+     count_writeback t cpu;
+     if t.owner.(e) = cpu then t.owner.(e) <- -1
+   end
+   else if vst = st_e then begin
+     if t.owner.(e) = cpu then t.owner.(e) <- -1
+   end
+   else remove_sharer t e cpu);
+  if t.owner.(e) = -1 && sharers_empty t e then remove_entry t vline e
+
+(* Mirror of Cache.insert followed by note_eviction (insert_line in the
+   reference): evict the set's LRU tail if full, place the new line, then
+   reconcile the victim with the directory. *)
+let insert_line t cpu line code =
+  let sb = sb_of t cpu line in
+  if t.fill.(sb) >= t.nways then begin
+    let v = t.tail.(sb) in
+    let w = t.slots.(v) in
+    unlink t sb v;
+    Flat_tab.remove t.where.(cpu) (w asr 2);
+    free_push t sb v;
+    let s = free_pop t sb in
+    t.slots.(s) <- (line lsl 2) lor code;
+    push_front t sb s;
+    Flat_tab.set t.where.(cpu) line s;
+    note_eviction t cpu (w asr 2) (w land 3)
+  end
+  else begin
+    let s = free_pop t sb in
+    t.slots.(s) <- (line lsl 2) lor code;
+    push_front t sb s;
+    Flat_tab.set t.where.(cpu) line s
+  end
+
+(* Walk one sharer-mask word invalidating everyone but the writer,
+   accumulating victim count and worst invalidation latency into the
+   scratch fields (mirror of invalidate_others' victims list + the
+   Topology.invalidation_latency fold, without building the list). *)
+let rec invalidate_word t e line writer off size w m =
+  if m <> 0 then begin
+    let s = (w * bpw) + bit_index (m land -m) in
+    if s <> writer then begin
+      cache_remove t s line;
+      set_hint t e line s off size;
+      t.iv_count <- t.iv_count + 1;
+      t.iv_lat <- max t.iv_lat (Topology.transfer_latency t.topo ~src:writer ~dst:s)
+    end;
+    invalidate_word t e line writer off size w (m land (m - 1))
+  end
+
+(* Mirror of coherence.ml invalidate_others; results land in iv_count /
+   iv_lat. *)
+let invalidate_others t ~line ~writer ~off ~size =
+  let e = dir_entry t line in
+  t.iv_count <- 0;
+  t.iv_lat <- 0;
+  let o = t.owner.(e) in
+  if o >= 0 && o <> writer then begin
+    let c = cache_state_code t o line in
+    if c = st_m || c = st_o then count_writeback t o;
+    cache_remove t o line;
+    set_hint t e line o off size;
+    t.iv_count <- t.iv_count + 1;
+    t.iv_lat <- max t.iv_lat (Topology.transfer_latency t.topo ~src:writer ~dst:o);
+    t.owner.(e) <- -1
+  end;
+  for w = 0 to t.nwords - 1 do
+    invalidate_word t e line writer off size w t.sharers.((e * t.nwords) + w)
+  done;
+  (* e.sharers <- List.filter (fun s -> s = writer) e.sharers *)
+  let ww = writer / bpw in
+  for w = 0 to t.nwords - 1 do
+    let idx = (e * t.nwords) + w in
+    t.sharers.(idx) <-
+      t.sharers.(idx) land (if w = ww then 1 lsl (writer mod bpw) else 0)
+  done
+
+(* Mirror of coherence.ml classify_miss, plus clearing the entry's hint
+   bit when the hint is consumed so the hint mask stays exact. *)
+let classify_miss t ~cpu ~line ~off ~size =
+  let st = t.stats.(cpu) in
+  if Flat_tab.find t.touched line ~default:0 = 0 then
+    st.Sim_stats.cold_misses <- st.Sim_stats.cold_misses + 1
+  else begin
+    let key = (line * t.ncpus) + cpu in
+    let h = Flat_tab.find t.hints key ~default:(-1) in
+    if h >= 0 then begin
+      Flat_tab.remove t.hints key;
+      let e = dir_find t line in
+      if e >= 0 then begin
+        let i = (e * t.nwords) + (cpu / bpw) in
+        t.hintm.(i) <- t.hintm.(i) land lnot (1 lsl (cpu mod bpw))
+      end;
+      let w_off = h / (t.lsize + 1) and w_len = h mod (t.lsize + 1) in
+      let overlap = off < w_off + w_len && w_off < off + size in
+      if overlap then
+        st.Sim_stats.true_sharing_misses <- st.Sim_stats.true_sharing_misses + 1
+      else
+        st.Sim_stats.false_sharing_misses <- st.Sim_stats.false_sharing_misses + 1
+    end
+    else st.Sim_stats.capacity_misses <- st.Sim_stats.capacity_misses + 1
+  end
+
+(* Nearest sharer: min transfer latency from any sharer to [cpu] (mirror
+   of the reference's fold over e.sharers). *)
+let rec nearest_word t cpu best w m =
+  if m = 0 then best
+  else
+    let s = (w * bpw) + bit_index (m land -m) in
+    let d = Topology.transfer_latency t.topo ~src:s ~dst:cpu in
+    nearest_word t cpu (min best d) w (m land (m - 1))
+
+let nearest_sharer t e cpu =
+  let rec go w best =
+    if w >= t.nwords then best
+    else go (w + 1) (nearest_word t cpu best w t.sharers.((e * t.nwords) + w))
+  in
+  go 0 max_int
+
+let lat t = Topology.latencies t.topo
+
+(* ---------- protocol (mirrors coherence.ml read / write / access) ---------- *)
+
+let read t ~cpu ~line ~off ~size =
+  let st = t.stats.(cpu) in
+  let s = cache_slot t cpu line in
+  if s >= 0 then begin
+    touch_slot t (sb_of t cpu line) s;
+    st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+    (lat t).Topology.l1_hit
+  end
+  else begin
+    classify_miss t ~cpu ~line ~off ~size;
+    let e = dir_entry t line in
+    let latency =
+      let o = t.owner.(e) in
+      if o >= 0 then begin
+        (* Owner supplies the data cache-to-cache. MESI: M downgrades to S
+           with a writeback; MOESI: M downgrades to O, deferring the
+           writeback; E downgrades to S (clean); O stays O. *)
+        let c = cache_state_code t o line in
+        if c = st_m then
+          if not t.moesi then begin
+            count_writeback t o;
+            cache_set_state t o line st_s;
+            t.owner.(e) <- -1;
+            add_sharer t e o
+          end
+          else cache_set_state t o line st_o
+        else if c = st_e then begin
+          cache_set_state t o line st_s;
+          t.owner.(e) <- -1;
+          add_sharer t e o
+        end
+        else if c = st_o then ()
+        else
+          (* Directory said owner but cache disagrees: repair. *)
+          t.owner.(e) <- -1;
+        add_sharer t e cpu;
+        Topology.transfer_latency t.topo ~src:o ~dst:cpu
+      end
+      else if not (sharers_empty t e) then begin
+        let nearest = nearest_sharer t e cpu in
+        add_sharer t e cpu;
+        nearest
+      end
+      else begin
+        (* No cached copy anywhere: fetch from memory, Exclusive. *)
+        t.owner.(e) <- cpu;
+        Topology.memory_latency t.topo
+      end
+    in
+    let code = if t.owner.(e) = cpu then st_e else st_s in
+    insert_line t cpu line code;
+    latency
+  end
+
+let write t ~cpu ~line ~off ~size =
+  let st = t.stats.(cpu) in
+  let s = cache_slot t cpu line in
+  if s >= 0 then begin
+    let c = t.slots.(s) land 3 in
+    if c = st_m then begin
+      touch_slot t (sb_of t cpu line) s;
+      st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+      (lat t).Topology.l1_hit
+    end
+    else if c = st_e then begin
+      (* Silent E->M upgrade. *)
+      t.slots.(s) <- t.slots.(s) land lnot 3 lor st_m;
+      touch_slot t (sb_of t cpu line) s;
+      let e = dir_entry t line in
+      t.owner.(e) <- cpu;
+      st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+      (lat t).Topology.l1_hit
+    end
+    else begin
+      (* S or O. Upgrade: invalidate every other copy; we have the data. *)
+      st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+      st.Sim_stats.upgrades <- st.Sim_stats.upgrades + 1;
+      invalidate_others t ~line ~writer:cpu ~off ~size;
+      st.Sim_stats.invalidations <- st.Sim_stats.invalidations + t.iv_count;
+      let e = dir_entry t line in
+      t.owner.(e) <- cpu;
+      clear_sharers t e;
+      (* invalidate_others can't evict this CPU's copy, so slot s stands. *)
+      t.slots.(s) <- t.slots.(s) land lnot 3 lor st_m;
+      touch_slot t (sb_of t cpu line) s;
+      max (lat t).Topology.l1_hit t.iv_lat
+    end
+  end
+  else begin
+    classify_miss t ~cpu ~line ~off ~size;
+    let e = dir_entry t line in
+    let fetch_latency =
+      let o = t.owner.(e) in
+      if o >= 0 then Topology.transfer_latency t.topo ~src:o ~dst:cpu
+      else if not (sharers_empty t e) then
+        (* Data can come from a sharer; invalidations proceed in parallel;
+           pay the farther of the two below. *)
+        nearest_sharer t e cpu
+      else Topology.memory_latency t.topo
+    in
+    invalidate_others t ~line ~writer:cpu ~off ~size;
+    st.Sim_stats.invalidations <- st.Sim_stats.invalidations + t.iv_count;
+    let inv_lat = t.iv_lat in
+    let e = dir_entry t line in
+    t.owner.(e) <- cpu;
+    clear_sharers t e;
+    insert_line t cpu line st_m;
+    max fetch_latency inv_lat
+  end
+
+let access t ~cpu ~addr ~size ~is_write =
+  if cpu < 0 || cpu >= t.ncpus then
+    invalid_arg (Printf.sprintf "Memkern.access: cpu %d out of range" cpu);
+  if size <= 0 then invalid_arg "Memkern.access: size <= 0";
+  let line = addr / t.lsize in
+  let off = addr mod t.lsize in
+  if off + size > t.lsize then
+    invalid_arg
+      (Printf.sprintf
+         "Memkern.access: access at %d size %d straddles a %d-byte line" addr
+         size t.lsize);
+  let st = t.stats.(cpu) in
+  if is_write then st.Sim_stats.stores <- st.Sim_stats.stores + 1
+  else st.Sim_stats.loads <- st.Sim_stats.loads + 1;
+  let latency =
+    if is_write then write t ~cpu ~line ~off ~size
+    else read t ~cpu ~line ~off ~size
+  in
+  Flat_tab.set t.touched line 1;
+  st.Sim_stats.stall_cycles <- st.Sim_stats.stall_cycles + latency;
+  latency
+
+let stats t ~cpu = t.stats.(cpu)
+let total_stats t = Sim_stats.sum (Array.to_list t.stats)
+
+(* ---------- introspection (cold paths; allocation is fine here) ---------- *)
+
+let owner t ~line =
+  let e = dir_find t line in
+  if e < 0 then None
+  else
+    let o = t.owner.(e) in
+    if o < 0 then None else Some o
+
+let fold_mask_cpus t base f init =
+  (* fold over the set bits of the nwords-word mask starting at [base] *)
+  let acc = ref init in
+  for w = 0 to t.nwords - 1 do
+    let m = ref t.sharers.(base + w) in
+    while !m <> 0 do
+      acc := f !acc ((w * bpw) + bit_index (!m land - !m));
+      m := !m land (!m - 1)
+    done
+  done;
+  !acc
+
+let sharers t ~line =
+  let e = dir_find t line in
+  if e < 0 then []
+  else List.rev (fold_mask_cpus t (e * t.nwords) (fun acc c -> c :: acc) [])
+
+let holders t ~line =
+  let e = dir_find t line in
+  if e < 0 then []
+  else
+    let base = sharers t ~line in
+    let all = match owner t ~line with Some o -> o :: base | None -> base in
+    List.sort_uniq compare all
+
+let cache_state t ~cpu ~line =
+  let c = cache_state_code t cpu line in
+  if c < 0 then None else Some (state_of_code c)
+
+let iter_cache t ~cpu f =
+  let lines =
+    Flat_tab.fold t.where.(cpu) ~init:[] ~f:(fun acc line _ -> line :: acc)
+  in
+  List.iter
+    (fun line -> f line (state_of_code (cache_state_code t cpu line)))
+    (List.sort compare lines)
+
+type kstats = {
+  k_dir_live : int;
+  k_dir_peak : int;
+  k_hint_drops : int;
+  k_probe_steps : int;
+}
+
+let kstats t =
+  let probes =
+    Array.fold_left (fun acc w -> acc + Flat_tab.probe_steps w) 0 t.where
+    + Flat_tab.probe_steps t.dir
+    + Flat_tab.probe_steps t.hints
+    + Flat_tab.probe_steps t.touched
+  in
+  {
+    k_dir_live = t.dir_live;
+    k_dir_peak = t.dir_peak;
+    k_hint_drops = t.hint_drops;
+    k_probe_steps = probes;
+  }
+
+(* ---------- invariants ---------- *)
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf invalid_arg fmt in
+  let state_name c =
+    if c < 0 then "nothing"
+    else
+      match state_of_code c with
+      | Cache.Modified -> "M"
+      | Cache.Owned -> "O"
+      | Cache.Exclusive -> "E"
+      | Cache.Shared -> "S"
+  in
+  (* Directory -> caches *)
+  Flat_tab.iter t.dir (fun line e ->
+      let o = t.owner.(e) in
+      (if o >= 0 then begin
+         (match cache_state_code t o line with
+         | c when c = st_m || c = st_e ->
+           if not (sharers_empty t e) then
+             fail "Memkern invariant: line %d has M/E owner %d and sharers"
+               line o
+         | c when c = st_o ->
+           if not t.moesi then
+             fail "Memkern invariant: Owned state under MESI (line %d)" line
+         | c ->
+           fail "Memkern invariant: owner %d of line %d holds %s" o line
+             (state_name c));
+         if sharer_mem t e o then
+           fail "Memkern invariant: owner %d of line %d is in the sharer mask"
+             o line
+       end);
+      ignore
+        (fold_mask_cpus t (e * t.nwords)
+           (fun () s ->
+             if cache_state_code t s line <> st_s then
+               fail "Memkern invariant: sharer %d of line %d holds %s" s line
+                 (state_name (cache_state_code t s line)))
+           ());
+      (* hint mask bits <-> hint table entries *)
+      for w = 0 to t.nwords - 1 do
+        let m = ref t.hintm.((e * t.nwords) + w) in
+        while !m <> 0 do
+          let cpu = (w * bpw) + bit_index (!m land - !m) in
+          if not (Flat_tab.mem t.hints ((line * t.ncpus) + cpu)) then
+            fail "Memkern invariant: hint bit for cpu %d line %d has no hint"
+              cpu line;
+          m := !m land (!m - 1)
+        done
+      done);
+  (* Caches -> directory, plus representation invariants *)
+  for cpu = 0 to t.ncpus - 1 do
+    Flat_tab.iter t.where.(cpu) (fun line s ->
+        let w = t.slots.(s) in
+        if w < 0 || w asr 2 <> line then
+          fail "Memkern invariant: cpu %d slot %d word disagrees with line %d"
+            cpu s line;
+        if s / (t.nsets * t.nways) <> cpu then
+          fail "Memkern invariant: line %d of cpu %d stored in foreign slot %d"
+            line cpu s;
+        if s / t.nways mod t.nsets <> line mod t.nsets then
+          fail "Memkern invariant: line %d of cpu %d stored in wrong set" line
+            cpu;
+        let e = dir_find t line in
+        if e < 0 then
+          fail "Memkern invariant: line %d cached but not in directory" line;
+        let c = w land 3 in
+        if c = st_m || c = st_e || c = st_o then begin
+          if t.owner.(e) <> cpu then
+            fail "Memkern invariant: cpu %d holds line %d in %s but is not owner"
+              cpu line (state_name c)
+        end
+        else if not (sharer_mem t e cpu) then
+          fail "Memkern invariant: cpu %d holds line %d in S but is not a sharer"
+            cpu line);
+    (* LRU chains: fill slots + free slots account for every way, links are
+       mutually consistent, chained slots belong to the where table. *)
+    for set = 0 to t.nsets - 1 do
+      let sb = (cpu * t.nsets) + set in
+      let n = ref 0 in
+      let s = ref t.head.(sb) in
+      let prev = ref (-1) in
+      while !s >= 0 do
+        incr n;
+        if !n > t.nways then fail "Memkern invariant: LRU chain longer than ways";
+        if t.prv.(!s) <> !prev then
+          fail "Memkern invariant: LRU back-link broken at slot %d" !s;
+        let line = t.slots.(!s) asr 2 in
+        if Flat_tab.find t.where.(cpu) line ~default:(-1) <> !s then
+          fail "Memkern invariant: chained slot %d not in where table" !s;
+        prev := !s;
+        s := t.nxt.(!s)
+      done;
+      if t.tail.(sb) <> !prev then
+        fail "Memkern invariant: LRU tail mismatch in set %d of cpu %d" set cpu;
+      if !n <> t.fill.(sb) then
+        fail "Memkern invariant: fill %d but %d chained slots (cpu %d set %d)"
+          t.fill.(sb) !n cpu set;
+      let fr = ref 0 in
+      let s = ref t.free_head.(sb) in
+      while !s >= 0 do
+        incr fr;
+        if !fr > t.nways then fail "Memkern invariant: free chain cycle";
+        if t.slots.(!s) <> -1 then
+          fail "Memkern invariant: free slot %d holds a line" !s;
+        s := t.nxt.(!s)
+      done;
+      if !n + !fr <> t.nways then
+        fail "Memkern invariant: %d live + %d free slots != %d ways" !n !fr
+          t.nways
+    done
+  done;
+  (* Hint table -> directory: every pending hint belongs to a live entry
+     with the matching mask bit (the staleness fix keeps this exact). *)
+  Flat_tab.iter t.hints (fun key _ ->
+      let line = key / t.ncpus and cpu = key mod t.ncpus in
+      let e = dir_find t line in
+      if e < 0 then
+        fail "Memkern invariant: hint for cpu %d on dead line %d" cpu line;
+      if t.hintm.((e * t.nwords) + (cpu / bpw)) land (1 lsl (cpu mod bpw)) = 0
+      then fail "Memkern invariant: hint for cpu %d line %d not in hint mask"
+          cpu line)

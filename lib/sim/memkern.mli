@@ -1,0 +1,94 @@
+(** Flat, allocation-free memory-system kernel.
+
+    This is the fast implementation of the {!Coherence} protocol machine —
+    same observable behaviour, different representation. The boxed
+    reference implementation (hash table of LRU nodes per cache, directory
+    entries with sorted sharer lists, tuple-keyed hint table) is kept in
+    {!Coherence} as the differential oracle; the property suites drive
+    random traces through both and demand identical {!Sim_stats}, latencies
+    and holder sets.
+
+    Representation:
+
+    - {b Caches} are a single int array of packed [line lsl 2 lor state]
+      words indexed by [(cpu, set, way)], with true-LRU order kept as
+      array-index chains ([nxt]/[prv] arrays over slot indices) — no
+      [option] boxing, no per-line heap node. Residency lookup is a
+      per-CPU {!Flat_tab} from line to slot index.
+    - {b Directory} entries live in a growable pool of parallel int
+      arrays; the sharer set is a bitmask of [62]-bit words
+      ([(num_cpus + 61) / 62] words per entry, so machines up to 62 CPUs
+      use single-word mask arithmetic and larger ones — the Superdome's
+      128 — fall back to the same code over 2–3 words). Invalidation and
+      upgrade are mask operations instead of [List.filter]/[List.sort].
+    - {b Invalidation hints} (the false-sharing classifier state) and the
+      {b touched} set are {!Flat_tab}s under packed int keys
+      ([line * num_cpus + cpu]); no [(cpu, line)] tuple is allocated per
+      access.
+
+    The access path allocates nothing: every step is int array reads and
+    writes (table growth reallocates arrays, amortized and off the common
+    path). *)
+
+type t
+
+val create :
+  Topology.t ->
+  line_size:int ->
+  cache_capacity:int ->
+  ?ways:int ->
+  moesi:bool ->
+  unit ->
+  t
+(** Same validation as {!Coherence.create}: positive sizes, [ways]
+    (default: fully associative) dividing [cache_capacity]. *)
+
+val line_size : t -> int
+val topology : t -> Topology.t
+val moesi : t -> bool
+
+val access : t -> cpu:int -> addr:int -> size:int -> is_write:bool -> int
+(** One load/store; returns its latency in cycles. Identical contract to
+    {!Coherence.access}. *)
+
+val stats : t -> cpu:int -> Sim_stats.t
+val total_stats : t -> Sim_stats.t
+
+val holders : t -> line:int -> int list
+(** CPUs holding the line (any state), sorted. *)
+
+val owner : t -> line:int -> int option
+(** The directory's M/E/O owner of the line, if any. *)
+
+val sharers : t -> line:int -> int list
+(** The directory's sharer set, ascending (decoded from the bitmask). *)
+
+val cache_state : t -> cpu:int -> line:int -> Cache.state option
+(** The given CPU's cached state of the line ([None] = not resident). *)
+
+val iter_cache : t -> cpu:int -> (int -> Cache.state -> unit) -> unit
+(** Resident lines of one CPU's cache in ascending line order (same
+    determinism contract as {!Cache.iter}). *)
+
+val check_invariants : t -> unit
+(** Everything {!Coherence.check_invariants} checks — owner holds M/E/O
+    (and O only under MOESI), an M/E owner excludes sharers, the owner is
+    never in the sharer mask, every sharer holds S, every cached line is
+    directory-tracked — plus the representation invariants: LRU chains
+    and fill counts agree, the line→slot tables agree with the slot words,
+    free chains account for every way, and every pending hint belongs to a
+    live directory entry. @raise Invalid_argument on violation. *)
+
+(** Kernel-health numbers behind the [sim.kernel.*] observability
+    counters; cumulative since [create]. *)
+type kstats = {
+  k_dir_live : int;  (** directory entries currently allocated *)
+  k_dir_peak : int;  (** high-water mark of live directory entries *)
+  k_hint_drops : int;
+      (** stale invalidation hints dropped because the last cached copy of
+          their line was evicted (the sharing episode ended) *)
+  k_probe_steps : int;
+      (** cumulative {!Flat_tab} probe steps beyond the home slot *)
+}
+
+val kstats : t -> kstats

@@ -12,6 +12,7 @@ type config = {
   sample_period : int option;
   seed : int;
   trace : bool;
+  backend : Slo_sim.Coherence.backend;
 }
 
 let default_config topology =
@@ -24,6 +25,7 @@ let default_config topology =
     sample_period = None;
     seed = 1;
     trace = false;
+    backend = Slo_sim.Coherence.Flat;
   }
 
 (* Population sizes. A, D and E scale with the machine so that the number
@@ -51,6 +53,7 @@ let build_and_run cfg =
         load_base = 2;
         store_base = 8;
         trace = cfg.trace;
+        backend = cfg.backend;
       }
       program
   in

@@ -35,6 +35,9 @@ type config = {
   sample_period : int option;
   seed : int;
   trace : bool;  (** record the memory trace (for the trace oracle) *)
+  backend : Slo_sim.Coherence.backend;
+      (** memory-system implementation (default {!Slo_sim.Coherence.Flat};
+          [Reference] is the boxed oracle, for differential benchmarks) *)
 }
 
 val default_config : Slo_sim.Topology.t -> config

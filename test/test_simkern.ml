@@ -1,0 +1,395 @@
+(* Tests for the flat memory-system kernel: Flat_tab model checking, the
+   kernel-vs-reference differential oracle, coherence-invariant properties
+   over the introspection API, the hint-staleness regression, and the
+   cache determinism pins. *)
+
+module Topology = Slo_sim.Topology
+module Cache = Slo_sim.Cache
+module Coherence = Slo_sim.Coherence
+module Flat_tab = Slo_sim.Flat_tab
+module Sim_stats = Slo_sim.Sim_stats
+module Machine = Slo_sim.Machine
+module Parser = Slo_ir.Parser
+module Typecheck = Slo_ir.Typecheck
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Flat_tab: model-checked against Hashtbl *)
+
+type tab_op = Set of int * int | Remove of int | Clear
+
+let tab_op_gen =
+  QCheck2.Gen.(
+    let* tag = int_range 0 9 in
+    let* k = int_range 0 30 in
+    let* v = int_range (-1000) 1000 in
+    return (if tag < 6 then Set (k, v) else if tag < 9 then Remove k else Clear))
+
+let prop_flat_tab_matches_hashtbl =
+  QCheck2.Test.make ~name:"Flat_tab behaves like Hashtbl under random ops"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 0 200) tab_op_gen)
+    (fun ops ->
+      let t = Flat_tab.create ~capacity:4 () in
+      let h = Hashtbl.create 16 in
+      List.iter
+        (function
+          | Set (k, v) -> Flat_tab.set t k v; Hashtbl.replace h k v
+          | Remove k -> Flat_tab.remove t k; Hashtbl.remove h k
+          | Clear -> Flat_tab.clear t; Hashtbl.reset h)
+        ops;
+      Flat_tab.length t = Hashtbl.length h
+      && List.for_all
+           (fun k ->
+             Flat_tab.mem t k = Hashtbl.mem h k
+             && Flat_tab.find t k ~default:min_int
+                = Option.value (Hashtbl.find_opt h k) ~default:min_int)
+           (List.init 32 Fun.id)
+      && Flat_tab.fold t ~init:0 ~f:(fun acc _ v -> acc + v)
+         = Hashtbl.fold (fun _ v acc -> acc + v) h 0)
+
+let test_flat_tab_grow_and_shift () =
+  let t = Flat_tab.create ~capacity:4 () in
+  for k = 0 to 199 do
+    Flat_tab.set t k (k * 3)
+  done;
+  check_int "grown to 200 live" 200 (Flat_tab.length t);
+  (* Deleting every other key must leave the survivors findable: the
+     backward-shift delete has to repair every displaced probe chain. *)
+  for k = 0 to 199 do
+    if k mod 2 = 0 then Flat_tab.remove t k
+  done;
+  check_int "half removed" 100 (Flat_tab.length t);
+  for k = 0 to 199 do
+    check_int
+      (Printf.sprintf "key %d" k)
+      (if k mod 2 = 0 then -7 else k * 3)
+      (Flat_tab.find t k ~default:(-7))
+  done;
+  match Flat_tab.set t (-1) 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted negative key"
+
+(* ------------------------------------------------------------------ *)
+(* Differential oracle: the flat kernel must be indistinguishable from
+   the boxed reference — per-access latencies, per-CPU statistics,
+   directory contents, cache states — across protocols, topologies and
+   associativities. *)
+
+let topologies =
+  [
+    ("superdome8", Topology.superdome ~cpus:8 ());
+    (* > 62 CPUs exercises the multi-word sharer bitmasks *)
+    ("superdome128", Topology.superdome ~cpus:128 ());
+    ("bus4", Topology.bus ~cpus:4 ());
+  ]
+
+let assoc_variants = [ ("direct", Some 1); ("2way", Some 2); ("full", None) ]
+let lines_in_play = 12
+
+let trace_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 150)
+      (let* cpu = int_range 0 1000 in
+       let* line = int_range 0 (lines_in_play - 1) in
+       let* off = int_range 0 15 in
+       let* w = bool in
+       return (cpu, line, off, w)))
+
+let run_both ~topology ~protocol ~ways trace =
+  let mk backend =
+    Coherence.create topology ~line_size:128 ~cache_capacity:8 ?ways ~protocol
+      ~backend ()
+  in
+  let flat = mk Coherence.Flat and refr = mk Coherence.Reference in
+  let cpus = Topology.num_cpus topology in
+  List.iter
+    (fun (cpu, line, off, w) ->
+      let cpu = cpu mod cpus and addr = (line * 128) + (off * 8) in
+      let lf = Coherence.access flat ~cpu ~addr ~size:8 ~is_write:w in
+      let lr = Coherence.access refr ~cpu ~addr ~size:8 ~is_write:w in
+      if lf <> lr then
+        Alcotest.failf "latency diverged: flat %d vs reference %d" lf lr)
+    trace;
+  Coherence.check_invariants flat;
+  Coherence.check_invariants refr;
+  for cpu = 0 to cpus - 1 do
+    if Coherence.stats flat ~cpu <> Coherence.stats refr ~cpu then
+      Alcotest.failf "per-cpu stats diverged on cpu %d" cpu
+  done;
+  for line = 0 to lines_in_play - 1 do
+    if Coherence.holders flat ~line <> Coherence.holders refr ~line then
+      Alcotest.failf "holders diverged on line %d" line;
+    if Coherence.owner flat ~line <> Coherence.owner refr ~line then
+      Alcotest.failf "owner diverged on line %d" line;
+    if Coherence.sharers flat ~line <> Coherence.sharers refr ~line then
+      Alcotest.failf "sharers diverged on line %d" line;
+    for cpu = 0 to cpus - 1 do
+      if
+        Coherence.cache_state flat ~cpu ~line
+        <> Coherence.cache_state refr ~cpu ~line
+      then Alcotest.failf "cache state diverged: cpu %d line %d" cpu line
+    done
+  done
+
+let prop_differential =
+  QCheck2.Test.make
+    ~name:
+      "flat kernel == boxed reference (latencies, stats, directory) across \
+       protocols x topologies x associativities" ~count:25 trace_gen
+    (fun trace ->
+      List.iter
+        (fun (_, topology) ->
+          List.iter
+            (fun protocol ->
+              List.iter
+                (fun (_, ways) -> run_both ~topology ~protocol ~ways trace)
+                assoc_variants)
+            [ Coherence.Mesi; Coherence.Moesi ])
+        topologies;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Coherence invariants via the introspection API *)
+
+let prop_directory_invariants =
+  QCheck2.Test.make
+    ~name:
+      "owner holds M/E/O, owner not in sharers, sharers hold S, MESI never \
+       Owned" ~count:60 trace_gen
+    (fun trace ->
+      List.iter
+        (fun (protocol, backend) ->
+          let topology = Topology.superdome ~cpus:8 () in
+          let c =
+            Coherence.create topology ~line_size:128 ~cache_capacity:8
+              ~protocol ~backend ()
+          in
+          List.iter
+            (fun (cpu, line, off, w) ->
+              ignore
+                (Coherence.access c ~cpu:(cpu mod 8)
+                   ~addr:((line * 128) + (off * 8))
+                   ~size:8 ~is_write:w))
+            trace;
+          for line = 0 to lines_in_play - 1 do
+            let sharers = Coherence.sharers c ~line in
+            (match Coherence.owner c ~line with
+            | Some o ->
+                (match Coherence.cache_state c ~cpu:o ~line with
+                | Some (Cache.Modified | Cache.Exclusive | Cache.Owned) -> ()
+                | st ->
+                    Alcotest.failf "owner of line %d holds %s" line
+                      (match st with
+                      | None -> "nothing"
+                      | Some Cache.Shared -> "S"
+                      | _ -> "?"));
+                if List.mem o sharers then
+                  Alcotest.failf "owner %d in sharer set of line %d" o line
+            | None -> ());
+            List.iter
+              (fun s ->
+                if Coherence.cache_state c ~cpu:s ~line <> Some Cache.Shared
+                then Alcotest.failf "sharer %d of line %d not in S" s line)
+              sharers;
+            if protocol = Coherence.Mesi then
+              for cpu = 0 to 7 do
+                if Coherence.cache_state c ~cpu ~line = Some Cache.Owned then
+                  Alcotest.failf "MESI produced Owned (cpu %d line %d)" cpu
+                    line
+              done
+          done)
+        [
+          (Coherence.Mesi, Coherence.Flat);
+          (Coherence.Mesi, Coherence.Reference);
+          (Coherence.Moesi, Coherence.Flat);
+          (Coherence.Moesi, Coherence.Reference);
+        ];
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Hint staleness regression.
+
+   Before the fix, an invalidation hint recorded against a CPU survived
+   the end of the sharing episode: once every cached copy of the line was
+   evicted (directory entry gone), the CPU's much-later re-fetch still
+   consulted the stale hint and was misclassified as a sharing miss. The
+   fix drops a line's hints when its directory entry is removed, so the
+   re-fetch counts as a capacity miss. This scenario fails on the pre-fix
+   code in both backends (it reported false_sharing = 1, capacity = 0). *)
+
+let test_hint_staleness backend () =
+  let c =
+    Coherence.create
+      (Topology.bus ~cpus:2 ())
+      ~line_size:128 ~cache_capacity:2 ~backend ()
+  in
+  let access cpu addr w = ignore (Coherence.access c ~cpu ~addr ~size:8 ~is_write:w) in
+  access 0 0 false;
+  (* cpu1 writes bytes 8..15 of line 0: cpu0 invalidated, hint recorded *)
+  access 1 8 true;
+  (* cpu1's 2-line cache evicts line 0 (the LRU) on the second fill; the
+     last cached copy is gone, so the sharing episode is over *)
+  access 1 128 false;
+  access 1 256 false;
+  Alcotest.(check (list int)) "no copies left" [] (Coherence.holders c ~line:0);
+  (* cpu0 re-reads bytes 0..7 — disjoint from the hint interval, so the
+     stale hint would classify this as a false-sharing miss *)
+  access 0 0 false;
+  let st = Coherence.stats c ~cpu:0 in
+  check_int "capacity miss" 1 st.Sim_stats.capacity_misses;
+  check_int "no false sharing" 0 st.Sim_stats.false_sharing_misses;
+  check_int "no true sharing" 0 st.Sim_stats.true_sharing_misses;
+  Coherence.check_invariants c
+
+let test_hint_live_episode backend () =
+  (* Sanity check that the fix did not over-drop: while the episode is
+     live the hint still classifies the next miss. *)
+  let c =
+    Coherence.create
+      (Topology.bus ~cpus:2 ())
+      ~line_size:128 ~cache_capacity:4 ~backend ()
+  in
+  let access cpu addr w = ignore (Coherence.access c ~cpu ~addr ~size:8 ~is_write:w) in
+  access 0 0 false;
+  access 1 8 true;
+  access 0 0 false;
+  check_int "false sharing" 1
+    (Coherence.stats c ~cpu:0).Sim_stats.false_sharing_misses;
+  access 1 0 true;
+  access 0 0 false;
+  check_int "true sharing" 1
+    (Coherence.stats c ~cpu:0).Sim_stats.true_sharing_misses
+
+(* ------------------------------------------------------------------ *)
+(* Cache determinism pins *)
+
+let test_cache_iter_sorted () =
+  let c = Cache.create ~capacity:16 () in
+  List.iter
+    (fun l -> ignore (Cache.insert c l Cache.Shared))
+    [ 9; 3; 12; 1; 7; 0; 15 ];
+  let seen = ref [] in
+  Cache.iter c (fun line _ -> seen := line :: !seen);
+  Alcotest.(check (list int))
+    "ascending line order" [ 0; 1; 3; 7; 9; 12; 15 ]
+    (List.rev !seen)
+
+let test_set_state_touches_lru () =
+  (* set_state must refresh recency (it reaches the node in one lookup
+     now): after touching line 1 via set_state, line 2 is the LRU victim. *)
+  let c = Cache.create ~capacity:2 () in
+  ignore (Cache.insert c 1 Cache.Shared);
+  ignore (Cache.insert c 2 Cache.Shared);
+  Cache.set_state c 1 Cache.Modified;
+  match Cache.insert c 3 Cache.Shared with
+  | Some (victim, Cache.Shared) -> check_int "victim is line 2" 2 victim
+  | Some (_, _) -> Alcotest.fail "victim had wrong state"
+  | None -> Alcotest.fail "expected eviction"
+
+(* ------------------------------------------------------------------ *)
+(* Machine-level end-to-end identity: full results (makespan, per-CPU
+   cycles, stats, samples, trace) must be structurally equal across
+   backends even with sampling and tracing enabled. *)
+
+let src =
+  {|
+struct S { long a; long b; long arr[4]; };
+void writer(struct S *s, int n) {
+  for (i = 0; i < n; i++) {
+    s->a = s->a + 1;
+    s->arr[i % 4] = i;
+  }
+}
+void reader(struct S *s, int n) {
+  for (i = 0; i < n; i++) {
+    x = s->b + s->arr[i % 4];
+  }
+}
+|}
+
+let test_machine_backend_identity () =
+  let program = Typecheck.check (Parser.parse_program ~file:"t.mc" src) in
+  let run backend =
+    let topology = Topology.superdome ~cpus:4 () in
+    let m =
+      Machine.create
+        {
+          (Machine.default_config topology) with
+          Machine.cache_lines = 16;
+          sample_period = Some 50;
+          trace = true;
+          seed = 11;
+          backend;
+        }
+        program
+    in
+    let s = Machine.alloc m ~struct_name:"S" in
+    for cpu = 0 to 3 do
+      Machine.add_thread m ~cpu
+        ~work:
+          [
+            ( (if cpu mod 2 = 0 then "writer" else "reader"),
+              [ Machine.Ainst s; Machine.Aint 40 ] );
+          ]
+    done;
+    Machine.run m
+  in
+  let r_flat = run Coherence.Flat and r_ref = run Coherence.Reference in
+  Alcotest.(check bool) "whole results identical" true (r_flat = r_ref);
+  Alcotest.(check bool) "trace non-empty" true (r_flat.Machine.trace <> [])
+
+let test_kstats_exposure () =
+  let mk backend =
+    Coherence.create
+      (Topology.bus ~cpus:2 ())
+      ~line_size:128 ~cache_capacity:4 ~backend ()
+  in
+  let flat = mk Coherence.Flat in
+  ignore (Coherence.access flat ~cpu:0 ~addr:0 ~size:8 ~is_write:true);
+  (match Coherence.kstats flat with
+  | Some k ->
+      Alcotest.(check bool) "dir_live tracked" true (k.Slo_sim.Memkern.k_dir_live >= 1);
+      Alcotest.(check bool) "peak >= live" true
+        (k.Slo_sim.Memkern.k_dir_peak >= k.Slo_sim.Memkern.k_dir_live)
+  | None -> Alcotest.fail "Flat backend must expose kstats");
+  match Coherence.kstats (mk Coherence.Reference) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "Reference backend must not expose kstats"
+
+let suites =
+  [
+    ( "sim.kernel.flat_tab",
+      [
+        QCheck_alcotest.to_alcotest prop_flat_tab_matches_hashtbl;
+        Alcotest.test_case "grow and backward-shift delete" `Quick
+          test_flat_tab_grow_and_shift;
+      ] );
+    ("sim.kernel.differential", [ QCheck_alcotest.to_alcotest prop_differential ]);
+    ( "sim.kernel.invariants",
+      [ QCheck_alcotest.to_alcotest prop_directory_invariants ] );
+    ( "sim.kernel.hints",
+      [
+        Alcotest.test_case "stale hint dropped with episode (flat)" `Quick
+          (test_hint_staleness Coherence.Flat);
+        Alcotest.test_case "stale hint dropped with episode (reference)" `Quick
+          (test_hint_staleness Coherence.Reference);
+        Alcotest.test_case "live hint still classifies (flat)" `Quick
+          (test_hint_live_episode Coherence.Flat);
+        Alcotest.test_case "live hint still classifies (reference)" `Quick
+          (test_hint_live_episode Coherence.Reference);
+      ] );
+    ( "sim.kernel.cache",
+      [
+        Alcotest.test_case "iter is sorted by line" `Quick test_cache_iter_sorted;
+        Alcotest.test_case "set_state refreshes LRU" `Quick
+          test_set_state_touches_lru;
+      ] );
+    ( "sim.kernel.machine",
+      [
+        Alcotest.test_case "end-to-end backend identity" `Quick
+          test_machine_backend_identity;
+        Alcotest.test_case "kstats exposure" `Quick test_kstats_exposure;
+      ] );
+  ]
