@@ -1146,6 +1146,97 @@ let run_sim_scale () =
       ("kernel_runs_counter", Json.Int (Obs.counter "sim.kernel.runs"));
     ]
 
+let run_model_check () =
+  section "model_check: exhaustive small-config coherence verification";
+  let module Mc = Slo_sim.Modelcheck in
+  Printf.printf
+    "breadth-first over every interleaving; both backends + trace oracle \
+     checked on every edge\n";
+  Printf.printf "%-24s %8s %8s %8s %6s %9s %8s %9s\n" "config" "states" "pinned"
+    "edges" "depth" "frontier" "oracle" "wall (s)";
+  let drift = ref false in
+  let rows =
+    List.map
+      (fun (cfg, pin) ->
+        let t0 = Obs.now () in
+        let r =
+          try Mc.run cfg
+          with Mc.Violation { vmsg; vtrace } ->
+            Printf.eprintf
+              "model_check: %s violated an invariant: %s (witness: %d steps)\n"
+              (Mc.config_name cfg) vmsg (List.length vtrace);
+            exit 1
+        in
+        let wall = Obs.now () -. t0 in
+        let ok = r.Mc.r_states = pin in
+        if not ok then drift := true;
+        Printf.printf "%-24s %8d %8d %8d %6d %9d %8d %9.3f%s\n%!"
+          (Mc.config_name cfg) r.Mc.r_states pin r.Mc.r_transitions
+          r.Mc.r_max_depth r.Mc.r_max_frontier r.Mc.r_oracle_traces wall
+          (if ok then "" else "  DRIFT");
+        Json.Obj
+          [
+            ("config", Json.Str (Mc.config_name cfg));
+            ("states", Json.Int r.Mc.r_states);
+            ("pinned", Json.Int pin);
+            ("transitions", Json.Int r.Mc.r_transitions);
+            ("max_depth", Json.Int r.Mc.r_max_depth);
+            ("max_frontier", Json.Int r.Mc.r_max_frontier);
+            ("oracle_traces", Json.Int r.Mc.r_oracle_traces);
+            ("ok", Json.Bool ok);
+          ])
+      Mc.standard_suite
+  in
+  if !drift then begin
+    Printf.eprintf
+      "model_check: reachable-state count drifted from its pin — the \
+       protocol semantics changed\n";
+    exit 1
+  end;
+  (* The mutation net must stay live: a deliberately broken protocol table
+     has to be caught, with a minimized witness. *)
+  let mutations =
+    [
+      ("read_keeps_modified", Mc.Read_keeps_modified);
+      ("skip_last_invalidation", Mc.Skip_last_invalidation);
+    ]
+  in
+  let mutation_rows =
+    List.map
+      (fun (name, m) ->
+        match Mc.run ~mutate:m (Mc.config ()) with
+        | _ ->
+          Printf.eprintf
+            "model_check: mutation %s explored without a violation — the \
+             invariant net is dead\n"
+            name;
+          exit 1
+        | exception Mc.Violation { vmsg; vtrace } ->
+          Printf.printf "mutation %-24s caught: %s (%d-step witness)\n%!" name
+            vmsg (List.length vtrace);
+          Json.Obj
+            [
+              ("mutation", Json.Str name);
+              ("caught", Json.Bool true);
+              ("witness_steps", Json.Int (List.length vtrace));
+              ("message", Json.Str vmsg);
+            ])
+      mutations
+  in
+  Printf.printf "totals: %d states, %d transitions across %d configs\n%!"
+    (Obs.counter "sim.mc.states")
+    (Obs.counter "sim.mc.transitions")
+    (List.length Mc.standard_suite);
+  Json.Obj
+    [
+      ("configs", Json.List rows);
+      ("mutations", Json.List mutation_rows);
+      ("all_pinned", Json.Bool (not !drift));
+      ("states_counter", Json.Int (Obs.counter "sim.mc.states"));
+      ("transitions_counter", Json.Int (Obs.counter "sim.mc.transitions"));
+      ("runs_counter", Json.Int (Obs.counter "sim.mc.runs"));
+    ]
+
 (* ------------------------------------------------------------------ *)
 
 let all_sections =
@@ -1168,6 +1259,7 @@ let all_sections =
     ("layout_search", run_layout_search);
     ("cc_scale", run_cc_scale);
     ("sim_scale", run_sim_scale);
+    ("model_check", run_model_check);
     ("smoke", run_smoke);
   ]
 

@@ -626,6 +626,50 @@ let sdet_cmd =
       const run $ cpus_arg $ bus_flag $ runs_arg $ jobs_arg $ stats_flag
       $ json_arg)
 
+let verify_cmd =
+  let module Mc = Slo_sim.Modelcheck in
+  let run () =
+    Printf.printf
+      "exhaustive coherence verification: every interleaving of every \
+       pinned small config,\nboth backends + trace oracle checked on every \
+       transition\n";
+    Printf.printf "%-24s %8s %8s %8s %6s %8s\n" "config" "states" "pinned"
+      "edges" "depth" "oracle";
+    let ok =
+      List.fold_left
+        (fun ok (cfg, pin) ->
+          match Mc.run cfg with
+          | r ->
+            let pinned = r.Mc.r_states = pin in
+            Printf.printf "%-24s %8d %8d %8d %6d %8d%s\n%!"
+              (Mc.config_name cfg) r.Mc.r_states pin r.Mc.r_transitions
+              r.Mc.r_max_depth r.Mc.r_oracle_traces
+              (if pinned then "" else "  DRIFT");
+            ok && pinned
+          | exception Mc.Violation { vmsg; vtrace } ->
+            Printf.printf "%-24s VIOLATION: %s\n" (Mc.config_name cfg) vmsg;
+            List.iter
+              (fun { Mc.v_cpu; v_line; v_off; v_write } ->
+                Printf.printf "  %s cpu %d line %d off %d\n"
+                  (if v_write then "write" else "read")
+                  v_cpu v_line v_off)
+              vtrace;
+            false)
+        true Mc.standard_suite
+    in
+    if ok then print_endline "verified: all invariants hold, all state counts pinned"
+    else begin
+      print_endline "VERIFICATION FAILED";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "model-check the coherence kernel exhaustively on small \
+          configurations")
+    Term.(const run $ const ())
+
 let () =
   let doc = "structure layout optimization for multithreaded programs" in
   let info = Cmd.info "slayout" ~version:"1.0.0" ~doc in
@@ -634,5 +678,5 @@ let () =
        (Cmd.group info
           [
             parse_cmd; affinity_cmd; fmf_cmd; collect_cmd; suggest_cmd;
-            dot_cmd; simulate_cmd; sdet_cmd;
+            dot_cmd; simulate_cmd; sdet_cmd; verify_cmd;
           ]))

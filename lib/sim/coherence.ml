@@ -437,6 +437,16 @@ let cache_state t ~cpu ~line =
   | Flat_k k -> Memkern.cache_state k ~cpu ~line
   | Ref_k r -> Cache.state r.Ref.caches.(cpu) line
 
+let inv_hint t ~cpu ~line =
+  match t with
+  | Flat_k k -> Memkern.inv_hint k ~cpu ~line
+  | Ref_k r -> Ref.hint_find r ~cpu ~line
+
+let touched t ~line =
+  match t with
+  | Flat_k k -> Memkern.touched k ~line
+  | Ref_k r -> Hashtbl.mem r.Ref.touched line
+
 let check_invariants = function
   | Flat_k k -> Memkern.check_invariants k
   | Ref_k r -> Ref.check_invariants r

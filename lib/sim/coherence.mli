@@ -102,6 +102,16 @@ val sharers : t -> line:int -> int list
 val cache_state : t -> cpu:int -> line:int -> Cache.state option
 (** The given CPU's cached state of the line ([None] = not resident). *)
 
+val inv_hint : t -> cpu:int -> line:int -> (int * int) option
+(** The pending invalidation hint recorded against [cpu] for [line] — the
+    byte interval [(off, len)] of the write that invalidated that CPU's
+    copy, or [None]. Drives the model checker's classifier conformance
+    checks; mirrors the classifier state of both backends. *)
+
+val touched : t -> line:int -> bool
+(** Whether the line has ever been accessed anywhere (the cold-miss
+    classifier state). *)
+
 val kstats : t -> Memkern.kstats option
 (** Kernel-health numbers ([Some] only for the {!Flat} backend) — feeds
     the [sim.kernel.*] observability counters. *)

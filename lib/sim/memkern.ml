@@ -605,6 +605,12 @@ let cache_state t ~cpu ~line =
   let c = cache_state_code t cpu line in
   if c < 0 then None else Some (state_of_code c)
 
+let inv_hint t ~cpu ~line =
+  let h = Flat_tab.find t.hints ((line * t.ncpus) + cpu) ~default:(-1) in
+  if h < 0 then None else Some (h / (t.lsize + 1), h mod (t.lsize + 1))
+
+let touched t ~line = Flat_tab.find t.touched line ~default:0 <> 0
+
 let iter_cache t ~cpu f =
   let lines =
     Flat_tab.fold t.where.(cpu) ~init:[] ~f:(fun acc line _ -> line :: acc)

@@ -66,6 +66,15 @@ val sharers : t -> line:int -> int list
 val cache_state : t -> cpu:int -> line:int -> Cache.state option
 (** The given CPU's cached state of the line ([None] = not resident). *)
 
+val inv_hint : t -> cpu:int -> line:int -> (int * int) option
+(** The pending invalidation hint recorded against [cpu] for [line], as the
+    invalidating write's byte interval [(off, len)] — [None] if the CPU's
+    next miss on the line would not be classified as a sharing miss.
+    Introspection for the model checker. *)
+
+val touched : t -> line:int -> bool
+(** Whether the line has ever been accessed (cold-miss classifier state). *)
+
 val iter_cache : t -> cpu:int -> (int -> Cache.state -> unit) -> unit
 (** Resident lines of one CPU's cache in ascending line order (same
     determinism contract as {!Cache.iter}). *)

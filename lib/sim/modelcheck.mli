@@ -1,0 +1,124 @@
+(** Exhaustive small-config model checker for the coherence kernel.
+
+    The QCheck2 differential suites prove {!Coherence}'s two backends
+    identical on random traces — but both could share a protocol bug. This
+    module closes that gap with explicit-state model checking in the spirit
+    of the Kronecker-algebra verification of shared-memory concurrent
+    systems (Mittermayr & Blieberger): enumerate {e all} reachable states
+    of k CPUs x m lines under every interleaving of a small access
+    alphabet, and at every transition check both backends against a third,
+    pure transcription of the protocol spec.
+
+    For each reachable state the checker asserts:
+    - global protocol invariants: at most one M/E/O holder per line, an
+      M/E holder excludes every other copy, sharer-set/state agreement,
+      Owned only under MOESI, no stale dirty copy after an invalidating
+      write (the writer ends as the sole holder, in M), a directory entry
+      is live iff some cache holds the line, and no invalidation hint
+      outlives its line's sharing episode;
+    - backend conformance on {e every} edge: the latency charged by both
+      backends equals the spec's latency for that transition, all per-CPU
+      {!Sim_stats} match the spec exactly, and the full introspected state
+      ({!Coherence.owner}/[sharers]/[cache_state]/[inv_hint]/[touched])
+      agrees with the spec state;
+    - in eviction-free configs, that {!Trace_oracle} classifies the
+      sharing misses of the state's generating trace exactly as the
+      coherence classifier does.
+
+    States are canonicalized by packing every per-(CPU, line) summary
+    (cache-state code + pending-hint code) plus the per-line touched bits
+    into a single nonnegative [int] (<= 62 bits for every accepted
+    config), and the visited set is a {!Flat_tab} over those packed keys —
+    the same open-addressing table the kernel itself uses. Reachable-state
+    counts per (protocol, topology, k, m) are pinned in
+    {!standard_suite}; any future semantic drift in [memkern.ml] or
+    [coherence.ml] changes a count or trips a conformance check and fails
+    loudly.
+
+    Exploration is breadth-first, so the trace stored for each state is a
+    minimal-length witness; on violation it is shrunk further by greedy
+    1-minimal trimming before being reported. *)
+
+type topo_kind =
+  | Bus  (** {!Topology.bus}: uniform transfer latency *)
+  | Superdome  (** {!Topology.superdome}: hierarchical latencies *)
+
+type config = {
+  mc_protocol : Coherence.protocol;
+  mc_topo : topo_kind;
+  mc_cpus : int;  (** k: number of CPUs (Superdome: power of two) *)
+  mc_lines : int;  (** m: number of distinct cache lines in the model *)
+  mc_capacity : int;  (** per-CPU cache capacity in lines *)
+  mc_ways : int;  (** associativity *)
+  mc_offsets : int list;  (** byte offsets within the line accessed *)
+  mc_line_size : int;
+}
+
+val config :
+  ?protocol:Coherence.protocol ->
+  ?topo:topo_kind ->
+  ?cpus:int ->
+  ?lines:int ->
+  ?capacity:int ->
+  ?ways:int ->
+  ?offsets:int list ->
+  ?line_size:int ->
+  unit ->
+  config
+(** Defaults: MESI, [Bus], 2 CPUs, 2 lines, capacity 2, ways 2, offsets
+    [\[0; 8\]], line size 128. Validation happens in {!run}. *)
+
+val config_name : config -> string
+(** Short id, e.g. ["mesi/bus/k2/m2/c2w2"]. *)
+
+type step = { v_cpu : int; v_line : int; v_off : int; v_write : bool }
+(** One access of the model alphabet (size is fixed at 8 bytes). *)
+
+exception Violation of { vmsg : string; vtrace : step list }
+(** Raised by {!run} on any invariant or conformance failure. [vtrace] is
+    the greedily shrunk (1-minimal) witness ending in the violation. *)
+
+(** Deliberate protocol bugs, used to prove the checker's net catches and
+    minimizes real violations (see the [sim.mc.mutation] tests). Mutations
+    perturb the pure spec only; backend conformance is disabled under a
+    mutation (the spec {e is} the system under test). *)
+type mutation =
+  | Read_keeps_modified
+      (** a remote read of a Modified line forgets to downgrade the owner:
+          M and S copies coexist *)
+  | Skip_last_invalidation
+      (** an invalidating write skips the highest-numbered holder: a stale
+          copy survives the write *)
+
+type report = {
+  r_states : int;  (** distinct reachable states (including the initial) *)
+  r_transitions : int;  (** edges explored (= states x alphabet size) *)
+  r_max_depth : int;  (** BFS depth of the deepest state *)
+  r_max_frontier : int;  (** widest BFS frontier *)
+  r_oracle_traces : int;
+      (** witness traces cross-checked against {!Trace_oracle} (0 when the
+          config can evict, where the oracle's episode model differs) *)
+}
+
+val run : ?mutate:mutation -> ?max_states:int -> config -> report
+(** Exhaustively explore the configuration; raise {!Violation} on the
+    first failed check (with a shrunk witness). [max_states] (default
+    200_000) bounds the exploration as a runaway guard.
+
+    Bumps the [sim.mc.runs]/[sim.mc.states]/[sim.mc.transitions] counters
+    and the [sim.mc.depth]/[sim.mc.max_frontier] gauges.
+
+    @raise Invalid_argument if the config is malformed, needs more than 62
+    bits of packed state, or its cache geometry makes LRU choice
+    observable (the model requires [ways = 1] or an eviction-free
+    geometry so victims are deterministic). *)
+
+val spec_violation : ?mutate:mutation -> config -> step list -> string option
+(** Replay one trace through the (optionally mutated) pure spec and return
+    the first protocol-invariant violation, if any — exposed so tests can
+    assert a shrunk counterexample is 1-minimal. *)
+
+val standard_suite : (config * int) list
+(** The pinned configurations: each with its exact reachable-state count.
+    [bench model_check], [slayout verify] and the [sim.mc] tests all
+    re-explore these and fail on any drift. *)

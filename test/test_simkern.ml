@@ -340,6 +340,126 @@ let test_machine_backend_identity () =
   Alcotest.(check bool) "whole results identical" true (r_flat = r_ref);
   Alcotest.(check bool) "trace non-empty" true (r_flat.Machine.trace <> [])
 
+(* Backward-shift deletion across the wrap-around boundary. With the
+   minimum capacity (8 slots, mask 7) and the kernel's Fibonacci hash,
+   keys 3, 11, 19 all home at slot 7 and key 0 homes at slot 0, so
+   inserting [3; 11; 19; 0] builds one probe cluster spanning slots
+   7, 0, 1, 2 — across the wrap. Deleting the cluster head forces
+   algorithm R to slide entries backwards over the boundary (slot 0 -> 7)
+   while leaving the chain findable. *)
+let test_flat_tab_wraparound_delete () =
+  let t = Flat_tab.create ~capacity:8 () in
+  let home k = (k * 0x2545F4914F6CDD1D) land 7 in
+  check_int "3 homes at the last slot" 7 (home 3);
+  check_int "11 homes at the last slot" 7 (home 11);
+  check_int "19 homes at the last slot" 7 (home 19);
+  check_int "0 homes at the first slot" 0 (home 0);
+  List.iter (fun k -> Flat_tab.set t k (k * 10)) [ 3; 11; 19; 0 ];
+  (* Delete the head at slot 7: 11 must wrap back 0 -> 7, then 19 and 0
+     each slide one slot back on the other side of the boundary. *)
+  Flat_tab.remove t 3;
+  check_int "three survivors" 3 (Flat_tab.length t);
+  List.iter
+    (fun k -> check_int (Printf.sprintf "key %d findable after wrap" k)
+        (k * 10) (Flat_tab.find t k ~default:(-1)))
+    [ 11; 19; 0 ];
+  Alcotest.(check bool) "deleted key gone" false (Flat_tab.mem t 3);
+  (* A missing key homing inside the cluster probes through the wrap and
+     still terminates at an empty slot. *)
+  check_int "absent key probes through the boundary" (-1)
+    (Flat_tab.find t 27 ~default:(-1));
+  (* Delete the entry now sitting at slot 0: its successor (home 0) must
+     move back into the exact gap, not to its own home's copy. *)
+  Flat_tab.remove t 19;
+  check_int "key 0 still findable" 0 (Flat_tab.find t 0 ~default:(-1));
+  check_int "key 11 still findable" 110 (Flat_tab.find t 11 ~default:(-1));
+  check_int "two survivors" 2 (Flat_tab.length t)
+
+let both_step fl rf ~cpu ~addr ~is_write =
+  let a = Coherence.access fl ~cpu ~addr ~size:8 ~is_write in
+  let b = Coherence.access rf ~cpu ~addr ~size:8 ~is_write in
+  check_int (Printf.sprintf "latency identical (cpu %d addr %d)" cpu addr) a b
+
+(* Sharer masks wider than one 62-bit word: CPUs 60 and 61 sit in bits
+   60/61 of word 0 (the word boundary), 62 and 63 in bits 0/1 of word 1.
+   The 128-CPU Superdome forces the multi-word mask path in the flat
+   kernel; the boxed reference is the oracle throughout. *)
+let test_multiword_sharer_mask () =
+  let topo = Topology.superdome () in
+  let mk backend =
+    Coherence.create topo ~line_size:128 ~cache_capacity:4 ~backend ()
+  in
+  let fl = mk Coherence.Flat and rf = mk Coherence.Reference in
+  List.iter
+    (fun cpu -> both_step fl rf ~cpu ~addr:0 ~is_write:false)
+    [ 61; 60; 62; 63 ];
+  List.iter
+    (fun c ->
+      Alcotest.(check (list int))
+        "sharer set spans the word boundary" [ 60; 61; 62; 63 ]
+        (Coherence.sharers c ~line:0);
+      Alcotest.(check (option int)) "no owner" None (Coherence.owner c ~line:0))
+    [ fl; rf ];
+  (* A write from word 0 must invalidate holders in both words at once. *)
+  both_step fl rf ~cpu:0 ~addr:8 ~is_write:true;
+  List.iter
+    (fun c ->
+      Alcotest.(check (list int)) "writer is the sole holder" [ 0 ]
+        (Coherence.holders c ~line:0);
+      check_int "all four copies invalidated" 4
+        (Coherence.stats c ~cpu:0).Sim_stats.invalidations;
+      Alcotest.(check (option (pair int int)))
+        "hint recorded across the word boundary" (Some (8, 8))
+        (Coherence.inv_hint c ~cpu:63 ~line:0))
+    [ fl; rf ];
+  (* The invalidated high-word CPU classifies its next miss off the hint:
+     disjoint byte intervals = false sharing. *)
+  both_step fl rf ~cpu:63 ~addr:0 ~is_write:false;
+  List.iter
+    (fun c ->
+      check_int "false-sharing miss classified in word 1" 1
+        (Coherence.stats c ~cpu:63).Sim_stats.false_sharing_misses)
+    [ fl; rf ]
+
+(* Evicting the last sharer (a word-1 CPU) must kill the directory entry:
+   holders goes empty, and a later re-fetch is a capacity miss, not a
+   stale sharing miss. *)
+let test_clear_last_sharer_kills_entry () =
+  let topo = Topology.superdome () in
+  let mk backend =
+    Coherence.create topo ~line_size:128 ~cache_capacity:2 ~ways:1 ~backend ()
+  in
+  let fl = mk Coherence.Flat and rf = mk Coherence.Reference in
+  both_step fl rf ~cpu:62 ~addr:0 ~is_write:false;
+  both_step fl rf ~cpu:63 ~addr:0 ~is_write:false;
+  (* Line 2 maps to the same set as line 0 (2 sets, 1 way): each fetch
+     evicts the CPU's copy of line 0, clearing its word-1 sharer bit. *)
+  both_step fl rf ~cpu:62 ~addr:256 ~is_write:false;
+  List.iter
+    (fun c ->
+      Alcotest.(check (list int)) "one sharer left" [ 63 ]
+        (Coherence.holders c ~line:0))
+    [ fl; rf ];
+  both_step fl rf ~cpu:63 ~addr:256 ~is_write:false;
+  List.iter
+    (fun c ->
+      Alcotest.(check (list int)) "entry dead: no holders" []
+        (Coherence.holders c ~line:0);
+      Alcotest.(check (option int)) "entry dead: no owner" None
+        (Coherence.owner c ~line:0))
+    [ fl; rf ];
+  both_step fl rf ~cpu:63 ~addr:0 ~is_write:false;
+  List.iter
+    (fun c ->
+      (* Every miss by CPU 63 on an already-touched line is a capacity
+         miss (its line-0 join, the line-2 fetch, and this re-fetch); the
+         point is that none became a stale sharing miss. *)
+      let st = Coherence.stats c ~cpu:63 in
+      check_int "re-fetch is a capacity miss" 3 st.Sim_stats.capacity_misses;
+      check_int "no stale sharing classification" 0
+        (st.Sim_stats.true_sharing_misses + st.Sim_stats.false_sharing_misses))
+    [ fl; rf ]
+
 let test_kstats_exposure () =
   let mk backend =
     Coherence.create
@@ -365,6 +485,15 @@ let suites =
         QCheck_alcotest.to_alcotest prop_flat_tab_matches_hashtbl;
         Alcotest.test_case "grow and backward-shift delete" `Quick
           test_flat_tab_grow_and_shift;
+        Alcotest.test_case "backward-shift delete across the wrap boundary"
+          `Quick test_flat_tab_wraparound_delete;
+      ] );
+    ( "sim.kernel.masks",
+      [
+        Alcotest.test_case "sharer mask across the 62-bit word boundary"
+          `Quick test_multiword_sharer_mask;
+        Alcotest.test_case "clearing the last sharer kills the entry" `Quick
+          test_clear_last_sharer_kills_entry;
       ] );
     ("sim.kernel.differential", [ QCheck_alcotest.to_alcotest prop_differential ]);
     ( "sim.kernel.invariants",

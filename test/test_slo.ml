@@ -4,7 +4,8 @@ let () =
   Alcotest.run "slo"
     (Test_util.suites @ Test_obs.suites @ Test_graph.suites @ Test_ir.suites
    @ Test_layout.suites @ Test_profile.suites @ Test_affinity.suites
-   @ Test_sim.suites @ Test_simkern.suites @ Test_concurrency.suites
+   @ Test_sim.suites @ Test_simkern.suites @ Test_modelcheck.suites
+   @ Test_concurrency.suites
    @ Test_core.suites
    @ Test_globals.suites @ Test_persist.suites @ Test_workload.suites
    @ Test_exec.suites @ Test_search.suites)
