@@ -29,6 +29,8 @@ module Field = Slo_layout.Field
 module Cluster = Slo_core.Cluster
 module Pipeline = Slo_core.Pipeline
 module Code_concurrency = Slo_concurrency.Code_concurrency
+module Sample = Slo_concurrency.Sample
+module Sample_store = Slo_concurrency.Sample_store
 module Parser = Slo_ir.Parser
 module Typecheck = Slo_ir.Typecheck
 module Stats = Slo_util.Stats
@@ -59,22 +61,84 @@ let read_file path =
       (fun () -> Some (really_input_string ic (in_channel_length ic)))
   with Sys_error _ | End_of_file -> None
 
+(* Resolve HEAD without invoking git, so the bench works where git is
+   absent (sandboxed dune actions, stripped containers) and costs no
+   subprocess. HEAD may be a detached hex id or a symref; the ref may be
+   loose or packed (`git gc`/`git pack-refs`); `.git` itself may be a
+   one-line `gitdir:` redirect file (worktrees/submodules), whose refs
+   live in the commondir. Anything unresolvable — including HEAD contents
+   that are not a hex id — degrades to the documented "unknown" sentinel:
+   git_rev never raises and never returns a string the JSON writer can't
+   emit verbatim, dirty tree or no tree at all. The schema check pins this
+   (git_rev=nonempty-string in bench/dune). SLO_GIT_REV overrides. *)
+let is_hex_id s =
+  let n = String.length s in
+  n >= 4 && n <= 64
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+       s
+
+let strip_prefix ~prefix s =
+  let np = String.length prefix in
+  if String.length s >= np && String.sub s 0 np = prefix then
+    Some (String.sub s np (String.length s - np))
+  else None
+
+let git_dirs () =
+  (* The directory holding HEAD, plus the one holding refs/packed-refs
+     (different in a linked worktree, where `commondir` points back at the
+     main repository's .git). *)
+  let gitdir =
+    match read_file ".git" with
+    | Some s when strip_prefix ~prefix:"gitdir: " (String.trim s) <> None ->
+      Option.get (strip_prefix ~prefix:"gitdir: " (String.trim s))
+    | Some _ | None -> ".git"
+  in
+  let common =
+    match read_file (Filename.concat gitdir "commondir") with
+    | Some s when String.trim s <> "" ->
+      let c = String.trim s in
+      if Filename.is_relative c then Filename.concat gitdir c else c
+    | Some _ | None -> gitdir
+  in
+  (gitdir, common)
+
+let packed_ref dir ref_name =
+  match read_file (Filename.concat dir "packed-refs") with
+  | None -> None
+  | Some s ->
+    List.find_map
+      (fun line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' || line.[0] = '^' then None
+        else
+          match String.index_opt line ' ' with
+          | Some sp
+            when String.sub line (sp + 1) (String.length line - sp - 1)
+                 = ref_name ->
+            let id = String.sub line 0 sp in
+            if is_hex_id id then Some id else None
+          | Some _ | None -> None)
+      (String.split_on_char '\n' s)
+
 let git_rev () =
-  (* Sandboxed dune actions have no .git; SLO_GIT_REV overrides, and
-     "unknown" is an honest fallback the schema checker accepts. *)
   match Sys.getenv_opt "SLO_GIT_REV" with
   | Some r when r <> "" -> r
   | _ -> (
-    match read_file ".git/HEAD" with
-    | None -> "unknown"
-    | Some s -> (
-      let s = String.trim s in
-      if String.length s > 5 && String.sub s 0 5 = "ref: " then
-        match read_file (Filename.concat ".git" (String.sub s 5 (String.length s - 5))) with
-        | Some c when String.trim c <> "" -> String.trim c
-        | Some _ | None -> "unknown"
-      else if s <> "" then s
-      else "unknown"))
+    let gitdir, common = git_dirs () in
+    let resolved =
+      match read_file (Filename.concat gitdir "HEAD") with
+      | None -> None
+      | Some s -> (
+        let s = String.trim s in
+        match strip_prefix ~prefix:"ref: " s with
+        | None -> if is_hex_id s then Some s else None
+        | Some ref_name -> (
+          match read_file (Filename.concat common ref_name) with
+          | Some c when is_hex_id (String.trim c) -> Some (String.trim c)
+          | Some _ | None -> packed_ref common ref_name))
+    in
+    match resolved with Some id -> id | None -> "unknown")
 
 let artifacts = ref [] (* (section, path), reverse run order *)
 
@@ -773,12 +837,157 @@ let run_cc_scale () =
     | None -> 0
   in
   Printf.printf "peak interval-table entries: %d\n%!" peak;
+  (* --- Columnar ingestion at scale: generate a store far bigger than any
+     collection run, persist it in both formats, and race the two
+     ingestion paths file -> in-memory store. The text baseline parses
+     every line (store_of_samples_file); the binary path is
+     load_samples_bin — mmap plus one validation scan — so the ratio
+     isolates the format itself (everything downstream of the store is
+     shared). Then the full columnar CC (compute_store) at pool sizes
+     1/2/4 must reproduce the in-memory list path's map exactly — any
+     divergence exits non-zero, so the runtest-col wiring doubles as the
+     columnar-determinism check. *)
+  let n_col = if !quick then 200_000 else 10_000_000 in
+  let col_cpus = 16 and col_lines = 24 in
+  let col_interval = 32_768 in
+  let builder = Sample_store.builder ~capacity:n_col () in
+  let state = ref 0x243F6A8885A308D3 in
+  let next_itc = ref 0 in
+  for _ = 1 to n_col do
+    (* LCG with a monotone itc: deterministic, allocation-free, and
+       time-ordered like a real PMU stream. *)
+    state := (!state * 2685821657736338717) + 1442695040888963407;
+    let bits = !state lsr 11 in
+    next_itc := !next_itc + 1 + (bits land 7);
+    Sample_store.append builder ~cpu:(bits mod col_cpus) ~itc:!next_itc
+      ~line:(100 + ((bits lsr 17) mod col_lines))
+  done;
+  let gen_store = Sample_store.build builder in
+  let bin_path = Filename.temp_file "slo_cc_scale" ".samples.bin" in
+  let txt_path = Filename.temp_file "slo_cc_scale" ".samples" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ bin_path; txt_path ])
+  @@ fun () ->
+  Persist.save_samples_bin ~path:bin_path gen_store;
+  Persist.save_store_text ~path:txt_path gen_store;
+  let file_bytes p =
+    let ic = open_in_bin p in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        in_channel_length ic)
+  in
+  let bin_bytes = file_bytes bin_path and txt_bytes = file_bytes txt_path in
+  Printf.printf
+    "\ncolumnar: %d generated samples, interval %d (%d cpus, %d lines)\n"
+    n_col col_interval col_cpus col_lines;
+  Printf.printf "  binary store %d bytes, text %d bytes\n%!" bin_bytes
+    txt_bytes;
+  (* Text ingestion baseline: parse every line into a columnar store. *)
+  let t0 = Obs.now () in
+  let tstore = Persist.store_of_samples_file ~path:txt_path in
+  let text_s = Obs.now () -. t0 in
+  (* Binary ingestion: mmap + the single validation scan. *)
+  let t0 = Obs.now () in
+  let mstore = Persist.load_samples_bin ~path:bin_path in
+  let bin_s = Obs.now () -. t0 in
+  (* Both paths must yield the same samples (bigarray compare is the
+     custom C one, so this is a memcmp-grade check, not a boxed walk). *)
+  let stores_equal =
+    Sample_store.length tstore = Sample_store.length mstore
+    && Sample_store.columns tstore = Sample_store.columns mstore
+  in
+  if not stores_equal then begin
+    Printf.eprintf
+      "cc_scale: text-parsed store diverges from binary-loaded store\n";
+    exit 1
+  end;
+  let rate n s = if s > 0.0 then float_of_int n /. s else 0.0 in
+  Printf.printf "  %-8s %12s %14s %14s\n" "path" "wall (s)" "samples/s"
+    "bytes/s";
+  Printf.printf "  %-8s %12.4f %14.0f %14.0f\n" "text" text_s
+    (rate n_col text_s) (rate txt_bytes text_s);
+  Printf.printf "  %-8s %12.4f %14.0f %14.0f\n%!" "binary" bin_s
+    (rate n_col bin_s) (rate bin_bytes bin_s);
+  let col_speedup =
+    if rate n_col text_s > 0.0 then rate n_col bin_s /. rate n_col text_s
+    else 0.0
+  in
+  Printf.printf "  binary vs text ingestion: %.2fx samples/s%s\n%!"
+    col_speedup
+    (if col_speedup < 3.0 then "  (below the 3x target)" else "");
+  (* Columnar CC vs the in-memory list path, at pool sizes 1/2/4. *)
+  let col_reference =
+    Code_concurrency.compute ~interval:col_interval
+      (Sample_store.to_samples mstore)
+  in
+  let col_ref_pairs = Code_concurrency.pairs col_reference in
+  let col_rows =
+    List.map
+      (fun jobs ->
+        let compute pool =
+          let t0 = Obs.now () in
+          let cm =
+            Code_concurrency.compute_store ?pool ~interval:col_interval mstore
+          in
+          (cm, Obs.now () -. t0)
+        in
+        let cm, wall =
+          if jobs <= 1 then compute None
+          else Pool.with_pool ~domains:jobs (fun p -> compute (Some p))
+        in
+        let identical = Code_concurrency.pairs cm = col_ref_pairs in
+        Printf.printf "  pool %-3d %12.4f %14.0f %14.0f   %s\n%!" jobs wall
+          (rate n_col wall) (rate bin_bytes wall)
+          (if identical then "identical" else "MISMATCH");
+        if not identical then begin
+          Printf.eprintf
+            "cc_scale: columnar CC diverges from the list path at pool=%d\n"
+            jobs;
+          exit 1
+        end;
+        Json.Obj
+          [
+            ("jobs", Json.Int jobs);
+            ("wall_s", Json.Float wall);
+            ("samples_per_s", Json.Float (rate n_col wall));
+            ("bytes_per_s", Json.Float (rate bin_bytes wall));
+            ("identical", Json.Bool identical);
+          ])
+      [ 1; 2; 4 ]
+  in
   Json.Obj
     [
       ("n_samples", Json.Int n_samples);
       ("interval", Json.Int interval);
       ("peak_table_entries", Json.Int peak);
       ("rows", Json.List rows);
+      ( "columnar",
+        Json.Obj
+          [
+            ("n_samples", Json.Int n_col);
+            ("interval", Json.Int col_interval);
+            ("bin_bytes", Json.Int bin_bytes);
+            ("text_bytes", Json.Int txt_bytes);
+            ("stores_equal", Json.Bool stores_equal);
+            ( "text",
+              Json.Obj
+                [
+                  ("wall_s", Json.Float text_s);
+                  ("samples_per_s", Json.Float (rate n_col text_s));
+                  ("bytes_per_s", Json.Float (rate txt_bytes text_s));
+                ] );
+            ( "binary",
+              Json.Obj
+                [
+                  ("wall_s", Json.Float bin_s);
+                  ("samples_per_s", Json.Float (rate n_col bin_s));
+                  ("bytes_per_s", Json.Float (rate bin_bytes bin_s));
+                ] );
+            ("binary_vs_text_x", Json.Float col_speedup);
+            ("rows", Json.List col_rows);
+          ] );
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -4,6 +4,8 @@
      parse     parse + typecheck a minic file, print the program or CFGs
      affinity  profile a file and print a struct's affinity graph
      fmf       print the field mapping file (line -> fields accessed)
+     convert   convert a samples file between the text and binary columnar
+               formats (either direction, detected from the magic)
      suggest   full pipeline: profile, simulate, build the FLG, print the
                layout report and the suggested layouts
      dot       emit the FLG in Graphviz format
@@ -59,6 +61,12 @@ let or_die f =
     exit 1
   | Typecheck.Error e ->
     Format.eprintf "%a@." Typecheck.pp_error e;
+    exit 1
+  | Slo_persist.Persist.Parse_error (msg, ln) ->
+    Printf.eprintf "line %d: %s\n" ln msg;
+    exit 1
+  | Slo_persist.Persist.Bin_error msg ->
+    Printf.eprintf "error: %s\n" msg;
     exit 1
   | Invalid_argument msg | Failure msg ->
     Printf.eprintf "error: %s\n" msg;
@@ -260,8 +268,8 @@ let fmf_cmd =
     (Cmd.info "fmf" ~doc:"print the field mapping file (line -> fields)")
     Term.(const run $ file_arg)
 
-let analyze ?inline ?profile_file ?samples_file ?pool file struct_name int_arg
-    rounds cpus period k1 k2 interval line_size =
+let analyze ?inline ?profile_file ?samples_file ?samples_bin_file ?pool file
+    struct_name int_arg rounds cpus period k1 k2 interval line_size =
   let program = load_program ?inline file in
   let counts =
     match profile_file with
@@ -273,8 +281,15 @@ let analyze ?inline ?profile_file ?samples_file ?pool file struct_name int_arg
       Pipeline.k1; k2; cc_interval = interval; line_size }
   in
   let samples, cm =
-    match samples_file with
-    | Some path ->
+    match (samples_bin_file, samples_file) with
+    | Some path, _ ->
+      (* Columnar ingestion: the binary store maps in with O(1) syscalls
+         and pool workers bin index ranges of the shared columns. *)
+      ( [],
+        Some
+          (Pipeline.concurrency_map_store ?pool ~params
+             (Slo_persist.Persist.load_samples_bin ~path)) )
+    | None, Some path ->
       (* Streaming ingestion: bin samples straight off the file and shard
          the per-interval CC computation across the pool — the sample list
          is never materialized. *)
@@ -282,7 +297,7 @@ let analyze ?inline ?profile_file ?samples_file ?pool file struct_name int_arg
         Some
           (Pipeline.concurrency_map ?pool ~params (fun f ->
                Slo_persist.Persist.iter_samples_file ~path f)) )
-    | None ->
+    | None, None ->
       (generic_samples program ~cpus ~period ~reps:(rounds * 8) ~int_arg, None)
   in
   let flg =
@@ -302,9 +317,22 @@ let samples_file_arg =
     & opt (some file) None
     & info [ "samples" ] ~docv:"FILE" ~doc:"load PMU samples from FILE (see $(b,collect))")
 
+let samples_bin_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "samples-bin" ] ~docv:"FILE"
+        ~doc:
+          "load PMU samples from a binary columnar $(b,slo-samples-bin 1) \
+           file (see $(b,convert)). The file is memory-mapped and binned \
+           in parallel; the resulting analysis is identical to \
+           $(b,--samples) on the equivalent text file. Takes precedence \
+           over $(b,--samples).")
+
 let suggest_cmd =
   let run file struct_name int_arg rounds cpus period k1 k2 interval line_size
-      inline profile_file samples_file jobs optimizer restarts seed =
+      inline profile_file samples_file samples_bin_file jobs optimizer restarts
+      seed =
     or_die (fun () ->
         (* parse the optimizer name before doing any work so a typo dies
            with the list of valid choices *)
@@ -314,9 +342,9 @@ let suggest_cmd =
              (which fans its candidates across it) runs here too *)
           with_jobs jobs (fun ~domains:_ pool ->
               let program, params, flg =
-                analyze ~inline ?profile_file ?samples_file ?pool file
-                  struct_name int_arg rounds cpus period k1 k2 interval
-                  line_size
+                analyze ~inline ?profile_file ?samples_file ?samples_bin_file
+                  ?pool file struct_name int_arg rounds cpus period k1 k2
+                  interval line_size
               in
               let portfolio =
                 Option.map
@@ -388,7 +416,8 @@ let suggest_cmd =
       const run $ file_arg $ struct_arg $ int_arg_t $ rounds_arg
       $ cpus_collect_arg $ period_arg $ k1_arg $ k2_arg $ interval_arg
       $ line_size_arg $ inline_arg $ profile_file_arg $ samples_file_arg
-      $ jobs_arg $ optimizer_arg $ restarts_arg $ seed_arg)
+      $ samples_bin_file_arg $ jobs_arg $ optimizer_arg $ restarts_arg
+      $ seed_arg)
 
 let collect_cmd =
   let run file int_arg rounds cpus period out_prefix =
@@ -419,6 +448,62 @@ let collect_cmd =
     Term.(
       const run $ file_arg $ int_arg_t $ rounds_arg $ cpus_collect_arg
       $ period_arg $ out_arg)
+
+let convert_cmd =
+  let module P = Slo_persist.Persist in
+  let run src dst =
+    or_die (fun () ->
+        (* Sniff the source format off its magic: binary files begin with
+           the 18-byte "slo-samples-bin 1\n" header, text files with the
+           "slo-samples 1" line. *)
+        let is_bin =
+          let ic = open_in_bin src in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              let want = String.length P.samples_bin_magic in
+              in_channel_length ic >= want
+              && really_input_string ic want = P.samples_bin_magic)
+        in
+        if is_bin then begin
+          let n = P.convert_samples_to_text ~src ~dst in
+          Printf.printf "wrote %s (slo-samples 1 text, %d samples)\n" dst n
+        end
+        else begin
+          let n = P.convert_samples_to_bin ~src ~dst in
+          Printf.printf "wrote %s (slo-samples-bin 1, %d samples)\n" dst n
+        end)
+  in
+  let src_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SRC" ~doc:"source samples file (text or binary)")
+  in
+  let dst_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DST" ~doc:"destination path")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"convert a samples file between text and binary columnar formats"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Converts $(b,slo-samples 1) text files to the binary columnar \
+              $(b,slo-samples-bin 1) format and back, detecting the source \
+              format from its magic. The binary format stores the cpu/itc/line \
+              columns as packed 32/64/32-bit arrays behind a 32-byte header, \
+              so $(b,suggest --samples-bin) can memory-map it instead of \
+              parsing ~10\\u{2078} text lines. The conversion is lossless: \
+              text \\u{2192} binary \\u{2192} text reproduces the file byte \
+              for byte (modulo comment/blank lines, which the text parser \
+              skips).";
+         ])
+    Term.(const run $ src_arg $ dst_arg)
 
 let dot_cmd =
   let run file struct_name int_arg rounds cpus period k1 k2 interval line_size =
@@ -677,6 +762,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            parse_cmd; affinity_cmd; fmf_cmd; collect_cmd; suggest_cmd;
-            dot_cmd; simulate_cmd; sdet_cmd; verify_cmd;
+            parse_cmd; affinity_cmd; fmf_cmd; collect_cmd; convert_cmd;
+            suggest_cmd; dot_cmd; simulate_cmd; sdet_cmd; verify_cmd;
           ]))

@@ -153,6 +153,45 @@ let compute_stream ?pool ?chunk ~interval iter =
   in
   compute_tables ?pool ?chunk tables
 
+(* Index ranges of [range] consecutive samples: [0,range), [range,2*range),
+   ... Like [chunks_of], the boundaries depend only on the store length,
+   never on the pool, and absorbing the per-range binners is a pointwise
+   histogram sum — commutative — so the binned tables are identical for
+   every pool size and range width. *)
+let default_bin_range = 1 lsl 16
+
+let compute_store ?pool ?chunk ?(range = default_bin_range) ~interval store =
+  if range <= 0 then invalid_arg "Code_concurrency.compute_store: range <= 0";
+  if interval <= 0 then
+    invalid_arg "Code_concurrency.compute_store: interval <= 0";
+  let n = Sample_store.length store in
+  let tables =
+    Obs.time "cc.ingest_s" (fun () ->
+        let bin_range (lo, hi) =
+          let b = Sample.binner ~interval in
+          for i = lo to hi - 1 do
+            Sample.feed_raw b ~cpu:(Sample_store.cpu store i)
+              ~itc:(Sample_store.itc store i)
+              ~line:(Sample_store.line store i)
+          done;
+          b
+        in
+        let rec ranges lo =
+          if lo >= n then [] else (lo, min n (lo + range)) :: ranges (lo + range)
+        in
+        let parts =
+          match pool with
+          | None -> List.map bin_range (ranges 0)
+          | Some pool -> Slo_exec.Pool.map pool bin_range (ranges 0)
+        in
+        match parts with
+        | [] -> []
+        | b0 :: rest ->
+          List.iter (Sample.absorb b0) rest;
+          Sample.binned b0)
+  in
+  compute_tables ?pool ?chunk tables
+
 let pairs t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
   |> List.sort (fun (k1, v1) (k2, v2) ->

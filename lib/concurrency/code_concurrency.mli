@@ -66,6 +66,23 @@ val compute_stream :
     [compute ~interval samples] whenever [iter] produces [samples] in any
     order and chunking. @raise Invalid_argument if [interval <= 0]. *)
 
+val compute_store :
+  ?pool:Slo_exec.Pool.t ->
+  ?chunk:int ->
+  ?range:int ->
+  interval:int ->
+  Sample_store.t ->
+  t
+(** The columnar ingestion path: bin a {!Sample_store} by handing pool
+    workers index {e ranges} into the shared columns ([range] samples per
+    task, default 65536) — zero copies, no materialized sample list —
+    absorb the per-range binners (pointwise histogram sum), then run
+    {!compute_tables} over the merged interval tables. Equals
+    [compute ~interval (Sample_store.to_samples store)] for every pool,
+    range and chunk size; `bench cc_scale` exits non-zero if the two paths
+    ever diverge. @raise Invalid_argument if [interval <= 0] or
+    [range <= 0]. *)
+
 val cc : t -> int -> int -> int
 (** [cc t l1 l2] — symmetric; 0 when never concurrent. *)
 

@@ -1,7 +1,28 @@
 type t = { cpu : int; itc : int; line : int }
 
+(* cpu and line are identifiers, bounded so a (cpu, line) pair packs into
+   one non-negative 62-bit int — the frequency-table key — and so both fit
+   the 32-bit columns of the binary sample store (Persist's
+   "slo-samples-bin 1"). The persist layer enforces the same bound at
+   parse time, so anything that loads from disk is in range by
+   construction. *)
+let max_id = 0x7FFF_FFFF
+let id_bits = 31
+
+let check_id what v =
+  if v < 0 || v > max_id then
+    invalid_arg
+      (Printf.sprintf "Sample.%s out of range (0..%d): %d" what max_id v)
+
+let pack ~cpu ~line = (cpu lsl id_bits) lor line
+let key_cpu k = k lsr id_bits
+let key_line k = k land max_id
+
 type interval_table = {
-  freqs : (int * int, int) Hashtbl.t;  (* (cpu, line) -> count *)
+  (* pack ~cpu ~line -> count. The count is a mutable ref so the hot
+     increment in [feed_raw] is one hash lookup (find + incr), not two
+     (find + replace) — ingestion feeds every sample through here. *)
+  freqs : (int, int ref) Hashtbl.t;
   mutable total : int;
   (* line -> (cpu, count) list sorted by cpu, built from [freqs] on first
      read and invalidated by [feed]. Readers that walk a table line by line
@@ -12,7 +33,8 @@ type interval_table = {
 }
 
 let freq tbl ~cpu ~line =
-  try Hashtbl.find tbl.freqs (cpu, line) with Not_found -> 0
+  if cpu < 0 || cpu > max_id || line < 0 || line > max_id then 0
+  else try !(Hashtbl.find tbl.freqs (pack ~cpu ~line)) with Not_found -> 0
 
 let group tbl =
   match tbl.by_line with
@@ -20,9 +42,10 @@ let group tbl =
   | None ->
     let g = Hashtbl.create (max 16 (Hashtbl.length tbl.freqs)) in
     Hashtbl.iter
-      (fun (cpu, line) count ->
+      (fun key count ->
+        let line = key_line key in
         let cur = match Hashtbl.find_opt g line with Some l -> l | None -> [] in
-        Hashtbl.replace g line ((cpu, count) :: cur))
+        Hashtbl.replace g line ((key_cpu key, !count) :: cur))
       tbl.freqs;
     Hashtbl.filter_map_inplace (fun _ l -> Some (List.sort compare l)) g;
     tbl.by_line <- Some g;
@@ -37,7 +60,8 @@ let cpu_freqs tbl ~line =
 
 let cpu_freqs_scan tbl ~line =
   Hashtbl.fold
-    (fun (cpu, l) count acc -> if l = line then (cpu, count) :: acc else acc)
+    (fun key count acc ->
+      if key_line key = line then (key_cpu key, !count) :: acc else acc)
     tbl.freqs []
   |> List.sort compare
 
@@ -48,42 +72,85 @@ let line_freqs tbl =
 let entries tbl = Hashtbl.length tbl.freqs
 let total_samples tbl = tbl.total
 
-(* Floor division: OCaml's [/] truncates toward zero, which would collapse
-   ITC timestamps in (-interval, 0) into bin 0 together with the early
-   positive samples, inflating CC across the zero boundary. *)
-let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+(* Floor division via the remainder: OCaml's [/] truncates toward zero,
+   which would collapse ITC timestamps in (-interval, 0) into bin 0
+   together with the early positive samples, inflating CC across the zero
+   boundary. Computed without negating [a] — the previous
+   [-(((-a) + b - 1) / b)] overflowed for timestamps within [b] of
+   [min_int] ([-a] wraps), silently teleporting them into a huge positive
+   bin (see test_concurrency's floor_div regression). This form is exact
+   for every [a] and every positive [b]. *)
+let floor_div a b =
+  let q = a / b and r = a mod b in
+  if r < 0 then q - 1 else q
 
 type binner = {
   b_interval : int;
   b_tables : (int, interval_table) Hashtbl.t;
   mutable b_fed : int;
+  (* Sample streams are roughly time-ordered, so consecutive samples
+     almost always land in the same interval; caching the last table turns
+     the outer hash lookup into a compare on that path. *)
+  mutable b_last_idx : int;
+  mutable b_last : interval_table option;
 }
 
 let binner ~interval =
   if interval <= 0 then invalid_arg "Sample.binner: interval <= 0";
-  { b_interval = interval; b_tables = Hashtbl.create 64; b_fed = 0 }
+  { b_interval = interval; b_tables = Hashtbl.create 64; b_fed = 0;
+    b_last_idx = 0; b_last = None }
 
-let feed b s =
-  let idx = floor_div s.itc b.b_interval in
-  let tbl =
-    match Hashtbl.find_opt b.b_tables idx with
-    | Some tbl -> tbl
-    | None ->
-      let tbl = { freqs = Hashtbl.create 16; total = 0; by_line = None } in
-      Hashtbl.replace b.b_tables idx tbl;
-      tbl
-  in
-  let key = (s.cpu, s.line) in
-  let cur = try Hashtbl.find tbl.freqs key with Not_found -> 0 in
-  Hashtbl.replace tbl.freqs key (cur + 1);
+let table_of_idx b idx =
+  match b.b_last with
+  | Some tbl when b.b_last_idx = idx -> tbl
+  | _ ->
+    let tbl =
+      match Hashtbl.find_opt b.b_tables idx with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = { freqs = Hashtbl.create 16; total = 0; by_line = None } in
+        Hashtbl.replace b.b_tables idx tbl;
+        tbl
+    in
+    b.b_last_idx <- idx;
+    b.b_last <- Some tbl;
+    tbl
+
+let feed_raw b ~cpu ~itc ~line =
+  check_id "feed: cpu" cpu;
+  check_id "feed: line" line;
+  let tbl = table_of_idx b (floor_div itc b.b_interval) in
+  let key = pack ~cpu ~line in
+  (try incr (Hashtbl.find tbl.freqs key)
+   with Not_found -> Hashtbl.add tbl.freqs key (ref 1));
   tbl.total <- tbl.total + 1;
   tbl.by_line <- None;
   b.b_fed <- b.b_fed + 1
+
+let feed b s = feed_raw b ~cpu:s.cpu ~itc:s.itc ~line:s.line
 
 let fed b = b.b_fed
 
 let peak_entries b =
   Hashtbl.fold (fun _ tbl acc -> max acc (entries tbl)) b.b_tables 0
+
+let absorb dst src =
+  if dst.b_interval <> src.b_interval then
+    invalid_arg "Sample.absorb: interval mismatch";
+  Hashtbl.iter
+    (fun idx (src_tbl : interval_table) ->
+      let dst_tbl = table_of_idx dst idx in
+      Hashtbl.iter
+        (fun key count ->
+          try
+            let r = Hashtbl.find dst_tbl.freqs key in
+            r := !r + !count
+          with Not_found -> Hashtbl.add dst_tbl.freqs key (ref !count))
+        src_tbl.freqs;
+      dst_tbl.total <- dst_tbl.total + src_tbl.total;
+      dst_tbl.by_line <- None)
+    src.b_tables;
+  dst.b_fed <- dst.b_fed + src.b_fed
 
 let binned b =
   Hashtbl.fold (fun idx tbl acc -> (idx, tbl) :: acc) b.b_tables []

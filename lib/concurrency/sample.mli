@@ -17,9 +17,22 @@
     independent of how the sample stream was chunked or buffered. An
     interval table is a histogram, not a sample list; its size is bounded
     by the number of distinct (cpu, line) pairs, not by the profile
-    length. *)
+    length.
+
+    {b Identifier bounds.} [cpu] and [line] are identifiers in
+    [0 .. ]{!max_id}[ = 2^31 - 1]: a (cpu, line) pair packs into a single
+    non-negative OCaml int inside the frequency tables, and both fit the
+    32-bit columns of the binary sample store
+    ({!Slo_persist.Persist.save_samples_bin}). Feeding an out-of-range
+    identifier raises [Invalid_argument]; the persist layer rejects such
+    records at parse time, so data loaded from disk is in range by
+    construction. The [itc] timestamp is any OCaml int — binning is exact
+    over the whole range, including [min_int]. *)
 
 type t = { cpu : int; itc : int; line : int }
+
+val max_id : int
+(** Upper bound (inclusive, [2^31 - 1]) on [cpu] and [line]. *)
 
 type interval_table
 (** Frequencies of one interval: (cpu, line) -> count. *)
@@ -65,8 +78,23 @@ val binner : interval:int -> binner
 (** @raise Invalid_argument if [interval <= 0]. *)
 
 val feed : binner -> t -> unit
+(** @raise Invalid_argument if [cpu] or [line] is outside [0 .. max_id]. *)
+
+val feed_raw : binner -> cpu:int -> itc:int -> line:int -> unit
+(** {!feed} without the record: the allocation-free entry point columnar
+    readers ({!Sample_store}) use. Same bounds discipline as {!feed}. *)
+
 val fed : binner -> int
 (** Samples fed so far. *)
+
+val absorb : binner -> binner -> unit
+(** [absorb dst src] adds every accumulated count of [src] into [dst]
+    (pointwise histogram sum, per interval). Feeding a sample stream
+    through several binners over disjoint chunks and absorbing them — in
+    any order — yields exactly the tables of one binner fed the whole
+    stream, which is what lets {!Code_concurrency.compute_store} bin index
+    ranges of a columnar store in parallel. [src] is left untouched.
+    @raise Invalid_argument if the two binners' intervals differ. *)
 
 val peak_entries : binner -> int
 (** Largest {!entries} over the accumulated interval tables (0 when no

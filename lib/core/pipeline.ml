@@ -68,6 +68,10 @@ let concurrency_map ?pool ?chunk ?(params = default_params) iter =
   Code_concurrency.compute_stream ?pool ?chunk ~interval:params.cc_interval
     iter
 
+let concurrency_map_store ?pool ?chunk ?range ?(params = default_params) store =
+  Code_concurrency.compute_store ?pool ?chunk ?range
+    ~interval:params.cc_interval store
+
 let analyze_all ?params ?pool ?cm ~program ~counts ~samples ~struct_names () =
   let run name =
     (name, analyze ?params ?cm ~program ~counts ~samples ~struct_name:name ())

@@ -45,6 +45,19 @@ val concurrency_map :
     pool and chunk size; pass it to [analyze]/[analyze_all] via [?cm] to
     compute CC once per profile instead of once per struct. *)
 
+val concurrency_map_store :
+  ?pool:Slo_exec.Pool.t ->
+  ?chunk:int ->
+  ?range:int ->
+  ?params:params ->
+  Slo_concurrency.Sample_store.t ->
+  Slo_concurrency.Code_concurrency.t
+(** {!concurrency_map} over a columnar {!Slo_concurrency.Sample_store}
+    (e.g. one mapped by {!Slo_persist.Persist.load_samples_bin}): pool
+    workers bin index ranges of the shared columns directly, so ingestion
+    parallelizes and nothing is copied. Same map as [concurrency_map] on
+    the equivalent producer, for every pool/range/chunk size. *)
+
 val analyze :
   ?params:params ->
   ?cm:Slo_concurrency.Code_concurrency.t ->

@@ -1,9 +1,12 @@
 module Counts = Slo_profile.Counts
 module Sample = Slo_concurrency.Sample
+module Sample_store = Slo_concurrency.Sample_store
 
 exception Parse_error of string * int
+exception Bin_error of string
 
 let fail line fmt = Format.kasprintf (fun m -> raise (Parse_error (m, line))) fmt
+let bin_fail fmt = Format.kasprintf (fun m -> raise (Bin_error m)) fmt
 
 (* Percent-encode anything that would break whitespace-separated fields. *)
 let encode s =
@@ -59,6 +62,29 @@ let int_field line s =
 let nat_field line s =
   let v = int_field line s in
   if v < 0 then fail line "expected non-negative integer, found %S" s;
+  v
+
+(* Counts near [max_int] parse fine but wrap the moment two records
+   accumulate (Counts.bump adds without saturating); cap them at 2^53 —
+   far above any real profile, still exactly representable as a double
+   for the JSON metrics export, and leaving 2^9 merges of headroom before
+   an OCaml int could overflow. *)
+let max_count = 1 lsl 53
+
+let count_field line s =
+  let v = nat_field line s in
+  if v > max_count then
+    fail line "count %S exceeds the supported maximum 2^53" s;
+  v
+
+(* cpu and line are identifiers bounded by Sample.max_id (2^31 - 1): the
+   bound that lets a (cpu, line) pair pack into one int in the interval
+   tables and that matches the 32-bit columns of the binary store. A
+   larger value would truncate silently on text-to-binary conversion. *)
+let id_field line s =
+  let v = nat_field line s in
+  if v > Sample.max_id then
+    fail line "identifier %S exceeds the supported maximum 2^31-1" s;
   v
 
 (* ------------------------------------------------------------------ *)
@@ -118,19 +144,19 @@ let counts_of_string s =
         | [ "block"; proc; block; count ] ->
           let proc = decode ln proc in
           let block = int_field ln block in
-          Counts.bump_block ~n:(nat_field ln count) counts ~proc ~block
+          Counts.bump_block ~n:(count_field ln count) counts ~proc ~block
         | [ "edge"; proc; src; dst; count ] ->
           let proc = decode ln proc in
           let src = int_field ln src and dst = int_field ln dst in
-          Counts.bump_edge ~n:(nat_field ln count) counts ~proc ~src ~dst
+          Counts.bump_edge ~n:(count_field ln count) counts ~proc ~src ~dst
         | [ "field"; proc; block; struct_name; field; reads; writes ] ->
           let proc = decode ln proc in
           let block = int_field ln block in
           let struct_name = decode ln struct_name in
           let field = decode ln field in
-          Counts.bump_field ~n:(nat_field ln reads) counts ~proc ~block
+          Counts.bump_field ~n:(count_field ln reads) counts ~proc ~block
             ~struct_name ~field ~is_write:false;
-          Counts.bump_field ~n:(nat_field ln writes) counts ~proc ~block
+          Counts.bump_field ~n:(count_field ln writes) counts ~proc ~block
             ~struct_name ~field ~is_write:true
         | tok :: _ -> fail ln "unknown record kind %S" tok
         | [] -> ());
@@ -173,12 +199,13 @@ let fold_sample_lines next ~init ~f =
        else
          match split_ws line with
          | [ cpu; itc; l ] ->
-           (* cpu and line are identifiers (non-negative); itc is a signed
-              timestamp — Sample.bin floor-divides it correctly either way *)
+           (* cpu and line are identifiers (bounded by Sample.max_id); itc
+              is a signed timestamp — Sample.bin floor-divides it correctly
+              either way *)
            acc :=
              f !acc
-               { Sample.cpu = nat_field !ln cpu; itc = int_field !ln itc;
-                 line = nat_field !ln l }
+               { Sample.cpu = id_field !ln cpu; itc = int_field !ln itc;
+                 line = id_field !ln l }
          | _ -> fail !ln "expected '<cpu> <itc> <line>', found %S" line);
       go ()
   in
@@ -210,6 +237,183 @@ let fold_samples_file ~path ~init ~f =
 
 let iter_samples_file ~path f =
   fold_samples_file ~path ~init:() ~f:(fun () smp -> f smp)
+
+(* ------------------------------------------------------------------ *)
+(* Binary columnar samples: "slo-samples-bin 1".
+
+   Layout (all offsets in bytes):
+     0..17   magic "slo-samples-bin 1\n"
+     18      itc column element width  (8)
+     19      cpu column element width  (4)
+     20      line column element width (4)
+     21      byte order of the columns: 1 = little-endian, 2 = big-endian
+     22..29  sample count n, unsigned 64-bit little-endian
+     30..31  zero padding (header is exactly 32 bytes)
+     32..              itc column,  8n bytes
+     32+8n..           cpu column,  4n bytes
+     32+12n..32+16n    line column, 4n bytes
+
+   The column order is not arbitrary: with the itc (int64) column first,
+   every column starts at an offset divisible by its element width, so the
+   whole file can be mapped and handed to Bigarray without a realignment
+   copy. Columns are written in host byte order and the header records
+   which; a mismatched reader gets a Bin_error instead of silently
+   byte-swapped garbage. The file size must be exactly 32 + 16n. *)
+
+let samples_bin_magic = "slo-samples-bin 1\n"
+let samples_bin_header_size = 32
+let host_endian_byte = if Sys.big_endian then '\002' else '\001'
+
+let bin_header n =
+  let h = Bytes.make samples_bin_header_size '\000' in
+  Bytes.blit_string samples_bin_magic 0 h 0 (String.length samples_bin_magic);
+  Bytes.set h 18 '\008';
+  Bytes.set h 19 '\004';
+  Bytes.set h 20 '\004';
+  Bytes.set h 21 host_endian_byte;
+  Bytes.set_int64_le h 22 (Int64.of_int n);
+  h
+
+let map_i64 fd ~shared ~pos n : Sample_store.i64 =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos Bigarray.int64 Bigarray.c_layout shared [| n |])
+
+let map_i32 fd ~shared ~pos n : Sample_store.i32 =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos Bigarray.int32 Bigarray.c_layout shared [| n |])
+
+let save_samples_bin ~path store =
+  let n = Sample_store.length store in
+  let fd =
+    Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let h = bin_header n in
+      if Unix.write fd h 0 samples_bin_header_size <> samples_bin_header_size
+      then bin_fail "%s: short header write" path;
+      if n > 0 then begin
+        let cpu, itc, line = Sample_store.columns store in
+        (* Shared mappings past EOF grow the file; blitting the columns in
+           is one memcpy each, no per-sample encode loop. *)
+        let m_itc = map_i64 fd ~shared:true ~pos:32L n in
+        let m_cpu =
+          map_i32 fd ~shared:true ~pos:(Int64.of_int (32 + (8 * n))) n
+        in
+        let m_line =
+          map_i32 fd ~shared:true ~pos:(Int64.of_int (32 + (12 * n))) n
+        in
+        Bigarray.Array1.blit itc m_itc;
+        Bigarray.Array1.blit cpu m_cpu;
+        Bigarray.Array1.blit line m_line
+      end)
+
+let load_samples_bin ~path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let size = (Unix.LargeFile.fstat fd).Unix.LargeFile.st_size in
+      if size < Int64.of_int samples_bin_header_size then
+        bin_fail "%s: truncated header (%Ld of %d bytes)" path size
+          samples_bin_header_size;
+      let h = Bytes.create samples_bin_header_size in
+      let rec read_exactly off =
+        if off < samples_bin_header_size then begin
+          let r = Unix.read fd h off (samples_bin_header_size - off) in
+          if r = 0 then bin_fail "%s: truncated header" path;
+          read_exactly (off + r)
+        end
+      in
+      read_exactly 0;
+      let magic = Bytes.sub_string h 0 (String.length samples_bin_magic) in
+      if magic <> samples_bin_magic then
+        bin_fail "%s: bad magic — expected %S, found %S" path samples_bin_magic
+          magic;
+      let width at what expect =
+        let w = Char.code (Bytes.get h at) in
+        if w <> expect then
+          bin_fail "%s: %s column width %d, this reader expects %d" path what w
+            expect
+      in
+      width 18 "itc" 8;
+      width 19 "cpu" 4;
+      width 20 "line" 4;
+      (match Bytes.get h 21 with
+      | '\001' | '\002' when Bytes.get h 21 = host_endian_byte -> ()
+      | '\001' -> bin_fail "%s: little-endian columns on a big-endian host" path
+      | '\002' -> bin_fail "%s: big-endian columns on a little-endian host" path
+      | c -> bin_fail "%s: corrupt byte-order marker %d" path (Char.code c));
+      let count64 = Bytes.get_int64_le h 22 in
+      if count64 < 0L || Int64.of_int (Int64.to_int count64) <> count64 then
+        bin_fail "%s: unrepresentable sample count %Lu" path count64;
+      let n = Int64.to_int count64 in
+      let expect =
+        Int64.add
+          (Int64.of_int samples_bin_header_size)
+          (Int64.mul 16L count64)
+      in
+      if size < expect then
+        bin_fail "%s: truncated columns — %Ld bytes, %d samples need %Ld" path
+          size n expect;
+      if size > expect then
+        bin_fail "%s: %Ld trailing bytes after the columns" path
+          (Int64.sub size expect);
+      if n = 0 then
+        Sample_store.of_columns ~validate:false
+          ~cpu:(Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout 0)
+          ~itc:(Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 0)
+          ~line:(Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout 0)
+          ()
+      else begin
+        let itc = map_i64 fd ~shared:false ~pos:32L n in
+        let cpu =
+          map_i32 fd ~shared:false ~pos:(Int64.of_int (32 + (8 * n))) n
+        in
+        let line =
+          map_i32 fd ~shared:false ~pos:(Int64.of_int (32 + (12 * n))) n
+        in
+        (* The one full pass over untrusted bytes: range-check everything
+           here so the columnar CC path never has to. *)
+        try Sample_store.of_columns ~validate:true ~cpu ~itc ~line ()
+        with Invalid_argument m -> bin_fail "%s: %s" path m
+      end)
+
+let store_of_samples_file ~path =
+  let b = Sample_store.builder () in
+  iter_samples_file ~path (Sample_store.append_sample b);
+  Sample_store.build b
+
+let save_store_text ~path store =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (samples_header ^ "\n");
+      let buf = Buffer.create (1 lsl 16) in
+      let n = Sample_store.length store in
+      for i = 0 to n - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "%d %d %d\n" (Sample_store.cpu store i)
+             (Sample_store.itc store i)
+             (Sample_store.line store i));
+        if Buffer.length buf >= 1 lsl 16 then begin
+          Buffer.output_buffer oc buf;
+          Buffer.clear buf
+        end
+      done;
+      Buffer.output_buffer oc buf)
+
+let convert_samples_to_bin ~src ~dst =
+  let store = store_of_samples_file ~path:src in
+  save_samples_bin ~path:dst store;
+  Sample_store.length store
+
+let convert_samples_to_text ~src ~dst =
+  let store = load_samples_bin ~path:src in
+  save_store_text ~path:dst store;
+  Sample_store.length store
 
 (* ------------------------------------------------------------------ *)
 

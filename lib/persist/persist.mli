@@ -24,10 +24,38 @@
     procedure, struct and field names may contain any byte except NUL.
     Counts, reads/writes, cpu and line must be non-negative; the sample
     [itc] is a signed timestamp. Anything else — malformed escapes
-    included — raises {!Parse_error} rather than decoding loosely. *)
+    included — raises {!Parse_error} rather than decoding loosely.
+
+    {b Numeric bounds.} Parsing rejects values that would decode fine but
+    corrupt state later: counts/reads/writes are capped at {!max_count}
+    (2^53 — far beyond any real profile, exactly representable as a
+    double, and leaving headroom so accumulating merged profiles cannot
+    wrap [max_int]); sample [cpu]/[line] are capped at
+    [Slo_concurrency.Sample.max_id] (2^31 − 1, the packed-key and binary
+    32-bit column bound). Out-of-range records raise {!Parse_error} with
+    the offending 1-based line number.
+
+    For 10⁷–10⁸-sample profiles the text format is the bottleneck, so
+    samples also have a compact binary columnar format, [slo-samples-bin
+    1]: a 32-byte header (magic, per-column element widths, byte-order
+    marker, u64 sample count) followed by the three columns — itc as
+    packed int64, cpu and line as packed int32 — each at an offset aligned
+    to its element width. {!load_samples_bin} maps the whole file
+    ([Unix.map_file]) and wraps the columns as a
+    {!Slo_concurrency.Sample_store.t} in O(1) syscalls; one validation
+    scan replaces the per-line parse. Malformed binary input (bad magic,
+    width/byte-order mismatch, size ≠ 32 + 16n, out-of-range values)
+    raises {!Bin_error}. *)
 
 exception Parse_error of string * int
 (** message, 1-based line number. *)
+
+exception Bin_error of string
+(** The {!Parse_error} analogue for the binary format (no line numbers —
+    messages carry the path and byte-level context instead). *)
+
+val max_count : int
+(** 2^53, the largest accepted count/reads/writes value. *)
 
 (** {1 Profile counts} *)
 
@@ -65,3 +93,49 @@ val iter_samples_file : path:string -> (Slo_concurrency.Sample.t -> unit) -> uni
 (** [iter_samples_file ~path f] applies [f] to every sample in file
     order; the shape {!Slo_concurrency.Sample.fold_binned} and
     [compute_stream] consume. @raise Parse_error on malformed input. *)
+
+(** {1 Binary columnar samples — [slo-samples-bin 1]}
+
+    Byte layout (host byte order for the columns, recorded in the header):
+
+    {v
+    0..17    magic "slo-samples-bin 1\n"
+    18..20   element widths: itc 8, cpu 4, line 4
+    21       column byte order: 1 little-endian, 2 big-endian
+    22..29   sample count n (u64, little-endian)
+    30..31   zero padding
+    32..     itc column (8n), then cpu (4n), then line (4n)
+    v}
+
+    File size is exactly [32 + 16n]; anything else is rejected. *)
+
+val samples_bin_magic : string
+val samples_bin_header_size : int
+
+val save_samples_bin : path:string -> Slo_concurrency.Sample_store.t -> unit
+(** Write the store as [slo-samples-bin 1]: one header write, then each
+    column blitted through a shared mapping — no per-sample encoding. *)
+
+val load_samples_bin : path:string -> Slo_concurrency.Sample_store.t
+(** Map the file and return its columns as a store: O(1) syscalls plus a
+    single range-validation scan ({!Slo_concurrency.Sample_store.of_columns}),
+    the scan being what keeps the zero-copy path as strict as the text
+    parser. @raise Bin_error on any malformation. *)
+
+val store_of_samples_file : path:string -> Slo_concurrency.Sample_store.t
+(** Parse a {e text} [slo-samples 1] file straight into a columnar store
+    (streaming; the boxed sample list is never built).
+    @raise Parse_error on malformed input. *)
+
+val save_store_text : path:string -> Slo_concurrency.Sample_store.t -> unit
+(** Write a store in the text format — the inverse of
+    {!store_of_samples_file}; byte-identical to [save_samples] of
+    {!Slo_concurrency.Sample_store.to_samples}. *)
+
+val convert_samples_to_bin : src:string -> dst:string -> int
+(** Text file → binary file; returns the sample count.
+    @raise Parse_error on malformed text input. *)
+
+val convert_samples_to_text : src:string -> dst:string -> int
+(** Binary file → text file; returns the sample count.
+    @raise Bin_error on malformed binary input. *)

@@ -455,6 +455,129 @@ let test_pool_shard_identical () =
       Alcotest.(check bool) "pool = serial" true
         (CC.pairs par = CC.pairs serial))
 
+(* ------------------------------------------------------------------ *)
+(* Columnar sample store and the columnar CC path *)
+
+module Store = Slo_concurrency.Sample_store
+
+let test_bin_min_int () =
+  (* Regression: floor_div negated its argument before dividing, so a
+     timestamp within one interval of [min_int] overflowed on the
+     negation and teleported into a huge positive bin at the far end of
+     the binned order. The remainder form is exact at the boundary. *)
+  let tables =
+    Sample.bin ~interval:4 [ s 0 min_int 7; s 0 (min_int + 1) 7; s 1 3 9 ]
+  in
+  check_int "two intervals" 2 (List.length tables);
+  let first = List.hd tables in
+  check_int "min_int samples share the first bin" 2
+    (Sample.freq first ~cpu:0 ~line:7);
+  check_int "positive sample stays out of it" 0
+    (Sample.freq first ~cpu:1 ~line:9);
+  check_int "min_int bin total" 2 (Sample.total_samples first)
+
+let test_store_roundtrip () =
+  let samples = [ s 0 (-100) 1; s 3 0 2; s 1 250 7 ] in
+  let st = Store.of_samples samples in
+  check_int "length" 3 (Store.length st);
+  check_int "cpu" 3 (Store.cpu st 1);
+  check_int "itc" (-100) (Store.itc st 0);
+  check_int "line" 7 (Store.line st 2);
+  Alcotest.(check bool) "to_samples round trip" true
+    (Store.to_samples st = samples);
+  let got = ref [] in
+  Store.iter st (fun smp -> got := smp :: !got);
+  Alcotest.(check bool) "iter visits in order" true (List.rev !got = samples)
+
+let test_store_builder () =
+  (* Growth across several doublings, then the id bounds. *)
+  let b = Store.builder ~capacity:2 () in
+  for i = 0 to 99 do
+    Store.append b ~cpu:(i mod 8) ~itc:((i * 3) - 50) ~line:i
+  done;
+  check_int "built" 100 (Store.built b);
+  let st = Store.build b in
+  check_int "length" 100 (Store.length st);
+  check_int "last line survives growth" 99 (Store.line st 99);
+  check_int "first itc survives growth" (-50) (Store.itc st 0);
+  (match Store.append b ~cpu:(-1) ~itc:0 ~line:0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "accepted negative cpu");
+  match Store.append b ~cpu:0 ~itc:0 ~line:(Sample.max_id + 1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "accepted line > max_id"
+
+let test_store_of_columns_validation () =
+  let open Bigarray in
+  let mk32 n = Array1.create int32 c_layout n
+  and mk64 n = Array1.create int64 c_layout n in
+  (match
+     Store.of_columns ~cpu:(mk32 2) ~itc:(mk64 2) ~line:(mk32 1) ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted mismatched column lengths");
+  let cpu = mk32 2 and itc = mk64 2 and line = mk32 2 in
+  Array1.fill cpu 0l;
+  Array1.fill itc 0L;
+  Array1.fill line 0l;
+  Array1.set cpu 1 (-3l);
+  (match Store.of_columns ~cpu ~itc ~line () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted negative cpu column");
+  Array1.set cpu 1 0l;
+  Array1.set itc 1 Int64.max_int;
+  match Store.of_columns ~cpu ~itc ~line () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted itc that does not fit 63 bits"
+
+let prop_store_samples_roundtrip =
+  QCheck2.Test.make ~name:"of_samples / to_samples round trip" ~count:100
+    QCheck2.Gen.(
+      list_size (int_bound 60)
+        (triple (int_bound 127) (int_range (-100_000) 100_000) (int_bound 9999)))
+    (fun triples ->
+      let samples = mk_samples triples in
+      Store.to_samples (Store.of_samples samples) = samples)
+
+let prop_store_cc_matches_list =
+  (* The tentpole differential: CC over the columnar store must equal CC
+     over the boxed list, for every binning range size. *)
+  QCheck2.Test.make ~name:"compute_store = compute (range invariant)"
+    ~count:60
+    QCheck2.Gen.(triple (int_range 1 300) (int_range 1 50) gen_triples)
+    (fun (interval, range, triples) ->
+      let samples = mk_samples triples in
+      let st = Store.of_samples samples in
+      CC.pairs (CC.compute_store ~range ~interval st)
+      = CC.pairs (CC.compute ~interval samples))
+
+let test_store_pool_identical () =
+  (* Sharded columnar ingestion over a real domain pool = serial list
+     path, with range boundaries forced to cut the store many times. *)
+  let samples =
+    List.init 400 (fun i -> s (i mod 4) ((i * 37) - 7000) (1 + (i mod 5)))
+  in
+  let st = Store.of_samples samples in
+  let serial = CC.compute ~interval:100 samples in
+  Slo_exec.Pool.with_pool ~domains:2 (fun pool ->
+      let par = CC.compute_store ~pool ~chunk:3 ~range:64 ~interval:100 st in
+      Alcotest.(check bool) "pool = serial" true
+        (CC.pairs par = CC.pairs serial))
+
+let store_suite =
+  [
+    Alcotest.test_case "min_int timestamps bin exactly" `Quick
+      test_bin_min_int;
+    Alcotest.test_case "store round trip" `Quick test_store_roundtrip;
+    Alcotest.test_case "builder growth + bounds" `Quick test_store_builder;
+    Alcotest.test_case "of_columns validation" `Quick
+      test_store_of_columns_validation;
+    Alcotest.test_case "pool columnar = serial list" `Quick
+      test_store_pool_identical;
+    QCheck_alcotest.to_alcotest prop_store_samples_roundtrip;
+    QCheck_alcotest.to_alcotest prop_store_cc_matches_list;
+  ]
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [ prop_cc_symmetric_nonneg; prop_cc_monotone; prop_bin_shift_invariant ]
@@ -513,5 +636,6 @@ let suites =
       Alcotest.test_case "pool shard identical" `Quick
         test_pool_shard_identical
       :: shard_props );
+    ("concurrency.store", store_suite);
     ("concurrency.properties", props);
   ]

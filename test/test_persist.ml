@@ -220,6 +220,102 @@ let test_streaming_reader_errors () =
   expect "slo-samples 1\n0 one 2";
   expect "slo-samples 1\n-1 5 3" (* negative cpu *)
 
+(* ------------------------------------------------------------------ *)
+(* Numeric bounds (near-max_int ingestion regressions) *)
+
+let expect_parse_error ?line what thunk =
+  match thunk () with
+  | exception Persist.Parse_error (_, ln) -> (
+    match line with
+    | Some l -> check_int (what ^ ": error line") l ln
+    | None -> ())
+  | _ -> Alcotest.fail ("accepted " ^ what)
+
+let test_count_bounds () =
+  (* Regression: counts near max_int parsed fine, then wrapped the moment
+     Counts.bump accumulated a second record on top. Anything above 2^53
+     is rejected at parse time, with the offending 1-based line number. *)
+  let over = string_of_int (Persist.max_count + 1) in
+  expect_parse_error ~line:2 "block count above 2^53" (fun () ->
+      Persist.counts_of_string ("slo-profile 1\nblock f 0 " ^ over));
+  expect_parse_error ~line:3 "edge count above 2^53" (fun () ->
+      Persist.counts_of_string
+        ("slo-profile 1\nblock f 0 1\nedge f 0 1 " ^ over));
+  expect_parse_error ~line:2 "field count above 2^53" (fun () ->
+      Persist.counts_of_string ("slo-profile 1\nfield f 0 S a " ^ over ^ " 0"));
+  expect_parse_error ~line:2 "field write count above 2^53" (fun () ->
+      Persist.counts_of_string ("slo-profile 1\nfield f 0 S a 0 " ^ over));
+  (* the cap itself is legal and exact *)
+  let c =
+    Persist.counts_of_string
+      ("slo-profile 1\nblock f 0 " ^ string_of_int Persist.max_count)
+  in
+  check_int "count at the cap parses" Persist.max_count
+    (Counts.block_count c ~proc:"f" ~block:0)
+
+let test_id_bounds () =
+  (* Same sweep for sample identifiers: cpu/line above Sample.max_id
+     would truncate silently in the 32-bit columns of the binary store. *)
+  let over = string_of_int (Sample.max_id + 1) in
+  expect_parse_error ~line:2 "cpu above 2^31-1" (fun () ->
+      Persist.samples_of_string ("slo-samples 1\n" ^ over ^ " 5 3"));
+  expect_parse_error ~line:3 "line above 2^31-1" (fun () ->
+      Persist.samples_of_string ("slo-samples 1\n0 5 3\n0 6 " ^ over));
+  let cap = string_of_int Sample.max_id in
+  match Persist.samples_of_string ("slo-samples 1\n" ^ cap ^ " -5 " ^ cap) with
+  | [ { Sample.cpu; itc = -5; line } ]
+    when cpu = Sample.max_id && line = Sample.max_id -> ()
+  | _ -> Alcotest.fail "rejected identifiers at the cap"
+
+(* ------------------------------------------------------------------ *)
+(* Line-ending differential: the streaming file reader and the in-memory
+   string parser must agree byte-for-byte on CRLF input and on files
+   missing their final newline. *)
+
+let write_raw path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let stream_file path =
+  List.rev (Persist.fold_samples_file ~path ~init:[] ~f:(fun a smp -> smp :: a))
+
+let test_crlf_and_final_newline () =
+  let body = "slo-samples 1\r\n0 10 1\r\n1 -20 2\r\n2 30 3" in
+  let path = Filename.temp_file "slo_test" ".samples" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_raw path body;
+      let streamed = stream_file path in
+      Alcotest.(check bool) "CRLF + no final newline: file = string" true
+        (streamed = Persist.samples_of_string body);
+      check_int "all rows parsed" 3 (List.length streamed))
+
+let prop_line_ending_differential =
+  QCheck2.Test.make
+    ~name:"file parse = string parse over CRLF / final-newline mixes"
+    ~count:60
+    QCheck2.Gen.(
+      triple
+        (list_size (int_bound 20)
+           (triple (int_bound 9) (int_range (-100) 100) (int_bound 9)))
+        bool bool)
+    (fun (rows, crlf, final_nl) ->
+      let eol = if crlf then "\r\n" else "\n" in
+      let body =
+        "slo-samples 1" ^ eol
+        ^ String.concat eol
+            (List.map (fun (c, t, l) -> Printf.sprintf "%d %d %d" c t l) rows)
+        ^ (if final_nl then eol else "")
+      in
+      let path = Filename.temp_file "slo_test" ".samples" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          write_raw path body;
+          stream_file path = Persist.samples_of_string body))
+
 let prop_streamed_equals_string_parse =
   QCheck2.Test.make ~name:"streamed file parse = in-memory parse" ~count:50
     QCheck2.Gen.(
@@ -237,6 +333,130 @@ let prop_streamed_equals_string_parse =
           List.rev
             (Persist.fold_samples_file ~path ~init:[] ~f:(fun a s -> s :: a))
           = Persist.samples_of_string (Persist.samples_to_string samples)))
+
+(* ------------------------------------------------------------------ *)
+(* Binary columnar store: "slo-samples-bin 1" *)
+
+module Store = Slo_concurrency.Sample_store
+module CC = Slo_concurrency.Code_concurrency
+
+let with_tmp ext f =
+  let path = Filename.temp_file "slo_test" ext in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_raw path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let gen_sample_list =
+  QCheck2.Gen.(
+    list_size (int_bound 60)
+      (let* cpu = int_range 0 127 in
+       let* itc = int_range (-1_000_000) 1_000_000 in
+       let* line = int_range 0 10_000 in
+       return { Sample.cpu; itc; line }))
+
+let test_bin_roundtrip () =
+  let samples =
+    [ { Sample.cpu = 0; itc = -100; line = 1 };
+      { Sample.cpu = 3; itc = 0; line = 2 };
+      { Sample.cpu = 1; itc = 250; line = 7 } ]
+  in
+  with_tmp ".bin" (fun path ->
+      Persist.save_samples_bin ~path (Store.of_samples samples);
+      Alcotest.(check bool) "round trip" true
+        (Store.to_samples (Persist.load_samples_bin ~path) = samples))
+
+let test_bin_empty_roundtrip () =
+  with_tmp ".bin" (fun path ->
+      Persist.save_samples_bin ~path (Store.of_samples []);
+      check_int "empty store" 0 (Store.length (Persist.load_samples_bin ~path)))
+
+let test_store_of_samples_file () =
+  with_tmp ".samples" (fun path ->
+      let samples =
+        List.init 50 (fun i ->
+            { Sample.cpu = i mod 8; itc = (i * 37) - 500; line = i mod 13 })
+      in
+      Persist.save_samples ~path samples;
+      Alcotest.(check bool) "store = parsed list" true
+        (Store.to_samples (Persist.store_of_samples_file ~path) = samples))
+
+let expect_bin_error what bytes =
+  with_tmp ".bin" (fun path ->
+      write_raw path bytes;
+      match Persist.load_samples_bin ~path with
+      | exception Persist.Bin_error _ -> ()
+      | _ -> Alcotest.fail ("loaded " ^ what))
+
+let test_bin_corruption_rejected () =
+  (* Build a valid 2-sample image, then break it one field at a time:
+     every fixture must raise Bin_error, never a crash or a silent
+     misparse. *)
+  let valid =
+    with_tmp ".bin" (fun path ->
+        Persist.save_samples_bin ~path
+          (Store.of_samples
+             [ { Sample.cpu = 1; itc = 2; line = 3 };
+               { Sample.cpu = 4; itc = 5; line = 6 } ]);
+        read_raw path)
+  in
+  check_int "fixture size" (Persist.samples_bin_header_size + 32)
+    (String.length valid);
+  let set i c =
+    let b = Bytes.of_string valid in
+    Bytes.set b i c;
+    Bytes.to_string b
+  in
+  expect_bin_error "empty file" "";
+  expect_bin_error "short header" (String.sub valid 0 16);
+  expect_bin_error "bad magic" (set 0 'X');
+  expect_bin_error "bad itc width" (set 18 '\004');
+  expect_bin_error "bad cpu width" (set 19 '\008');
+  expect_bin_error "corrupt endian marker" (set 21 '\000');
+  expect_bin_error "foreign endianness"
+    (set 21 (if Sys.big_endian then '\001' else '\002'));
+  expect_bin_error "truncated columns"
+    (String.sub valid 0 (String.length valid - 1));
+  expect_bin_error "trailing bytes" (valid ^ "x");
+  expect_bin_error "count beyond payload" (set 22 '\003')
+
+let prop_bin_roundtrip =
+  QCheck2.Test.make ~name:"binary save/load round trip" ~count:60
+    gen_sample_list (fun samples ->
+      with_tmp ".bin" (fun path ->
+          Persist.save_samples_bin ~path (Store.of_samples samples);
+          Store.to_samples (Persist.load_samples_bin ~path) = samples))
+
+let prop_text_bin_text_identical =
+  (* Canonical text -> binary -> text must reproduce the bytes exactly:
+     the converters are lossless in both directions. *)
+  QCheck2.Test.make ~name:"text -> binary -> text is byte-identical"
+    ~count:40 gen_sample_list (fun samples ->
+      with_tmp ".samples" (fun t1 ->
+          with_tmp ".bin" (fun b ->
+              with_tmp ".samples" (fun t2 ->
+                  Persist.save_store_text ~path:t1 (Store.of_samples samples);
+                  let n1 = Persist.convert_samples_to_bin ~src:t1 ~dst:b in
+                  let n2 = Persist.convert_samples_to_text ~src:b ~dst:t2 in
+                  n1 = List.length samples && n2 = n1
+                  && read_raw t1 = read_raw t2))))
+
+let prop_bin_cc_matches_list =
+  (* End-to-end tentpole differential: binary file -> store -> columnar
+     CC must equal the boxed-list CC over the same samples. *)
+  QCheck2.Test.make ~name:"binary -> store -> CC = list CC" ~count:40
+    QCheck2.Gen.(pair (int_range 1 300) gen_sample_list)
+    (fun (interval, samples) ->
+      with_tmp ".bin" (fun path ->
+          Persist.save_samples_bin ~path (Store.of_samples samples);
+          let st = Persist.load_samples_bin ~path in
+          CC.pairs (CC.compute_store ~interval st)
+          = CC.pairs (CC.compute ~interval samples)))
 
 let suites =
   [
@@ -256,10 +476,29 @@ let suites =
           test_streaming_reader_matches_load;
         Alcotest.test_case "streaming reader errors" `Quick
           test_streaming_reader_errors;
+        Alcotest.test_case "count bounds (2^53 cap)" `Quick test_count_bounds;
+        Alcotest.test_case "identifier bounds (2^31-1 cap)" `Quick
+          test_id_bounds;
+        Alcotest.test_case "CRLF + missing final newline" `Quick
+          test_crlf_and_final_newline;
+        QCheck_alcotest.to_alcotest prop_line_ending_differential;
         QCheck_alcotest.to_alcotest prop_streamed_equals_string_parse;
         QCheck_alcotest.to_alcotest prop_samples_roundtrip;
         QCheck_alcotest.to_alcotest prop_samples_signed_itc_roundtrip;
         QCheck_alcotest.to_alcotest prop_adversarial_names_roundtrip;
         QCheck_alcotest.to_alcotest prop_encode_roundtrip;
+      ] );
+    ( "persist.bin",
+      [
+        Alcotest.test_case "binary round trip" `Quick test_bin_roundtrip;
+        Alcotest.test_case "empty binary round trip" `Quick
+          test_bin_empty_roundtrip;
+        Alcotest.test_case "store_of_samples_file = load" `Quick
+          test_store_of_samples_file;
+        Alcotest.test_case "corrupted images rejected" `Quick
+          test_bin_corruption_rejected;
+        QCheck_alcotest.to_alcotest prop_bin_roundtrip;
+        QCheck_alcotest.to_alcotest prop_text_bin_text_identical;
+        QCheck_alcotest.to_alcotest prop_bin_cc_matches_list;
       ] );
   ]
