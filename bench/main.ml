@@ -957,12 +957,85 @@ let run_cc_scale () =
           ])
       [ 1; 2; 4 ]
   in
+  (* --- Binner ingestion hot path: the flat open-addressing histogram
+     (Flat_tab) vs the (int, int ref) Hashtbl-per-interval feeder it
+     replaced, inlined here as the baseline. Same store, same packed
+     keys; the race isolates the table, and the resulting histograms
+     must be identical — any divergence exits non-zero. *)
+  let module Flat_tab = Slo_util.Flat_tab in
+  let t0 = Obs.now () in
+  let flat_binner = Sample.binner ~interval:col_interval in
+  Sample_store.iter mstore (fun s -> Sample.feed flat_binner s);
+  let flat_s = Obs.now () -. t0 in
+  let t0 = Obs.now () in
+  let boxed : (int, (int, int ref) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  for i = 0 to Sample_store.length mstore - 1 do
+    let idx = Sample.floor_div (Sample_store.itc mstore i) col_interval in
+    let tbl =
+      match Hashtbl.find_opt boxed idx with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 256 in
+        Hashtbl.add boxed idx t;
+        t
+    in
+    let key =
+      (Sample_store.cpu mstore i lsl 31) lor Sample_store.line mstore i
+    in
+    match Hashtbl.find_opt tbl key with
+    | Some r -> incr r
+    | None -> Hashtbl.add tbl key (ref 1)
+  done;
+  let boxed_s = Obs.now () -. t0 in
+  let flat_rows =
+    List.concat_map
+      (fun (idx, tbl) ->
+        List.concat_map
+          (fun (line, fs) ->
+            List.map (fun (cpu, n) -> (idx, (cpu lsl 31) lor line, n)) fs)
+          (Sample.line_freqs tbl))
+      (Sample.binned_idx flat_binner)
+    |> List.sort compare
+  in
+  let boxed_rows =
+    Hashtbl.fold
+      (fun idx tbl acc ->
+        Hashtbl.fold (fun key r acc -> (idx, key, !r) :: acc) tbl acc)
+      boxed []
+    |> List.sort compare
+  in
+  let binner_identical = flat_rows = boxed_rows in
+  let binner_speedup = if flat_s > 0.0 then boxed_s /. flat_s else 0.0 in
+  Printf.printf "\nbinner ingestion (store -> interval histograms):\n";
+  Printf.printf "  %-8s %12s %14s\n" "table" "wall (s)" "samples/s";
+  Printf.printf "  %-8s %12.4f %14.0f\n" "hashtbl" boxed_s
+    (rate n_col boxed_s);
+  Printf.printf "  %-8s %12.4f %14.0f\n" "flat" flat_s (rate n_col flat_s);
+  Printf.printf "  flat vs hashtbl: %.2fx samples/s, histograms %s\n%!"
+    binner_speedup
+    (if binner_identical then "identical" else "MISMATCH");
+  if not binner_identical then begin
+    Printf.eprintf
+      "cc_scale: flat binner diverges from the Hashtbl reference feeder\n";
+    exit 1
+  end;
   Json.Obj
     [
       ("n_samples", Json.Int n_samples);
       ("interval", Json.Int interval);
       ("peak_table_entries", Json.Int peak);
       ("rows", Json.List rows);
+      ( "binner",
+        Json.Obj
+          [
+            ("n_samples", Json.Int n_col);
+            ("hashtbl_samples_per_s", Json.Float (rate n_col boxed_s));
+            ("flat_samples_per_s", Json.Float (rate n_col flat_s));
+            ("flat_vs_hashtbl_x", Json.Float binner_speedup);
+            ("identical", Json.Bool binner_identical);
+          ] );
       ( "columnar",
         Json.Obj
           [
@@ -1447,6 +1520,230 @@ let run_model_check () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Always-on layout service: drive a running serve daemon with a phased,
+   multi-client feed of the kernel corpus's PMU samples, then gate on the
+   three identities the service rests on: (1) the retire-by-subtraction
+   sliding window equals a from-scratch re-bin of the final window's
+   samples, (2) at least one drift-triggered re-search published a new
+   versioned layout, (3) a snapshot/restore round trip is byte-identical
+   and a forced re-search on the restored server reproduces the
+   suggestion exactly. Any divergence exits non-zero — the runtest-serve
+   wiring doubles as the service-soundness check. *)
+
+let run_serve () =
+  section "serve: always-on layout service (sliding window + re-search)";
+  let module Serve = Slo_serve.Serve in
+  let module Window = Slo_serve.Window in
+  let module Optimizer = Slo_search.Optimizer in
+  let module Persist = Slo_persist.Persist in
+  let program = Kernel.program () in
+  let counts = Collect.profile () in
+  let base = Collect.samples () in
+  let params = Collect.calibrated_params in
+  let interval = params.Pipeline.cc_interval in
+  let lo =
+    List.fold_left (fun a (s : Sample.t) -> min a s.Sample.itc) max_int base
+  in
+  let hi =
+    List.fold_left (fun a (s : Sample.t) -> max a s.Sample.itc) min_int base
+  in
+  let span = (((hi - lo) / interval) + 2) * interval in
+  (* window = two phases of the feed, like the CLI default: every phase
+     slides it, so intervals retire throughout the run *)
+  let window = max 1 (2 * span / interval) in
+  let clients = 4 and phases = if !quick then 4 else 8 in
+  (* above the window's ~11% phase-boundary oscillation, below the ~86%
+     workload shift: re-search fires on the shift and only the shift *)
+  let drift_threshold = 0.2 in
+  let cfg =
+    { Serve.interval; window; decay = 0.9; drift_threshold; min_samples = 64;
+      queue_capacity = 8; params; program; counts; struct_name = "A";
+      selector = Optimizer.Portfolio; seed = 11;
+      restarts = (if !quick then 2 else 4) }
+  in
+  (* Phased feed: each phase shifts the whole base stream forward by a
+     whole number of intervals; halfway through, lines rotate to a
+     different sharing pattern so the weighted CC drifts. Per-phase batch
+     construction fans out over the pool — the "many concurrent clients". *)
+  let lines =
+    List.sort_uniq compare (List.map (fun (s : Sample.t) -> s.Sample.line) base)
+  in
+  let line_arr = Array.of_list lines in
+  let nl = Array.length line_arr in
+  let line_pos = Hashtbl.create nl in
+  Array.iteri (fun i l -> Hashtbl.replace line_pos l i) line_arr;
+  let base_arr = Array.of_list base in
+  let batch_of ~phase ~client =
+    let rot = if 2 * phase >= phases then nl / 2 else 0 in
+    Array.map
+      (fun (s : Sample.t) ->
+        let line =
+          if rot = 0 then s.Sample.line
+          else line_arr.((Hashtbl.find line_pos s.Sample.line + rot) mod nl)
+        in
+        { s with Sample.itc = s.Sample.itc + (phase * span) + client; line })
+      base_arr
+  in
+  let client_list = List.init clients (fun c -> c) in
+  Printf.printf
+    "%d clients x %d phases, %d samples/batch, interval %d, window %d\n%!"
+    clients phases (Array.length base_arr) interval window;
+  let t = Serve.create cfg in
+  let submitted = ref [] (* every batch, reverse submission order *) in
+  Serve.run t;
+  let t0 = Obs.now () in
+  for phase = 0 to phases - 1 do
+    let batches =
+      match pool () with
+      | Some p -> Pool.map p (fun c -> batch_of ~phase ~client:c) client_list
+      | None -> List.map (fun c -> batch_of ~phase ~client:c) client_list
+    in
+    List.iter
+      (fun b ->
+        submitted := b :: !submitted;
+        ignore (Serve.submit_wait t b))
+      batches
+  done;
+  Serve.stop t;
+  let ingest_wall = Obs.now () -. t0 in
+  let n_batches = phases * clients in
+  let n_samples = n_batches * Array.length base_arr in
+  let rate =
+    if ingest_wall > 0.0 then float_of_int n_samples /. ingest_wall else 0.0
+  in
+  let w = Serve.window t in
+  Printf.printf
+    "ingested %d samples in %.3fs (%.0f samples/s sustained, re-searches \
+     included)\n"
+    n_samples ingest_wall rate;
+  Printf.printf
+    "window: %d live samples in %d intervals; %d retired by subtraction, %d \
+     late, %d batches dropped\n%!"
+    (Window.live_samples w) (Window.live_intervals w) (Window.retired w)
+    (Window.late w) (Serve.dropped_batches t);
+  let canon b =
+    List.map
+      (fun (idx, tbl) ->
+        (idx, Sample.total_samples tbl, Sample.line_freqs tbl))
+      (Sample.binned_idx b)
+  in
+  (* Gate 1: the subtraction-maintained window = re-binning from scratch.
+     A sample survives in the master iff its interval is inside the final
+     window, so the direct bin of exactly those samples must match. *)
+  let newest = match Window.newest w with Some n -> n | None -> 0 in
+  let direct = Sample.binner ~interval in
+  List.iter
+    (Array.iter (fun (s : Sample.t) ->
+         if Sample.floor_div s.Sample.itc interval > newest - window then
+           Sample.feed direct s))
+    (List.rev !submitted);
+  let rebin_identical = canon (Window.master w) = canon direct in
+  Printf.printf "retire-by-subtraction vs re-bin from scratch: %s\n%!"
+    (if rebin_identical then "identical" else "MISMATCH");
+  if not rebin_identical then begin
+    Printf.eprintf
+      "serve: window after retirement diverges from a from-scratch re-bin\n";
+    exit 1
+  end;
+  (* Gate 2: the workload shift must have triggered a drift re-search. *)
+  let pubs = Serve.publications t in
+  Printf.printf "\n%-8s %10s %10s %12s %10s\n" "version" "drift" "samples"
+    "score" "intervals";
+  List.iter
+    (fun (p : Serve.publication) ->
+      Printf.printf "%-8d %10.4f %10d %12.2f %10d\n" p.Serve.version
+        p.Serve.pub_drift p.Serve.window_samples
+        p.Serve.best.Optimizer.score p.Serve.window_intervals)
+    pubs;
+  let drift_triggered =
+    List.exists
+      (fun (p : Serve.publication) ->
+        p.Serve.version > 1 && p.Serve.pub_drift > drift_threshold)
+      pubs
+  in
+  if not drift_triggered then begin
+    Printf.eprintf
+      "serve: the workload shift never triggered a drift re-search\n";
+    exit 1
+  end;
+  (* Gate 3: kill-then-restore. Snapshot, restore into a fresh server,
+     snapshot again: bytes must match (canonical row order), and a forced
+     re-search on both must produce the same CC and the same layout. *)
+  let snap1 = Filename.temp_file "slo_serve" ".snap" in
+  let snap2 = Filename.temp_file "slo_serve" ".snap" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ snap1; snap2 ])
+  @@ fun () ->
+  Serve.snapshot t ~path:snap1;
+  let t' = Serve.restore cfg ~path:snap1 in
+  Serve.snapshot t' ~path:snap2;
+  let read_raw p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let snapshot_identical = read_raw snap1 = read_raw snap2 in
+  let a = Serve.research t and b = Serve.research t' in
+  let research_identical =
+    a.Serve.cc_pairs = b.Serve.cc_pairs
+    && a.Serve.best.Optimizer.blocks = b.Serve.best.Optimizer.blocks
+    && a.Serve.best.Optimizer.score = b.Serve.best.Optimizer.score
+  in
+  Printf.printf
+    "\nsnapshot round trip: %s; restored re-search: %s (version %d, score \
+     %.2f)\n%!"
+    (if snapshot_identical then "byte-identical" else "MISMATCH")
+    (if research_identical then "identical suggestion" else "MISMATCH")
+    (Serve.version t') b.Serve.best.Optimizer.score;
+  if not (snapshot_identical && research_identical) then begin
+    Printf.eprintf "serve: snapshot/restore failed to reproduce the state\n";
+    exit 1
+  end;
+  let hist name =
+    match Obs.histogram name with
+    | Some s -> (s.Obs.count, s.Obs.p50, s.Obs.p99)
+    | None -> (0, 0.0, 0.0)
+  in
+  let i_count, i_p50, i_p99 = hist "serve.ingest_s" in
+  let r_count, _, r_p99 = hist "serve.research_s" in
+  Printf.printf
+    "ingest: %d batches, p50 %.6fs, p99 %.6fs; %d re-searches (p99 %.4fs)\n%!"
+    i_count i_p50 i_p99 r_count r_p99;
+  Json.Obj
+    [
+      ("interval", Json.Int interval);
+      ("window", Json.Int window);
+      ("clients", Json.Int clients);
+      ("phases", Json.Int phases);
+      ("batches", Json.Int n_batches);
+      ("samples", Json.Int n_samples);
+      ("samples_per_s", Json.Float rate);
+      ("ingest_p50_s", Json.Float i_p50);
+      ("ingest_p99_s", Json.Float i_p99);
+      ("research_count", Json.Int r_count);
+      ("research_p99_s", Json.Float r_p99);
+      ("publications", Json.Int (List.length pubs));
+      ( "versions",
+        Json.List
+          (List.map
+             (fun (p : Serve.publication) -> Json.Int p.Serve.version)
+             pubs) );
+      ("live_samples", Json.Int (Window.live_samples w));
+      ("live_intervals", Json.Int (Window.live_intervals w));
+      ("retired_intervals", Json.Int (Window.retired w));
+      ("late_samples", Json.Int (Window.late w));
+      ("dropped_batches", Json.Int (Serve.dropped_batches t));
+      ("rebin_identical", Json.Bool rebin_identical);
+      ("drift_triggered", Json.Bool drift_triggered);
+      ("snapshot_identical", Json.Bool snapshot_identical);
+      ("research_identical", Json.Bool research_identical);
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [
@@ -1469,6 +1766,7 @@ let all_sections =
     ("cc_scale", run_cc_scale);
     ("sim_scale", run_sim_scale);
     ("model_check", run_model_check);
+    ("serve", run_serve);
     ("smoke", run_smoke);
   ]
 

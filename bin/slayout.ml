@@ -755,6 +755,232 @@ let verify_cmd =
           configurations")
     Term.(const run $ const ())
 
+let serve_cmd =
+  let module Serve = Slo_serve.Serve in
+  let module Obs = Slo_obs.Obs in
+  let run file struct_name int_arg rounds cpus period k1 k2 interval line_size
+      inline jobs window decay drift_threshold min_samples capacity clients
+      phases seed restarts snapshot_path restore_path =
+    or_die (fun () ->
+        let program = load_program ~inline file in
+        if Ast.find_struct program struct_name = None then begin
+          Printf.eprintf "error: no struct named %s\n" struct_name;
+          exit 1
+        end;
+        let counts = generic_profile program ~int_arg ~rounds in
+        let base =
+          generic_samples program ~cpus ~period ~reps:(rounds * 8) ~int_arg
+        in
+        if base = [] then begin
+          Printf.eprintf
+            "error: the generic harness produced no samples (try a smaller \
+             --period)\n";
+          exit 1
+        end;
+        let params =
+          { Pipeline.default_params with
+            Pipeline.k1; k2; line_size; cc_interval = interval }
+        in
+        let lo =
+          List.fold_left (fun a (s : Sample.t) -> min a s.Sample.itc) max_int
+            base
+        in
+        let hi =
+          List.fold_left (fun a (s : Sample.t) -> max a s.Sample.itc) min_int
+            base
+        in
+        let span = (((hi - lo) / interval) + 2) * interval in
+        (* Default the window to two phases of the feed, so each phase
+           slides it and consecutive clients land inside it; the
+           computation is deterministic, so --restore with the same
+           arguments reproduces the same window length. *)
+        let window =
+          match window with Some w -> w | None -> max 1 (2 * span / interval)
+        in
+        let cfg =
+          { Serve.interval; window; decay; drift_threshold; min_samples;
+            queue_capacity = capacity; params; program; counts; struct_name;
+            selector = Optimizer.Portfolio; seed; restarts }
+        in
+        let t =
+          match restore_path with
+          | Some path ->
+            let t = Serve.restore cfg ~path in
+            Printf.printf "restored from %s: version %d, %d live samples\n"
+              path (Serve.version t)
+              (Slo_serve.Window.live_samples (Serve.window t));
+            t
+          | None -> Serve.create cfg
+        in
+        (* A restored window already has a watermark; shift the whole
+           feed past it (by whole spans, keeping phase geometry) so the
+           continuation run slides the window instead of feeding samples
+           the watermark would drop as late. *)
+        let itc_off =
+          match Slo_serve.Window.newest (Serve.window t) with
+          | Some n ->
+            let need = ((n + 1) * interval) - lo in
+            if need <= 0 then 0 else ((need + span - 1) / span) * span
+          | None -> 0
+        in
+        (* Each phase shifts the whole base stream forward by a whole
+           number of intervals, so the window keeps sliding; halfway
+           through, lines are rotated to a different layout-relevant
+           pattern, so the weighted CC drifts and a re-search fires. *)
+        let lines =
+          List.sort_uniq compare
+            (List.map (fun (s : Sample.t) -> s.Sample.line) base)
+        in
+        let line_arr = Array.of_list lines in
+        let nl = Array.length line_arr in
+        let line_pos = Hashtbl.create nl in
+        Array.iteri (fun i l -> Hashtbl.replace line_pos l i) line_arr;
+        let base_arr = Array.of_list base in
+        let batch_of ~phase ~client =
+          let rot = if 2 * phase >= phases then nl / 2 else 0 in
+          Array.map
+            (fun (s : Sample.t) ->
+              let line =
+                if rot = 0 then s.Sample.line
+                else
+                  line_arr.((Hashtbl.find line_pos s.Sample.line + rot) mod nl)
+              in
+              { s with
+                Sample.itc = s.Sample.itc + itc_off + (phase * span) + client;
+                line })
+            base_arr
+        in
+        let clients_l = List.init clients (fun c -> c) in
+        Printf.printf
+          "serve: %d clients x %d phases, %d samples/batch, interval %d, \
+           window %d, decay %.3f, drift threshold %.3f\n%!"
+          clients phases (Array.length base_arr) interval window decay
+          drift_threshold;
+        Serve.run t;
+        with_jobs jobs (fun ~domains:_ pool ->
+            for phase = 0 to phases - 1 do
+              let batches =
+                match pool with
+                | Some p -> Pool.map p (fun c -> batch_of ~phase ~client:c) clients_l
+                | None -> List.map (fun c -> batch_of ~phase ~client:c) clients_l
+              in
+              List.iter (fun b -> ignore (Serve.submit_wait t b)) batches
+            done);
+        Serve.stop t;
+        Printf.printf "\n%-8s %10s %10s %12s %12s %10s\n" "version" "drift"
+          "samples" "score" "greedy" "intervals";
+        List.iter
+          (fun (p : Serve.publication) ->
+            Printf.printf "%-8d %10.4f %10d %12.2f %12.2f %10d\n"
+              p.Serve.version p.Serve.pub_drift p.Serve.window_samples
+              p.Serve.best.Optimizer.score p.Serve.greedy_score
+              p.Serve.window_intervals)
+          (Serve.publications t);
+        let w = Serve.window t in
+        Printf.printf
+          "\nwindow: %d live samples in %d intervals; %d intervals retired \
+           by subtraction, %d late samples dropped, %d batches dropped\n"
+          (Slo_serve.Window.live_samples w)
+          (Slo_serve.Window.live_intervals w)
+          (Slo_serve.Window.retired w)
+          (Slo_serve.Window.late w) (Serve.dropped_batches t);
+        (match Obs.histogram "serve.ingest_s" with
+        | Some s ->
+          Printf.printf
+            "ingest: %d batches, p50 %.6fs, p99 %.6fs; researches: %d\n"
+            s.Obs.count s.Obs.p50 s.Obs.p99
+            (Obs.counter "serve.researches")
+        | None -> ());
+        match snapshot_path with
+        | Some path ->
+          Serve.snapshot t ~path;
+          Printf.printf "snapshot written to %s (version %d)\n" path
+            (Serve.version t)
+        | None -> ())
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "sliding-window length in intervals (default: two phases of \
+             the simulated feed)")
+  in
+  let decay_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "decay" ] ~docv:"D"
+          ~doc:"per-interval-of-age CC decay, in (0, 1]; 1.0 disables decay")
+  in
+  let drift_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "drift-threshold" ] ~docv:"D"
+          ~doc:
+            "re-search when the weighted CC's normalized L1 drift since \
+             the last publication exceeds $(docv)")
+  in
+  let min_samples_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "min-samples" ] ~docv:"N"
+          ~doc:"live samples required before the first publication")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"max queued batches before admission control drops")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"concurrent simulated sample feeds")
+  in
+  let phases_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "phases" ] ~docv:"N"
+          ~doc:
+            "ingest phases; each slides the window forward, and the \
+             workload shifts halfway through")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"master seed of the search PRNG streams")
+  in
+  let restarts_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "restarts" ] ~docv:"N" ~doc:"annealing restarts per re-search")
+  in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"PATH"
+          ~doc:"write the windowed state to $(docv) on exit (atomic)")
+  in
+  let restore_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "restore" ] ~docv:"PATH"
+          ~doc:"start from the slo-serve-snapshot at $(docv)")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "run the always-on layout service against simulated client feeds")
+    Term.(
+      const run $ file_arg $ struct_arg $ int_arg_t $ rounds_arg
+      $ cpus_collect_arg $ period_arg $ k1_arg $ k2_arg $ interval_arg
+      $ line_size_arg $ inline_arg $ jobs_arg $ window_arg $ decay_arg
+      $ drift_arg $ min_samples_arg $ capacity_arg $ clients_arg $ phases_arg
+      $ seed_arg $ restarts_arg $ snapshot_arg $ restore_arg)
+
 let () =
   let doc = "structure layout optimization for multithreaded programs" in
   let info = Cmd.info "slayout" ~version:"1.0.0" ~doc in
@@ -763,5 +989,6 @@ let () =
        (Cmd.group info
           [
             parse_cmd; affinity_cmd; fmf_cmd; collect_cmd; convert_cmd;
-            suggest_cmd; dot_cmd; simulate_cmd; sdet_cmd; verify_cmd;
+            suggest_cmd; dot_cmd; simulate_cmd; sdet_cmd; serve_cmd;
+            verify_cmd;
           ]))

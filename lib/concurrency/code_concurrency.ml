@@ -210,6 +210,21 @@ let merge a b =
   merge_into t b;
   t
 
+(* Fixed-point decay weighting for the sliding-window service: integer
+   num/den avoids float summation, so the weighted sum over a window is
+   exactly reproducible whatever order the intervals were merged in. A
+   product that saturates stays saturated (max_int, not max_int / den):
+   once a count is "infinite" scaling cannot un-saturate it. *)
+let merge_scaled dst src ~num ~den =
+  if num < 0 then invalid_arg "Code_concurrency.merge_scaled: num < 0";
+  if den <= 0 then invalid_arg "Code_concurrency.merge_scaled: den <= 0";
+  Hashtbl.iter
+    (fun (l1, l2) v ->
+      let p = sat_mul v num in
+      let scaled = if p = max_int then max_int else p / den in
+      add dst l1 l2 scaled)
+    src.tbl
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>concurrency map (%d pairs):" (Hashtbl.length t.tbl);
   List.iter

@@ -101,6 +101,16 @@ val merge : t -> t -> t
 (** Pointwise (saturating) sum — combining collection runs or shard
     results. Associative and commutative up to {!pairs}. *)
 
+val merge_scaled : t -> t -> num:int -> den:int -> unit
+(** [merge_scaled dst src ~num ~den] adds [floor (v * num / den)] into
+    [dst] for every pair count [v] of [src] — fixed-point decay weighting
+    for windowed consumers (the serve daemon weights interval maps by
+    [decay^age] as [num/den] with a power-of-two [den], so the weighted
+    window sum is exact integer arithmetic, independent of merge order).
+    Products are saturating; a saturated product stays [max_int] rather
+    than being divided down. [src] is untouched.
+    @raise Invalid_argument if [num < 0] or [den <= 0]. *)
+
 val pp : Format.formatter -> t -> unit
 
 (**/**)

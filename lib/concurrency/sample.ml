@@ -1,5 +1,7 @@
 type t = { cpu : int; itc : int; line : int }
 
+module Flat_tab = Slo_util.Flat_tab
+
 (* cpu and line are identifiers, bounded so a (cpu, line) pair packs into
    one non-negative 62-bit int — the frequency-table key — and so both fit
    the 32-bit columns of the binary sample store (Persist's
@@ -19,10 +21,12 @@ let key_cpu k = k lsr id_bits
 let key_line k = k land max_id
 
 type interval_table = {
-  (* pack ~cpu ~line -> count. The count is a mutable ref so the hot
-     increment in [feed_raw] is one hash lookup (find + incr), not two
-     (find + replace) — ingestion feeds every sample through here. *)
-  freqs : (int, int ref) Hashtbl.t;
+  (* pack ~cpu ~line -> count. A flat open-addressing table: the hot
+     increment in [feed_raw] is one probe ([Flat_tab.add]) into two int
+     arrays with no per-entry boxes — the `(int, int ref)` Hashtbl this
+     replaces allocated a ref per distinct pair and chased buckets, and
+     had become the ingestion bottleneck at columnar scale. *)
+  freqs : Flat_tab.t;
   mutable total : int;
   (* line -> (cpu, count) list sorted by cpu, built from [freqs] on first
      read and invalidated by [feed]. Readers that walk a table line by line
@@ -34,19 +38,17 @@ type interval_table = {
 
 let freq tbl ~cpu ~line =
   if cpu < 0 || cpu > max_id || line < 0 || line > max_id then 0
-  else try !(Hashtbl.find tbl.freqs (pack ~cpu ~line)) with Not_found -> 0
+  else Flat_tab.find tbl.freqs (pack ~cpu ~line) ~default:0
 
 let group tbl =
   match tbl.by_line with
   | Some g -> g
   | None ->
-    let g = Hashtbl.create (max 16 (Hashtbl.length tbl.freqs)) in
-    Hashtbl.iter
-      (fun key count ->
+    let g = Hashtbl.create (max 16 (Flat_tab.length tbl.freqs)) in
+    Flat_tab.iter tbl.freqs (fun key count ->
         let line = key_line key in
         let cur = match Hashtbl.find_opt g line with Some l -> l | None -> [] in
-        Hashtbl.replace g line ((key_cpu key, !count) :: cur))
-      tbl.freqs;
+        Hashtbl.replace g line ((key_cpu key, count) :: cur));
     Hashtbl.filter_map_inplace (fun _ l -> Some (List.sort compare l)) g;
     tbl.by_line <- Some g;
     g
@@ -59,17 +61,15 @@ let cpu_freqs tbl ~line =
   match Hashtbl.find_opt (group tbl) line with Some l -> l | None -> []
 
 let cpu_freqs_scan tbl ~line =
-  Hashtbl.fold
-    (fun key count acc ->
-      if key_line key = line then (key_cpu key, !count) :: acc else acc)
-    tbl.freqs []
+  Flat_tab.fold tbl.freqs ~init:[] ~f:(fun acc key count ->
+      if key_line key = line then (key_cpu key, count) :: acc else acc)
   |> List.sort compare
 
 let line_freqs tbl =
   Hashtbl.fold (fun line fs acc -> (line, fs) :: acc) (group tbl) []
   |> List.sort compare
 
-let entries tbl = Hashtbl.length tbl.freqs
+let entries tbl = Flat_tab.length tbl.freqs
 let total_samples tbl = tbl.total
 
 (* Floor division via the remainder: OCaml's [/] truncates toward zero,
@@ -100,6 +100,8 @@ let binner ~interval =
   { b_interval = interval; b_tables = Hashtbl.create 64; b_fed = 0;
     b_last_idx = 0; b_last = None }
 
+let interval b = b.b_interval
+
 let table_of_idx b idx =
   match b.b_last with
   | Some tbl when b.b_last_idx = idx -> tbl
@@ -108,7 +110,10 @@ let table_of_idx b idx =
       match Hashtbl.find_opt b.b_tables idx with
       | Some tbl -> tbl
       | None ->
-        let tbl = { freqs = Hashtbl.create 16; total = 0; by_line = None } in
+        let tbl =
+          { freqs = Flat_tab.create ~capacity:16 (); total = 0;
+            by_line = None }
+        in
         Hashtbl.replace b.b_tables idx tbl;
         tbl
     in
@@ -120,14 +125,24 @@ let feed_raw b ~cpu ~itc ~line =
   check_id "feed: cpu" cpu;
   check_id "feed: line" line;
   let tbl = table_of_idx b (floor_div itc b.b_interval) in
-  let key = pack ~cpu ~line in
-  (try incr (Hashtbl.find tbl.freqs key)
-   with Not_found -> Hashtbl.add tbl.freqs key (ref 1));
+  ignore (Flat_tab.add tbl.freqs (pack ~cpu ~line) 1);
   tbl.total <- tbl.total + 1;
   tbl.by_line <- None;
   b.b_fed <- b.b_fed + 1
 
 let feed b s = feed_raw b ~cpu:s.cpu ~itc:s.itc ~line:s.line
+
+let feed_n b ~cpu ~itc ~line ~count =
+  if count < 0 then invalid_arg "Sample.feed_n: negative count";
+  if count > 0 then begin
+    check_id "feed: cpu" cpu;
+    check_id "feed: line" line;
+    let tbl = table_of_idx b (floor_div itc b.b_interval) in
+    ignore (Flat_tab.add tbl.freqs (pack ~cpu ~line) count);
+    tbl.total <- tbl.total + count;
+    tbl.by_line <- None;
+    b.b_fed <- b.b_fed + count
+  end
 
 let fed b = b.b_fed
 
@@ -140,22 +155,57 @@ let absorb dst src =
   Hashtbl.iter
     (fun idx (src_tbl : interval_table) ->
       let dst_tbl = table_of_idx dst idx in
-      Hashtbl.iter
-        (fun key count ->
-          try
-            let r = Hashtbl.find dst_tbl.freqs key in
-            r := !r + !count
-          with Not_found -> Hashtbl.add dst_tbl.freqs key (ref !count))
-        src_tbl.freqs;
+      Flat_tab.iter src_tbl.freqs (fun key count ->
+          ignore (Flat_tab.add dst_tbl.freqs key count));
       dst_tbl.total <- dst_tbl.total + src_tbl.total;
       dst_tbl.by_line <- None)
     src.b_tables;
   dst.b_fed <- dst.b_fed + src.b_fed
 
-let binned b =
-  Hashtbl.fold (fun idx tbl acc -> (idx, tbl) :: acc) b.b_tables []
+(* Two passes so a failing retract leaves [dst] untouched: first prove
+   every count of [src] is covered, then subtract. [Flat_tab.add] with a
+   negative delta removes bindings that hit zero, and interval tables whose
+   total hits zero are dropped from [b_tables] — after retracting exactly
+   what was absorbed, the binner is structurally the one that never saw
+   those samples ([binned] omits empty intervals either way, and the
+   last-table cache is cleared because it may alias a dropped table). *)
+let retract dst src =
+  if dst.b_interval <> src.b_interval then
+    invalid_arg "Sample.retract: interval mismatch";
+  Hashtbl.iter
+    (fun idx (src_tbl : interval_table) ->
+      if src_tbl.total > 0 then begin
+        let dst_tbl =
+          match Hashtbl.find_opt dst.b_tables idx with
+          | Some tbl -> tbl
+          | None -> invalid_arg "Sample.retract: count would go negative"
+        in
+        Flat_tab.iter src_tbl.freqs (fun key count ->
+            if Flat_tab.find dst_tbl.freqs key ~default:0 < count then
+              invalid_arg "Sample.retract: count would go negative")
+      end)
+    src.b_tables;
+  Hashtbl.iter
+    (fun idx (src_tbl : interval_table) ->
+      if src_tbl.total > 0 then begin
+        let dst_tbl = Hashtbl.find dst.b_tables idx in
+        Flat_tab.iter src_tbl.freqs (fun key count ->
+            ignore (Flat_tab.add dst_tbl.freqs key (-count)));
+        dst_tbl.total <- dst_tbl.total - src_tbl.total;
+        dst_tbl.by_line <- None;
+        if dst_tbl.total = 0 then Hashtbl.remove dst.b_tables idx
+      end)
+    src.b_tables;
+  dst.b_fed <- dst.b_fed - src.b_fed;
+  dst.b_last <- None
+
+let binned_idx b =
+  Hashtbl.fold
+    (fun idx tbl acc -> if tbl.total > 0 then (idx, tbl) :: acc else acc)
+    b.b_tables []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
-  |> List.map snd
+
+let binned b = List.map snd (binned_idx b)
 
 let bin ~interval samples =
   if interval <= 0 then invalid_arg "Sample.bin: interval <= 0";

@@ -34,6 +34,12 @@ type t = { cpu : int; itc : int; line : int }
 val max_id : int
 (** Upper bound (inclusive, [2^31 - 1]) on [cpu] and [line]. *)
 
+val floor_div : int -> int -> int
+(** Exact floor division for any int numerator and positive denominator —
+    the interval-index function ([floor_div itc interval]), exposed so
+    windowed consumers classify a sample into the same bin the binner
+    will. *)
+
 type interval_table
 (** Frequencies of one interval: (cpu, line) -> count. *)
 
@@ -77,8 +83,17 @@ type binner
 val binner : interval:int -> binner
 (** @raise Invalid_argument if [interval <= 0]. *)
 
+val interval : binner -> int
+(** The interval length this binner was created with. *)
+
 val feed : binner -> t -> unit
 (** @raise Invalid_argument if [cpu] or [line] is outside [0 .. max_id]. *)
+
+val feed_n : binner -> cpu:int -> itc:int -> line:int -> count:int -> unit
+(** Feed [count] identical samples in one probe — what snapshot restore
+    uses to rebuild a binner from (interval, cpu, line, count) rows.
+    [count = 0] is a no-op. @raise Invalid_argument if [count < 0] or an
+    identifier is out of range. *)
 
 val feed_raw : binner -> cpu:int -> itc:int -> line:int -> unit
 (** {!feed} without the record: the allocation-free entry point columnar
@@ -96,12 +111,29 @@ val absorb : binner -> binner -> unit
     ranges of a columnar store in parallel. [src] is left untouched.
     @raise Invalid_argument if the two binners' intervals differ. *)
 
+val retract : binner -> binner -> unit
+(** [retract dst src] subtracts every accumulated count of [src] from
+    [dst] — the inverse of {!absorb}: absorbing a binner and then
+    retracting it restores [dst] exactly (same tables, same counts, same
+    {!fed}), and interval tables whose counts all reach zero are dropped,
+    so the result is structurally a binner that never saw those samples.
+    This is what makes a sliding window cheap: retiring an interval is
+    subtraction, not re-binning the survivors. [src] is left untouched.
+    @raise Invalid_argument if the intervals differ or if any count of
+    [src] exceeds the corresponding count of [dst] ([dst] is then left
+    unchanged — validation happens before the first subtraction). *)
+
 val peak_entries : binner -> int
 (** Largest {!entries} over the accumulated interval tables (0 when no
     sample was fed) — the high-water mark streaming ingestion reports. *)
 
 val binned : binner -> interval_table list
 (** The accumulated tables in ascending interval order. *)
+
+val binned_idx : binner -> (int * interval_table) list
+(** The accumulated tables with their absolute interval indices, in
+    ascending index order — what windowed consumers (the serve daemon's
+    retirement watermark, snapshots) key on. *)
 
 val fold_binned :
   interval:int ->

@@ -22,7 +22,14 @@
     Exceptions: if one or more tasks raise, all remaining tasks still run
     and the exception of the {e lowest-index} failing task is re-raised —
     again independent of scheduling. (The serial path raises the same
-    exception; it just stops at the first one.)
+    exception; it just stops at the first one.) A failing batch does not
+    damage the pool: task exceptions are caught at the task boundary and
+    stored in the batch's result slots, never propagated into a worker's
+    loop, so no domain exits early and no queue entry is leaked — the
+    next [map] on the same pool behaves exactly as if the failing batch
+    had never happened. Long-lived pool owners (the serve daemon's
+    simulated clients) rely on this; test_exec's failing-batch-then-
+    succeeding-batch regression pins it.
 
     Pools are not reentrant: do not call [map] on a pool from inside one of
     its own tasks.

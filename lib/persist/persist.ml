@@ -88,6 +88,60 @@ let id_field line s =
   v
 
 (* ------------------------------------------------------------------ *)
+(* Atomic file writes.
+
+   Every save used to open the destination with O_TRUNC and write in
+   place — a crash (or any exception) mid-write left a truncated, corrupt
+   file where a good one used to be, which is fatal for the serve
+   daemon's snapshot/restore loop. All saves now write a fresh temp file
+   in the {e same directory} (rename(2) is only atomic within a
+   filesystem) and rename it over the destination once the body has
+   completed: the destination at all times holds either the complete old
+   contents or the complete new contents, never a prefix. On failure the
+   temp file is removed and the original is untouched. *)
+
+let temp_path path =
+  let dir = Filename.dirname path and base = Filename.basename path in
+  let rec pick n =
+    let p =
+      Filename.concat dir
+        (Printf.sprintf ".%s.tmp.%d.%d" base (Unix.getpid ()) n)
+    in
+    if Sys.file_exists p then pick (n + 1) else p
+  in
+  pick 0
+
+let atomic_write ~path f =
+  let tmp = temp_path path in
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_excl; Open_binary ] 0o644 tmp
+  in
+  (try
+     f oc;
+     close_out oc
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     Printexc.raise_with_backtrace e bt);
+  Sys.rename tmp path
+
+let atomic_write_fd ~path f =
+  let tmp = temp_path path in
+  let fd =
+    Unix.openfile tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+  in
+  (try
+     f fd;
+     Unix.close fd
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     Printexc.raise_with_backtrace e bt);
+  Sys.rename tmp path
+
+(* ------------------------------------------------------------------ *)
 (* Profile counts *)
 
 let counts_header = "slo-profile 1"
@@ -284,12 +338,7 @@ let map_i32 fd ~shared ~pos n : Sample_store.i32 =
 
 let save_samples_bin ~path store =
   let n = Sample_store.length store in
-  let fd =
-    Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-  in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
+  atomic_write_fd ~path (fun fd ->
       let h = bin_header n in
       if Unix.write fd h 0 samples_bin_header_size <> samples_bin_header_size
       then bin_fail "%s: short header write" path;
@@ -386,10 +435,7 @@ let store_of_samples_file ~path =
   Sample_store.build b
 
 let save_store_text ~path store =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  atomic_write ~path (fun oc ->
       output_string oc (samples_header ^ "\n");
       let buf = Buffer.create (1 lsl 16) in
       let n = Sample_store.length store in
@@ -416,12 +462,213 @@ let convert_samples_to_text ~src ~dst =
   Sample_store.length store
 
 (* ------------------------------------------------------------------ *)
+(* Serve snapshots: "slo-serve-snapshot 1".
+
+   The daemon's windowed state is a binner — per-interval (cpu, line) ->
+   count histograms — plus three scalars (window length, published layout
+   version, newest interval index seen). Columnar layout, same machinery
+   as the sample store (mmap per column, host byte order recorded in the
+   header):
+
+     0..20   magic "slo-serve-snapshot 1\n"
+     21      byte order of the columns: 1 = little-endian, 2 = big-endian
+     22..23  zero padding
+     24..31  row count n, unsigned 64-bit little-endian
+     32..39  interval length (i64 LE, >= 1)
+     40..47  window length in intervals (i64 LE, >= 1)
+     48..55  published layout version (i64 LE, >= 0)
+     56..63  newest interval index (i64 LE, signed; any value when n = 0)
+     64..            idx column,   8n bytes (i64)
+     64+8n..         count column, 8n bytes (i64)
+     64+16n..        cpu column,   4n bytes (i32)
+     64+20n..64+24n  line column,  4n bytes (i32)
+
+   Rows are the non-zero histogram entries in strictly ascending
+   (idx, line, cpu) order — the canonical form, so save . load . save is
+   byte-identical (the bench serve gate's round-trip check). Every live
+   idx must lie in the window (newest - window, newest]. File size is
+   exactly 64 + 24n. *)
+
+let serve_snapshot_magic = "slo-serve-snapshot 1\n"
+let serve_snapshot_header_size = 64
+
+type serve_snapshot = {
+  snap_window : int;
+  snap_version : int;
+  snap_newest : int;
+  snap_binner : Sample.binner;
+}
+
+let save_serve_snapshot ~path ~window ~version ~newest binner =
+  if window <= 0 then invalid_arg "Persist.save_serve_snapshot: window <= 0";
+  if version < 0 then invalid_arg "Persist.save_serve_snapshot: version < 0";
+  let tables = Sample.binned_idx binner in
+  let n =
+    List.fold_left (fun acc (_, tbl) -> acc + Sample.entries tbl) 0 tables
+  in
+  List.iter
+    (fun (idx, _) ->
+      if idx > newest || idx <= newest - window then
+        invalid_arg
+          (Printf.sprintf
+             "Persist.save_serve_snapshot: interval %d outside the window \
+              (%d, %d]"
+             idx (newest - window) newest))
+    tables;
+  atomic_write_fd ~path (fun fd ->
+      let h = Bytes.make serve_snapshot_header_size '\000' in
+      Bytes.blit_string serve_snapshot_magic 0 h 0
+        (String.length serve_snapshot_magic);
+      Bytes.set h 21 host_endian_byte;
+      Bytes.set_int64_le h 24 (Int64.of_int n);
+      Bytes.set_int64_le h 32 (Int64.of_int (Sample.interval binner));
+      Bytes.set_int64_le h 40 (Int64.of_int window);
+      Bytes.set_int64_le h 48 (Int64.of_int version);
+      Bytes.set_int64_le h 56 (Int64.of_int newest);
+      if Unix.write fd h 0 serve_snapshot_header_size
+         <> serve_snapshot_header_size
+      then bin_fail "%s: short header write" path;
+      if n > 0 then begin
+        let m_idx = map_i64 fd ~shared:true ~pos:64L n in
+        let m_count =
+          map_i64 fd ~shared:true ~pos:(Int64.of_int (64 + (8 * n))) n
+        in
+        let m_cpu =
+          map_i32 fd ~shared:true ~pos:(Int64.of_int (64 + (16 * n))) n
+        in
+        let m_line =
+          map_i32 fd ~shared:true ~pos:(Int64.of_int (64 + (20 * n))) n
+        in
+        let i = ref 0 in
+        List.iter
+          (fun (idx, tbl) ->
+            List.iter
+              (fun (line, fs) ->
+                List.iter
+                  (fun (cpu, count) ->
+                    if count > max_count then
+                      bin_fail
+                        "%s: count %d at interval %d exceeds the supported \
+                         maximum 2^53"
+                        path count idx;
+                    m_idx.{!i} <- Int64.of_int idx;
+                    m_count.{!i} <- Int64.of_int count;
+                    m_cpu.{!i} <- Int32.of_int cpu;
+                    m_line.{!i} <- Int32.of_int line;
+                    incr i)
+                  fs)
+              (Sample.line_freqs tbl))
+          tables
+      end)
+
+let load_serve_snapshot ~path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let size = (Unix.LargeFile.fstat fd).Unix.LargeFile.st_size in
+      if size < Int64.of_int serve_snapshot_header_size then
+        bin_fail "%s: truncated header (%Ld of %d bytes)" path size
+          serve_snapshot_header_size;
+      let h = Bytes.create serve_snapshot_header_size in
+      let rec read_exactly off =
+        if off < serve_snapshot_header_size then begin
+          let r = Unix.read fd h off (serve_snapshot_header_size - off) in
+          if r = 0 then bin_fail "%s: truncated header" path;
+          read_exactly (off + r)
+        end
+      in
+      read_exactly 0;
+      let magic = Bytes.sub_string h 0 (String.length serve_snapshot_magic) in
+      if magic <> serve_snapshot_magic then
+        bin_fail "%s: bad magic — expected %S, found %S" path
+          serve_snapshot_magic magic;
+      (match Bytes.get h 21 with
+      | c when c = host_endian_byte -> ()
+      | '\001' -> bin_fail "%s: little-endian columns on a big-endian host" path
+      | '\002' -> bin_fail "%s: big-endian columns on a little-endian host" path
+      | c -> bin_fail "%s: corrupt byte-order marker %d" path (Char.code c));
+      let i64_field off what =
+        let v64 = Bytes.get_int64_le h off in
+        if Int64.of_int (Int64.to_int v64) <> v64 then
+          bin_fail "%s: unrepresentable %s %Ld" path what v64;
+        Int64.to_int v64
+      in
+      let n = i64_field 24 "row count" in
+      if n < 0 then bin_fail "%s: negative row count %d" path n;
+      let interval = i64_field 32 "interval" in
+      if interval <= 0 then bin_fail "%s: interval %d <= 0" path interval;
+      let window = i64_field 40 "window" in
+      if window <= 0 then bin_fail "%s: window %d <= 0" path window;
+      let version = i64_field 48 "version" in
+      if version < 0 then bin_fail "%s: negative version %d" path version;
+      let newest = i64_field 56 "newest interval" in
+      let expect =
+        Int64.add
+          (Int64.of_int serve_snapshot_header_size)
+          (Int64.mul 24L (Int64.of_int n))
+      in
+      if size < expect then
+        bin_fail "%s: truncated columns — %Ld bytes, %d rows need %Ld" path
+          size n expect;
+      if size > expect then
+        bin_fail "%s: %Ld trailing bytes after the columns" path
+          (Int64.sub size expect);
+      let binner = Sample.binner ~interval in
+      if n > 0 then begin
+        let m_idx = map_i64 fd ~shared:false ~pos:64L n in
+        let m_count =
+          map_i64 fd ~shared:false ~pos:(Int64.of_int (64 + (8 * n))) n
+        in
+        let m_cpu =
+          map_i32 fd ~shared:false ~pos:(Int64.of_int (64 + (16 * n))) n
+        in
+        let m_line =
+          map_i32 fd ~shared:false ~pos:(Int64.of_int (64 + (20 * n))) n
+        in
+        let prev_idx = ref 0 and prev_line = ref 0 and prev_cpu = ref 0 in
+        for i = 0 to n - 1 do
+          let idx64 = m_idx.{i} in
+          if Int64.of_int (Int64.to_int idx64) <> idx64 then
+            bin_fail "%s: row %d: unrepresentable interval index %Ld" path i
+              idx64;
+          let idx = Int64.to_int idx64 in
+          if idx > newest || idx <= newest - window then
+            bin_fail "%s: row %d: interval %d outside the window (%d, %d]"
+              path i idx (newest - window) newest;
+          (* idx * interval must not wrap: the reconstructed itc below has
+             to land back in bin idx. *)
+          if
+            (idx > 0 && idx > max_int / interval)
+            || (idx < 0 && idx < min_int / interval)
+          then
+            bin_fail "%s: row %d: interval index %d overflows itc" path i idx;
+          let count64 = m_count.{i} in
+          if count64 < 1L || count64 > Int64.of_int max_count then
+            bin_fail "%s: row %d: count %Ld outside 1..2^53" path i count64;
+          let cpu = Int32.to_int m_cpu.{i} and line = Int32.to_int m_line.{i} in
+          if cpu < 0 then bin_fail "%s: row %d: negative cpu %d" path i cpu;
+          if line < 0 then bin_fail "%s: row %d: negative line %d" path i line;
+          if
+            i > 0
+            && compare (idx, line, cpu) (!prev_idx, !prev_line, !prev_cpu) <= 0
+          then
+            bin_fail "%s: row %d: rows not strictly (idx, line, cpu)-sorted"
+              path i;
+          prev_idx := idx;
+          prev_line := line;
+          prev_cpu := cpu;
+          Sample.feed_n binner ~cpu ~itc:(idx * interval) ~line
+            ~count:(Int64.to_int count64)
+        done
+      end;
+      { snap_window = window; snap_version = version; snap_newest = newest;
+        snap_binner = binner })
+
+(* ------------------------------------------------------------------ *)
 
 let write_file path contents =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+  atomic_write ~path (fun oc -> output_string oc contents)
 
 let read_file path =
   let ic = open_in_bin path in

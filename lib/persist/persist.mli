@@ -139,3 +139,80 @@ val convert_samples_to_bin : src:string -> dst:string -> int
 val convert_samples_to_text : src:string -> dst:string -> int
 (** Binary file → text file; returns the sample count.
     @raise Bin_error on malformed binary input. *)
+
+(** {1 Atomic writes}
+
+    Every save in this module goes through one of these: the contents are
+    written to a fresh temp file in the {e same directory} as the
+    destination and renamed over it only after the body completed, so the
+    destination always holds either the complete old contents or the
+    complete new contents — a crash (or any exception raised by the body)
+    mid-write leaves the original file untouched and removes the temp
+    file. This is the invariant the serve daemon's snapshot/restore loop
+    rests on, and it holds for profile counts, text and binary samples,
+    and serve snapshots alike. Exposed so tests can inject a failing body
+    and so new formats inherit the discipline. *)
+
+val atomic_write : path:string -> (out_channel -> unit) -> unit
+(** Run the body against a temp-file channel, then atomically rename onto
+    [path]. The channel is closed either way; on exception the temp file
+    is removed, [path] is untouched, and the exception is re-raised. *)
+
+val atomic_write_fd : path:string -> (Unix.file_descr -> unit) -> unit
+(** {!atomic_write} with a raw descriptor — for bodies that extend the
+    file through shared mappings ({!save_samples_bin}, serve
+    snapshots). *)
+
+(** {1 Serve snapshots — [slo-serve-snapshot 1]}
+
+    The serve daemon's windowed state: a binner's per-interval histograms
+    as four mmap-aligned columns plus scalar metadata, canonically sorted
+    so a save/load/save round trip is byte-identical.
+
+    {v
+    0..20    magic "slo-serve-snapshot 1\n"
+    21       column byte order: 1 little-endian, 2 big-endian
+    22..23   zero padding
+    24..31   row count n (u64, little-endian)
+    32..39   interval length (i64, >= 1)
+    40..47   window length in intervals (i64, >= 1)
+    48..55   published layout version (i64, >= 0)
+    56..63   newest interval index (i64, signed)
+    64..     idx column (8n), count column (8n), cpu (4n), line (4n)
+    v}
+
+    Rows are non-zero histogram entries in strictly ascending
+    (idx, line, cpu) order; every idx must lie in (newest − window,
+    newest]. File size is exactly [64 + 24n]. *)
+
+val serve_snapshot_magic : string
+val serve_snapshot_header_size : int
+
+type serve_snapshot = {
+  snap_window : int;  (** window length in intervals, >= 1 *)
+  snap_version : int;  (** last published layout version, >= 0 *)
+  snap_newest : int;
+      (** newest interval index accepted (meaningful when the binner is
+          non-empty) *)
+  snap_binner : Slo_concurrency.Sample.binner;
+      (** the live window's interval tables; its
+          {!Slo_concurrency.Sample.interval} is the snapshot's interval *)
+}
+
+val save_serve_snapshot :
+  path:string ->
+  window:int ->
+  version:int ->
+  newest:int ->
+  Slo_concurrency.Sample.binner ->
+  unit
+(** Write the binner's windowed state atomically. @raise Invalid_argument
+    if [window <= 0], [version < 0], or a live interval lies outside
+    (newest − window, newest]; @raise Bin_error if a count exceeds
+    {!max_count}. *)
+
+val load_serve_snapshot : path:string -> serve_snapshot
+(** Map the file, validate every row (bounds, window membership, strict
+    canonical sort, exact size) and rebuild the binner via
+    {!Slo_concurrency.Sample.feed_n}. @raise Bin_error on any
+    malformation. *)

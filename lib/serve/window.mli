@@ -1,0 +1,90 @@
+(** Sliding window of interval histograms with exponential decay — the
+    state the serve daemon keeps fresh under continuous ingestion.
+
+    The window covers the [window] most recent intervals
+    [(newest − window, newest]]. Feeding a sample whose interval index
+    advances [newest] retires every interval at or below the new
+    watermark by {e subtraction}: the retired interval's histogram is
+    rebuilt as a one-interval binner and {!Slo_concurrency.Sample.retract}ed
+    from the master, whose absorb/retract laws make the result exactly
+    the binner that never saw those samples — no re-binning of the
+    survivors. Samples arriving {e below} the watermark are dropped and
+    counted ({!late}).
+
+    {b Weighted CC.} {!weighted_cc} merges the per-interval CC maps with
+    fixed-point decay weights [round (1024 · decay^age) / 1024] (age in
+    intervals, newest = 0), using
+    {!Slo_concurrency.Code_concurrency.merge_scaled} — exact integer
+    arithmetic, so the result is independent of merge order. Per-interval
+    CC maps are memoized on the interval's sample total, so a re-search
+    after feeding recomputes only the intervals that actually changed.
+
+    Not thread-safe: the serve daemon serializes access. *)
+
+type t
+
+val weight_den : int
+(** 1024 — the fixed-point denominator of the decay weights. *)
+
+val create : ?decay:float -> interval:int -> window:int -> unit -> t
+(** [decay] defaults to 1.0 (no decay: plain sliding window).
+    @raise Invalid_argument if [interval <= 0], [window <= 0], or [decay]
+    is outside (0, 1]. *)
+
+val interval : t -> int
+val window_length : t -> int
+val decay : t -> float
+
+val feed : t -> cpu:int -> itc:int -> line:int -> bool
+(** Ingest one sample. Returns [false] — and counts it {!late} — when the
+    sample's interval is at or below the retirement watermark; [true]
+    when accepted (possibly retiring older intervals first when it
+    advances the watermark). @raise Invalid_argument on out-of-range
+    identifiers (the {!Slo_concurrency.Sample.feed} discipline). *)
+
+val newest : t -> int option
+(** The newest interval index accepted, [None] before the first sample. *)
+
+val live_samples : t -> int
+(** Samples currently in the window (fed minus retired). *)
+
+val live_intervals : t -> int
+val retired : t -> int
+(** Intervals retired by subtraction so far. *)
+
+val late : t -> int
+(** Samples dropped below the watermark. *)
+
+val master : t -> Slo_concurrency.Sample.binner
+(** The live window's binner — read-only by convention (snapshots,
+    identity checks); mutating it bypasses the window accounting. *)
+
+val weight : t -> age:int -> int
+(** [round (weight_den · decay^age)]. @raise Invalid_argument if
+    [age < 0]. *)
+
+val weighted_cc : t -> Slo_concurrency.Code_concurrency.t
+(** The decay-weighted CC of the live window (empty map when empty). *)
+
+val drift :
+  Slo_concurrency.Code_concurrency.t ->
+  Slo_concurrency.Code_concurrency.t ->
+  float
+(** Shape drift in [0, 1]: half the L1 distance between the maps
+    normalized to unit mass. 0 when the sharing pattern is identical —
+    including at a different sample volume, so pure growth never reads
+    as drift — and 1 when the patterns are disjoint (or exactly one map
+    is empty). The serve daemon re-searches when this exceeds its
+    threshold. *)
+
+val restore :
+  ?decay:float ->
+  window:int ->
+  newest:int ->
+  Slo_concurrency.Sample.binner ->
+  t
+(** Rebuild a window around a binner loaded from a snapshot
+    ({!Slo_persist.Persist.load_serve_snapshot}); the binner is owned by
+    the window afterwards. [retired]/[late] restart at 0.
+    @raise Invalid_argument if [window <= 0], [decay] is outside (0, 1],
+    or a live interval lies outside (newest − window, newest]. *)

@@ -1,113 +1,5 @@
-(* Linear probing over two int arrays; -1 marks an empty slot. Deletion is
-   backward-shift (Knuth 6.4 algorithm R): later entries of the probe
-   cluster slide back into the gap, so the table never accumulates
-   tombstones and probe lengths track the live load factor only. *)
-
-type t = {
-  mutable keys : int array;
-  mutable vals : int array;
-  mutable mask : int;  (* capacity - 1; capacity is a power of two *)
-  mutable live : int;
-  mutable probes : int;
-}
-
-let min_capacity = 8
-
-let rec pow2 n c = if c >= n then c else pow2 n (c * 2)
-
-let create ?(capacity = 16) () =
-  let cap = pow2 (max capacity min_capacity) min_capacity in
-  { keys = Array.make cap (-1); vals = Array.make cap 0; mask = cap - 1;
-    live = 0; probes = 0 }
-
-let length t = t.live
-let probe_steps t = t.probes
-
-(* Fibonacci hashing: one multiply by 2^63/phi (odd, truncated to OCaml's
-   63-bit int range) spreads consecutive keys — line indices, packed
-   (line, cpu) pairs — across the table. [land mask] keeps it in range;
-   the multiply result is already wrapped to the native int. *)
-let home t k = (k * 0x2545F4914F6CDD1D) land t.mask
-
-(* Slot holding [k], or the empty slot where its probe ended. *)
-let slot_of t k =
-  let i = ref (home t k) in
-  while t.keys.(!i) <> -1 && t.keys.(!i) <> k do
-    t.probes <- t.probes + 1;
-    i := (!i + 1) land t.mask
-  done;
-  !i
-
-let mem t k = k >= 0 && t.keys.(slot_of t k) = k
-
-let find t k ~default =
-  if k < 0 then default
-  else
-    let i = slot_of t k in
-    if t.keys.(i) = k then t.vals.(i) else default
-
-let grow t =
-  let keys = t.keys and vals = t.vals in
-  let cap = (t.mask + 1) * 2 in
-  t.keys <- Array.make cap (-1);
-  t.vals <- Array.make cap 0;
-  t.mask <- cap - 1;
-  Array.iteri
-    (fun i k ->
-      if k <> -1 then begin
-        let j = slot_of t k in
-        t.keys.(j) <- k;
-        t.vals.(j) <- vals.(i)
-      end)
-    keys
-
-let set t k v =
-  if k < 0 then invalid_arg "Flat_tab.set: negative key";
-  let i = slot_of t k in
-  if t.keys.(i) = k then t.vals.(i) <- v
-  else begin
-    t.keys.(i) <- k;
-    t.vals.(i) <- v;
-    t.live <- t.live + 1;
-    (* keep load below 3/4 so probe clusters stay short *)
-    if t.live * 4 > (t.mask + 1) * 3 then grow t
-  end
-
-let remove t k =
-  if k >= 0 then begin
-    let i = slot_of t k in
-    if t.keys.(i) = k then begin
-      t.live <- t.live - 1;
-      (* Backward shift: walk the cluster after [i]; any entry whose home
-         slot lies cyclically at or before the gap moves into it. *)
-      let gap = ref i in
-      let j = ref ((i + 1) land t.mask) in
-      while t.keys.(!j) <> -1 do
-        let h = home t t.keys.(!j) in
-        (* distance from h to j, vs distance from gap to j: if the home is
-           not strictly inside the (gap, j] arc, the entry may move back *)
-        if (!j - h) land t.mask >= (!j - !gap) land t.mask then begin
-          t.keys.(!gap) <- t.keys.(!j);
-          t.vals.(!gap) <- t.vals.(!j);
-          gap := !j
-        end;
-        j := (!j + 1) land t.mask
-      done;
-      t.keys.(!gap) <- -1
-    end
-  end
-
-let iter t f =
-  let keys = t.keys in
-  for i = 0 to Array.length keys - 1 do
-    if keys.(i) <> -1 then f keys.(i) t.vals.(i)
-  done
-
-let fold t ~init ~f =
-  let acc = ref init in
-  iter t (fun k v -> acc := f !acc k v);
-  !acc
-
-let clear t =
-  Array.fill t.keys 0 (Array.length t.keys) (-1);
-  t.live <- 0
+(* The flat table moved to [Slo_util.Flat_tab] so the streaming sample
+   binner (lib/concurrency) can share it without depending on the
+   simulator. Re-exported here so kernel code and the historical
+   [Slo_sim.Flat_tab] path keep working unchanged. *)
+include Slo_util.Flat_tab

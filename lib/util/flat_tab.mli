@@ -1,4 +1,6 @@
-(** Flat open-addressing int -> int hash table for the simulator hot path.
+(** Flat open-addressing int -> int hash table for hot paths — the
+    simulator memory kernel and the streaming sample binner both sit on
+    it (it is re-exported as [Slo_sim.Flat_tab] for the former).
 
     The boxed [Hashtbl] the memory system used to sit on allocates an
     [option] per [find_opt], a bucket cons per insert and (for the
@@ -30,6 +32,14 @@ val find : t -> int -> default:int -> int
 
 val set : t -> int -> int -> unit
 (** Insert or replace. @raise Invalid_argument on a negative key. *)
+
+val add : t -> int -> int -> int
+(** [add t k delta] adds [delta] to the binding of [k] (creating it at
+    [delta] when absent) in a single probe and returns the new value. A
+    binding whose new value is 0 is removed, so a table fed by matched
+    [+d]/[-d] streams never accumulates dead entries — the upsert the
+    streaming binner's absorb/retract pair rests on.
+    @raise Invalid_argument on a negative key. *)
 
 val remove : t -> int -> unit
 (** Delete a binding (no-op when absent). Backward-shift deletion: no

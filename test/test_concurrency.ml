@@ -578,6 +578,65 @@ let store_suite =
     QCheck_alcotest.to_alcotest prop_store_cc_matches_list;
   ]
 
+(* Differential for the flat open-addressing ingestion path: the binner's
+   Flat_tab histograms must agree with the boxed (idx, cpu, line) ->
+   int ref Hashtbl feeder they replaced — inlined here as the reference
+   semantics, including retraction. *)
+let prop_binner_matches_hashtbl_reference =
+  QCheck2.Test.make
+    ~name:"flat binner = (int, int ref) Hashtbl reference (feed + retract)"
+    ~count:300
+    QCheck2.Gen.(
+      triple (int_range 1 50)
+        (list_size (int_bound 80)
+           (triple (int_bound 7) (int_range (-500) 500) (int_range 1 9)))
+        (list_size (int_bound 40)
+           (triple (int_bound 7) (int_range (-500) 500) (int_range 1 9))))
+    (fun (interval, xs, ys) ->
+      (* ys ⊆ xs ∪ ys is fed to both, then retracted from both *)
+      let reference : (int * int * int, int ref) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let ref_feed ~n (cpu, itc, line) =
+        let key = (Sample.floor_div itc interval, cpu, line) in
+        match Hashtbl.find_opt reference key with
+        | Some r ->
+          r := !r + n;
+          if !r = 0 then Hashtbl.remove reference key
+        | None -> if n <> 0 then Hashtbl.add reference key (ref n)
+      in
+      let b = Sample.binner ~interval in
+      List.iter
+        (fun (cpu, itc, line) ->
+          Sample.feed b (s cpu itc line);
+          ref_feed ~n:1 (cpu, itc, line))
+        (xs @ ys);
+      let minus = Sample.binner ~interval in
+      List.iter
+        (fun (cpu, itc, line) ->
+          Sample.feed minus (s cpu itc line);
+          ref_feed ~n:(-1) (cpu, itc, line))
+        ys;
+      Sample.retract b minus;
+      let of_binner =
+        List.concat_map
+          (fun (idx, tbl) ->
+            List.concat_map
+              (fun (line, fs) ->
+                List.map (fun (cpu, count) -> (idx, cpu, line, count)) fs)
+              (Sample.line_freqs tbl))
+          (Sample.binned_idx b)
+        |> List.sort compare
+      in
+      let of_reference =
+        Hashtbl.fold
+          (fun (idx, cpu, line) r acc -> (idx, cpu, line, !r) :: acc)
+          reference []
+        |> List.sort compare
+      in
+      of_binner = of_reference
+      && Sample.fed b = List.length xs)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [ prop_cc_symmetric_nonneg; prop_cc_monotone; prop_bin_shift_invariant ]
@@ -605,6 +664,7 @@ let suites =
         Alcotest.test_case "fold_binned = bin" `Quick
           test_fold_binned_matches_bin;
         QCheck_alcotest.to_alcotest prop_grouped_index_matches_scan;
+        QCheck_alcotest.to_alcotest prop_binner_matches_hashtbl_reference;
       ] );
     ( "concurrency.cc",
       [

@@ -150,6 +150,30 @@ let test_pool_basics () =
     (Invalid_argument "Pool.mapi: pool is shut down") (fun () ->
       ignore (Pool.map p succ [ 1 ]))
 
+(* Regression for the reuse guarantee long-lived pool owners (the serve
+   daemon's simulated clients) rely on: a failing batch must leave the
+   pool fully usable — no wedged workers, no leaked queue entries. *)
+let test_pool_survives_failing_batch () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          let boom x = if x mod 3 = 0 then raise (Task_failed x) else x in
+          (match Pool.map p boom [ 1; 2; 3; 4; 5 ] with
+          | _ -> Alcotest.fail "expected Task_failed"
+          | exception Task_failed i ->
+            Alcotest.(check int) "lowest failing index" 3 i);
+          Alcotest.(check (list int))
+            "pool still maps after a failing batch" [ 2; 4; 6 ]
+            (Pool.map p (fun x -> 2 * x) [ 1; 2; 3 ]);
+          (* and again: fail, then succeed, on the same pool *)
+          (match Pool.map p boom [ 9 ] with
+          | _ -> Alcotest.fail "expected Task_failed"
+          | exception Task_failed _ -> ());
+          Alcotest.(check (list int))
+            "still healthy after a second failure" [ 10; 20 ]
+            (Pool.map p (fun x -> 10 * x) [ 1; 2 ])))
+    (pool_sizes ())
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end: Pipeline.analyze through the pool on generated programs *)
 
@@ -511,7 +535,10 @@ let oracle_props =
 let suites =
   [
     ( "exec.pool",
-      Alcotest.test_case "basics" `Quick test_pool_basics :: props );
+      Alcotest.test_case "basics" `Quick test_pool_basics
+      :: Alcotest.test_case "reusable after a failing batch" `Quick
+           test_pool_survives_failing_batch
+      :: props );
     ( "exec.determinism",
       [
         Alcotest.test_case "concurrent machine runs identical" `Quick

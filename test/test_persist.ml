@@ -458,6 +458,152 @@ let prop_bin_cc_matches_list =
           CC.pairs (CC.compute_store ~interval st)
           = CC.pairs (CC.compute ~interval samples)))
 
+(* ------------------------------------------------------------------ *)
+(* Crash-safe saves: write-to-tempfile-then-rename *)
+
+(* Persist's temp files are ".<base>.tmp.<pid>.<n>" next to the
+   destination: after any save — crashed or clean — none may remain for
+   this destination. *)
+let no_stray_temps path =
+  let marker = "." ^ Filename.basename path ^ ".tmp." in
+  let has_prefix f =
+    String.length f >= String.length marker
+    && String.sub f 0 (String.length marker) = marker
+  in
+  Array.for_all
+    (fun f -> not (has_prefix f))
+    (Sys.readdir (Filename.dirname path))
+
+let test_atomic_write_survives_crash () =
+  with_tmp ".txt" (fun path ->
+      write_raw path "precious";
+      (* the body writes some bytes, flushes, then dies mid-save: the
+         destination must keep its old contents and the temp file must
+         be cleaned up. Pre-fix, save wrote the destination in place and
+         this test observed the truncated partial write. *)
+      (match
+         Persist.atomic_write ~path (fun oc ->
+             output_string oc "parti";
+             flush oc;
+             failwith "power cut")
+       with
+      | () -> Alcotest.fail "atomic_write should re-raise"
+      | exception Failure _ -> ());
+      Alcotest.(check string)
+        "old contents survive a crashed save" "precious" (read_raw path);
+      Alcotest.(check bool)
+        "no temp file left behind" true (no_stray_temps path);
+      (* a successful save still lands *)
+      Persist.atomic_write ~path (fun oc -> output_string oc "fresh");
+      Alcotest.(check string) "clean save replaces" "fresh" (read_raw path))
+
+let test_atomic_write_fd_survives_crash () =
+  with_tmp ".bin" (fun path ->
+      write_raw path "precious";
+      (match
+         Persist.atomic_write_fd ~path (fun fd ->
+             ignore (Unix.write_substring fd "xx" 0 2);
+             failwith "power cut")
+       with
+      | () -> Alcotest.fail "atomic_write_fd should re-raise"
+      | exception Failure _ -> ());
+      Alcotest.(check string)
+        "old contents survive a crashed fd save" "precious" (read_raw path);
+      Alcotest.(check bool)
+        "no temp file left behind" true (no_stray_temps path))
+
+let test_failed_save_leaves_old_file () =
+  (* A real saver through the same guarantee: a serve-snapshot save that
+     dies on an over-large count leaves the previous file intact. *)
+  with_tmp ".bin" (fun path ->
+      let st = Store.of_samples [ { Sample.cpu = 1; itc = 2; line = 3 } ] in
+      Persist.save_samples_bin ~path st;
+      let before = read_raw path in
+      let b = Sample.binner ~interval:10 in
+      Sample.feed_n b ~cpu:0 ~itc:0 ~line:1 ~count:Persist.max_count;
+      Sample.feed_n b ~cpu:0 ~itc:0 ~line:1 ~count:1;
+      (match
+         Persist.save_serve_snapshot ~path ~window:4 ~version:1 ~newest:0 b
+       with
+      | () -> Alcotest.fail "count over 2^53 must be rejected"
+      | exception Persist.Bin_error _ -> ());
+      Alcotest.(check string)
+        "failed snapshot save leaves the old file" before (read_raw path);
+      Alcotest.(check bool)
+        "no temp file left behind" true (no_stray_temps path))
+
+(* ------------------------------------------------------------------ *)
+(* Serve snapshots: "slo-serve-snapshot 1" *)
+
+let snap_binner () =
+  let b = Sample.binner ~interval:10 in
+  List.iter
+    (fun (cpu, itc, line) -> Sample.feed b { Sample.cpu; itc; line })
+    [ (0, 50, 1); (1, 52, 2); (0, 55, 1); (2, 63, 4); (1, 68, 2) ];
+  b
+
+let canon_binner b =
+  List.map
+    (fun (idx, tbl) ->
+      (idx, Sample.total_samples tbl, Sample.line_freqs tbl))
+    (Sample.binned_idx b)
+
+let test_serve_snapshot_roundtrip () =
+  with_tmp ".snap" (fun p1 ->
+      with_tmp ".snap" (fun p2 ->
+          let b = snap_binner () in
+          Persist.save_serve_snapshot ~path:p1 ~window:4 ~version:3 ~newest:6
+            b;
+          let snap = Persist.load_serve_snapshot ~path:p1 in
+          check_int "window" 4 snap.Persist.snap_window;
+          check_int "version" 3 snap.Persist.snap_version;
+          check_int "newest" 6 snap.Persist.snap_newest;
+          Alcotest.(check bool)
+            "binner state reproduced" true
+            (canon_binner snap.Persist.snap_binner = canon_binner b);
+          (* canonical row order: save(load(x)) is byte-identical *)
+          Persist.save_serve_snapshot ~path:p2 ~window:4 ~version:3 ~newest:6
+            snap.Persist.snap_binner;
+          Alcotest.(check bool)
+            "snapshot bytes reproduced" true (read_raw p1 = read_raw p2)))
+
+let expect_snap_error what bytes =
+  with_tmp ".snap" (fun path ->
+      write_raw path bytes;
+      match Persist.load_serve_snapshot ~path with
+      | exception Persist.Bin_error _ -> ()
+      | _ -> Alcotest.fail ("loaded " ^ what))
+
+let test_serve_snapshot_corruption_rejected () =
+  let valid =
+    with_tmp ".snap" (fun path ->
+        Persist.save_serve_snapshot ~path ~window:4 ~version:3 ~newest:6
+          (snap_binner ());
+        read_raw path)
+  in
+  (* 5 live (cpu, line) rows across 2 intervals -> 64 + 24 * 4 bytes:
+     (0,1) idx 5 count 2; (1,2) idx 5; (2,4) idx 6; (1,2) idx 6 *)
+  check_int "fixture size" (Persist.serve_snapshot_header_size + (24 * 4))
+    (String.length valid);
+  let set i c =
+    let b = Bytes.of_string valid in
+    Bytes.set b i c;
+    Bytes.to_string b
+  in
+  expect_snap_error "empty file" "";
+  expect_snap_error "short header" (String.sub valid 0 32);
+  expect_snap_error "bad magic" (set 0 'X');
+  expect_snap_error "foreign endianness"
+    (set 21 (if Sys.big_endian then '\001' else '\002'));
+  expect_snap_error "truncated rows"
+    (String.sub valid 0 (String.length valid - 1));
+  expect_snap_error "trailing bytes" (valid ^ "x");
+  expect_snap_error "row count beyond payload" (set 24 '\255');
+  expect_snap_error "zero interval" (set 32 '\000');
+  expect_snap_error "zero window" (set 40 '\000');
+  (* first row's idx lives at offset 64: push it outside the window *)
+  expect_snap_error "row outside the window" (set 64 '\001')
+
 let suites =
   [
     ( "persist",
@@ -500,5 +646,21 @@ let suites =
         QCheck_alcotest.to_alcotest prop_bin_roundtrip;
         QCheck_alcotest.to_alcotest prop_text_bin_text_identical;
         QCheck_alcotest.to_alcotest prop_bin_cc_matches_list;
+      ] );
+    ( "persist.atomic",
+      [
+        Alcotest.test_case "crashed text save keeps old file" `Quick
+          test_atomic_write_survives_crash;
+        Alcotest.test_case "crashed fd save keeps old file" `Quick
+          test_atomic_write_fd_survives_crash;
+        Alcotest.test_case "failed snapshot save keeps old file" `Quick
+          test_failed_save_leaves_old_file;
+      ] );
+    ( "persist.serve-snapshot",
+      [
+        Alcotest.test_case "round trip is byte-identical" `Quick
+          test_serve_snapshot_roundtrip;
+        Alcotest.test_case "corrupted images rejected" `Quick
+          test_serve_snapshot_corruption_rejected;
       ] );
   ]

@@ -1,0 +1,442 @@
+(* Tests for the always-on layout service: the sliding-window laws the
+   serve daemon rests on (absorb/retract identity, chunking invariance,
+   order-independent decay weighting), plus the Serve state machine
+   itself (admission control, drift-triggered publication, the daemon
+   domain, and snapshot/restore identity). *)
+
+module Sample = Slo_concurrency.Sample
+module Cc = Slo_concurrency.Code_concurrency
+module Window = Slo_serve.Window
+module Serve = Slo_serve.Serve
+module Persist = Slo_persist.Persist
+module Pipeline = Slo_core.Pipeline
+module Optimizer = Slo_search.Optimizer
+module Counts = Slo_profile.Counts
+module Interp = Slo_profile.Interp
+module Parser = Slo_ir.Parser
+module Typecheck = Slo_ir.Typecheck
+
+let check_int = Alcotest.(check int)
+
+let s cpu itc line = { Sample.cpu; itc; line }
+let to_samples = List.map (fun (c, t, l) -> s c t l)
+
+(* Canonical binner state: (idx, total, sorted histogram) per live
+   interval, insensitive to Flat_tab capacity/insertion history
+   (line_freqs sorts). Equal canon = equal observable state. *)
+let canon b =
+  List.map
+    (fun (idx, tbl) ->
+      (idx, Sample.total_samples tbl, Sample.line_freqs tbl))
+    (Sample.binned_idx b)
+
+let feed_all b = List.iter (fun x -> Sample.feed b x)
+
+(* cpu in 0..3, itc spans negatives (floor_div semantics), line 1..6 *)
+let gen_stream =
+  QCheck2.Gen.(
+    list_size (int_bound 80)
+      (triple (int_bound 3) (int_range (-300) 300) (int_range 1 6)))
+
+let gen_interval = QCheck2.Gen.int_range 1 30
+
+(* ------------------------------------------------------------------ *)
+(* Window laws (QCheck2) *)
+
+let prop_absorb_retract_identity =
+  QCheck2.Test.make ~name:"absorb then retract is the identity" ~count:300
+    QCheck2.Gen.(triple gen_interval gen_stream gen_stream)
+    (fun (interval, xs, ys) ->
+      let a = Sample.binner ~interval and b = Sample.binner ~interval in
+      feed_all a (to_samples xs);
+      feed_all b (to_samples ys);
+      let before = canon a and fed_before = Sample.fed a in
+      let b_before = canon b in
+      Sample.absorb a b;
+      Sample.retract a b;
+      canon a = before
+      && Sample.fed a = fed_before
+      && canon b = b_before)
+
+let prop_retract_all_empties =
+  QCheck2.Test.make ~name:"retracting everything empties the binner"
+    ~count:300
+    QCheck2.Gen.(pair gen_interval gen_stream)
+    (fun (interval, xs) ->
+      let a = Sample.binner ~interval and b = Sample.binner ~interval in
+      feed_all a (to_samples xs);
+      feed_all b (to_samples xs);
+      Sample.retract a b;
+      canon a = [] && Sample.fed a = 0)
+
+let prop_retract_failure_leaves_dst_unchanged =
+  QCheck2.Test.make
+    ~name:"over-retract raises and leaves the target untouched" ~count:300
+    QCheck2.Gen.(
+      quad gen_interval gen_stream (int_bound 3) (int_range 1 6))
+    (fun (interval, xs, cpu, line) ->
+      let a = Sample.binner ~interval and b = Sample.binner ~interval in
+      feed_all a (to_samples xs);
+      feed_all b (to_samples xs);
+      (* one extra sample makes some src count exceed dst's *)
+      Sample.feed b (s cpu 0 line);
+      let before = canon a and fed_before = Sample.fed a in
+      (match Sample.retract a b with
+      | () -> QCheck2.Test.fail_report "retract should have raised"
+      | exception Invalid_argument _ -> ());
+      canon a = before && Sample.fed a = fed_before)
+
+(* The window's live state after a (time-ordered) stream equals the
+   direct binning of just the samples in the final window — however the
+   stream was chunked on the way in. *)
+let prop_window_eq_direct_binning =
+  QCheck2.Test.make
+    ~name:"sliding window = direct binning of the window's samples"
+    ~count:300
+    QCheck2.Gen.(
+      quad gen_interval (int_range 1 5) gen_stream
+        (list_size (int_bound 12) (int_range 1 7)))
+    (fun (interval, window, xs, chunk_sizes) ->
+      let samples =
+        List.stable_sort
+          (fun (a : Sample.t) b -> compare a.Sample.itc b.Sample.itc)
+          (to_samples xs)
+      in
+      (* one-at-a-time window *)
+      let w1 = Window.create ~interval ~window () in
+      List.iter
+        (fun (x : Sample.t) ->
+          ignore
+            (Window.feed w1 ~cpu:x.Sample.cpu ~itc:x.Sample.itc
+               ~line:x.Sample.line))
+        samples;
+      (* same stream cut into arbitrary chunks *)
+      let w2 = Window.create ~interval ~window () in
+      let rec chunks rest sizes =
+        match rest with
+        | [] -> ()
+        | _ ->
+          let n = match sizes with [] -> 3 | n :: _ -> n in
+          let rec take k = function
+            | x :: tl when k > 0 ->
+              let a, b = take (k - 1) tl in
+              (x :: a, b)
+            | rest -> ([], rest)
+          in
+          let batch, rest = take n rest in
+          List.iter
+            (fun (x : Sample.t) ->
+              ignore
+                (Window.feed w2 ~cpu:x.Sample.cpu ~itc:x.Sample.itc
+                   ~line:x.Sample.line))
+            batch;
+          chunks rest (match sizes with [] -> [] | _ :: tl -> tl)
+      in
+      chunks samples chunk_sizes;
+      (* direct binning of only the samples in the final window *)
+      let direct = Sample.binner ~interval in
+      (match Window.newest w1 with
+      | None -> ()
+      | Some max_idx ->
+        List.iter
+          (fun (x : Sample.t) ->
+            if Sample.floor_div x.Sample.itc interval > max_idx - window
+            then Sample.feed direct x)
+          samples);
+      canon (Window.master w1) = canon direct
+      && canon (Window.master w2) = canon direct
+      && Window.retired w1 = Window.retired w2
+      && Window.late w1 = 0
+      && Window.late w2 = 0)
+
+let cc_canon cc = List.sort compare (Cc.pairs cc)
+
+(* weighted_cc merges intervals in ascending-idx order; folding them in
+   descending order must give the same map (exact fixed-point weights). *)
+let prop_decay_weights_order_independent =
+  QCheck2.Test.make ~name:"decay-weighted CC is merge-order independent"
+    ~count:200
+    QCheck2.Gen.(
+      quad gen_interval (int_range 1 5) (int_range 0 3) gen_stream)
+    (fun (interval, window, decay_i, xs) ->
+      let decay = List.nth [ 1.0; 0.9; 0.75; 0.5 ] decay_i in
+      let w = Window.create ~decay ~interval ~window () in
+      List.iter
+        (fun (x : Sample.t) ->
+          ignore
+            (Window.feed w ~cpu:x.Sample.cpu ~itc:x.Sample.itc
+               ~line:x.Sample.line))
+        (List.stable_sort
+           (fun (a : Sample.t) b -> compare a.Sample.itc b.Sample.itc)
+           (to_samples xs));
+      let newest = match Window.newest w with Some n -> n | None -> 0 in
+      let manual = Cc.create () in
+      List.iter
+        (fun (idx, tbl) ->
+          let num = Window.weight w ~age:(newest - idx) in
+          if num > 0 then
+            Cc.merge_scaled manual (Cc.of_interval tbl) ~num
+              ~den:Window.weight_den)
+        (List.rev (Sample.binned_idx (Window.master w)));
+      cc_canon (Window.weighted_cc w) = cc_canon manual)
+
+(* ------------------------------------------------------------------ *)
+(* Window unit tests *)
+
+let test_window_retirement () =
+  let w = Window.create ~interval:10 ~window:2 () in
+  ignore (Window.feed w ~cpu:0 ~itc:5 ~line:1);
+  ignore (Window.feed w ~cpu:1 ~itc:15 ~line:2);
+  check_int "two live intervals" 2 (Window.live_intervals w);
+  ignore (Window.feed w ~cpu:0 ~itc:25 ~line:3);
+  (* idx 2 arrived: idx 0 is at the watermark and retires *)
+  check_int "idx 0 retired" 1 (Window.retired w);
+  check_int "still two live" 2 (Window.live_intervals w);
+  check_int "live samples" 2 (Window.live_samples w);
+  (* a sample below the watermark is late: dropped, master untouched *)
+  Alcotest.(check bool)
+    "late sample rejected" false
+    (Window.feed w ~cpu:0 ~itc:3 ~line:1);
+  check_int "late counted" 1 (Window.late w);
+  check_int "master unchanged by late" 2 (Window.live_samples w)
+
+let test_window_weights () =
+  let w = Window.create ~decay:0.5 ~interval:10 ~window:4 () in
+  check_int "age 0 is full weight" Window.weight_den (Window.weight w ~age:0);
+  check_int "age 1 halves" (Window.weight_den / 2) (Window.weight w ~age:1);
+  check_int "age 2 quarters" (Window.weight_den / 4) (Window.weight w ~age:2);
+  let flat = Window.create ~interval:10 ~window:4 () in
+  check_int "no decay: age 7 still full" Window.weight_den
+    (Window.weight flat ~age:7);
+  Alcotest.check_raises "negative age" (Invalid_argument "Window.weight: age < 0")
+    (fun () -> ignore (Window.weight w ~age:(-1)))
+
+let test_drift_shape () =
+  let mk pairs =
+    let cc = Cc.create () in
+    List.iter (fun ((a, b), v) -> Cc.For_tests.add cc a b v) pairs;
+    cc
+  in
+  let close = Alcotest.(check (float 1e-9)) in
+  close "both empty" 0.0 (Window.drift (mk []) (mk []));
+  close "one empty" 1.0 (Window.drift (mk []) (mk [ ((1, 2), 5) ]));
+  close "identical" 0.0
+    (Window.drift (mk [ ((1, 2), 5) ]) (mk [ ((1, 2), 5) ]));
+  (* scale-invariance: doubled counts, same shape *)
+  close "pure growth is not drift" 0.0
+    (Window.drift
+       (mk [ ((1, 2), 5); ((3, 4), 7) ])
+       (mk [ ((1, 2), 10); ((3, 4), 14) ]));
+  close "disjoint" 1.0
+    (Window.drift (mk [ ((1, 2), 5) ]) (mk [ ((3, 4), 5) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Serve: admission, drift trigger, daemon, snapshot/restore *)
+
+(* The same inline mini-C fixture test_core uses: enough program to give
+   the pipeline real affinity counts to search over. *)
+let fixture =
+  lazy
+    (let src =
+       {|
+struct S { long a; long b; long c; long d; };
+void f(struct S *s, int n) {
+  for (i = 0; i < n; i++) {
+    x = s->a + s->c;
+    pause(5);
+  }
+}
+|}
+     in
+     let p = Typecheck.check (Parser.parse_program ~file:"serve-test" src) in
+     let counts = Counts.create () in
+     let ctx = Interp.make_ctx p in
+     let prng = Slo_util.Prng.create ~seed:1 in
+     let inst = Interp.make_instance p ~struct_name:"S" in
+     Interp.run ctx ~counts ~prng ~proc:"f"
+       [ Interp.Ainst inst; Interp.Aint 10 ];
+     (p, counts))
+
+let mk_cfg ?(window = 4) ?(min_samples = 1) ?(queue_capacity = 4)
+    ?(drift_threshold = 0.05) () =
+  let program, counts = Lazy.force fixture in
+  {
+    Serve.interval = 10;
+    window;
+    decay = 1.0;
+    drift_threshold;
+    min_samples;
+    queue_capacity;
+    params = Pipeline.default_params;
+    program;
+    counts;
+    struct_name = "S";
+    selector = Optimizer.Portfolio;
+    seed = 7;
+    restarts = 2;
+  }
+
+(* cross-CPU samples over two lines in one interval: nonzero CC *)
+let batch ~idx ~lines =
+  let l1, l2 = lines in
+  Array.of_list
+    [
+      s 0 (idx * 10) l1; s 1 (idx * 10 + 1) l2; s 0 ((idx * 10) + 2) l1;
+      s 1 ((idx * 10) + 3) l2; s 2 ((idx * 10) + 4) l1;
+    ]
+
+let test_admission_control () =
+  let t = Serve.create (mk_cfg ~queue_capacity:1 ~min_samples:1_000_000 ()) in
+  Alcotest.(check bool)
+    "first accepted" true
+    (Serve.submit t (batch ~idx:0 ~lines:(1, 2)) = `Accepted);
+  Alcotest.(check bool)
+    "queue full drops" true
+    (Serve.submit t (batch ~idx:1 ~lines:(1, 2)) = `Dropped);
+  check_int "one dropped" 1 (Serve.dropped_batches t);
+  check_int "depth one" 1 (Serve.queue_depth t);
+  Serve.drain t;
+  check_int "drained" 0 (Serve.queue_depth t);
+  Alcotest.(check bool)
+    "space again" true
+    (Serve.submit t (batch ~idx:1 ~lines:(1, 2)) = `Accepted);
+  Serve.drain t;
+  check_int "both batches fed" 10
+    (Window.live_samples (Serve.window t));
+  Alcotest.(check (option int))
+    "no publication below min_samples" None
+    (Option.map (fun (p : Serve.publication) -> p.Serve.version)
+       (Serve.current t))
+
+let test_drift_trigger () =
+  let t = Serve.create (mk_cfg ~window:8 ()) in
+  ignore (Serve.submit t (batch ~idx:0 ~lines:(1, 2)));
+  Serve.drain t;
+  check_int "first publication" 1 (Serve.version t);
+  (* same sharing shape one interval later: growth, not drift *)
+  ignore (Serve.submit t (batch ~idx:1 ~lines:(1, 2)));
+  Serve.drain t;
+  check_int "same shape does not republish" 1 (Serve.version t);
+  (* a different pair of lines moves the CC mass: drift fires *)
+  ignore (Serve.submit t (batch ~idx:2 ~lines:(3, 4)));
+  Serve.drain t;
+  check_int "drift republishes" 2 (Serve.version t);
+  let pubs = Serve.publications t in
+  check_int "two publications, oldest first" 2 (List.length pubs);
+  let p1 = List.hd pubs in
+  Alcotest.(check (float 1e-9))
+    "first publication sees full drift" 1.0 p1.Serve.pub_drift;
+  Alcotest.(check bool)
+    "drift of second exceeds threshold" true
+    ((List.nth pubs 1).Serve.pub_drift > 0.05)
+
+let test_daemon_run_stop () =
+  let t = Serve.create (mk_cfg ~min_samples:1_000_000 ~queue_capacity:2 ()) in
+  Serve.run t;
+  for i = 0 to 9 do
+    Alcotest.(check bool)
+      "submit_wait accepted" true
+      (Serve.submit_wait t (batch ~idx:i ~lines:(1, 2)))
+  done;
+  Serve.stop t;
+  (* stop drains the queue before joining: everything was processed *)
+  check_int "all batches processed" 0 (Serve.queue_depth t);
+  check_int "window holds the tail" (4 * 5)
+    (Window.live_samples (Serve.window t));
+  check_int "older intervals retired" 6 (Window.retired (Serve.window t));
+  Alcotest.(check bool)
+    "submissions after stop drop" true
+    (Serve.submit t (batch ~idx:10 ~lines:(1, 2)) = `Dropped);
+  Alcotest.(check bool)
+    "submit_wait after stop refuses" false
+    (Serve.submit_wait t (batch ~idx:10 ~lines:(1, 2)))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_tmp f =
+  let path = Filename.temp_file "slo-serve-test" ".snap" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_snapshot_restore_identity () =
+  let cfg = mk_cfg ~window:8 () in
+  let t = Serve.create cfg in
+  ignore (Serve.submit t (batch ~idx:0 ~lines:(1, 2)));
+  ignore (Serve.submit t (batch ~idx:1 ~lines:(3, 4)));
+  Serve.drain t;
+  with_tmp (fun p1 ->
+      with_tmp (fun p2 ->
+          Serve.snapshot t ~path:p1;
+          let t' = Serve.restore cfg ~path:p1 in
+          check_int "version survives" (Serve.version t) (Serve.version t');
+          Alcotest.(check bool)
+            "history restarts empty" true
+            (Serve.publications t' = []);
+          check_int "live samples equal"
+            (Window.live_samples (Serve.window t))
+            (Window.live_samples (Serve.window t'));
+          (* byte-identity: snapshotting the restored server reproduces
+             the file exactly (canonical row order) *)
+          Serve.snapshot t' ~path:p2;
+          Alcotest.(check bool)
+            "snapshot round trip is byte-identical" true
+            (read_file p1 = read_file p2);
+          (* and a forced re-search on both yields the same suggestion *)
+          let a = Serve.research t and b = Serve.research t' in
+          Alcotest.(check bool)
+            "same weighted CC" true
+            (a.Serve.cc_pairs = b.Serve.cc_pairs);
+          Alcotest.(check (float 1e-12))
+            "same score" a.Serve.best.Optimizer.score
+            b.Serve.best.Optimizer.score;
+          Alcotest.(check bool)
+            "same blocks" true
+            (a.Serve.best.Optimizer.blocks = b.Serve.best.Optimizer.blocks)))
+
+let test_restore_rejects_mismatch () =
+  let cfg = mk_cfg ~window:8 () in
+  let t = Serve.create cfg in
+  ignore (Serve.submit t (batch ~idx:0 ~lines:(1, 2)));
+  Serve.drain t;
+  with_tmp (fun p ->
+      Serve.snapshot t ~path:p;
+      (match Serve.restore (mk_cfg ~window:3 ()) ~path:p with
+      | _ -> Alcotest.fail "window mismatch should raise"
+      | exception Invalid_argument _ -> ());
+      match Serve.restore { cfg with Serve.interval = 20 } ~path:p with
+      | _ -> Alcotest.fail "interval mismatch should raise"
+      | exception Invalid_argument _ -> ())
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_absorb_retract_identity;
+      prop_retract_all_empties;
+      prop_retract_failure_leaves_dst_unchanged;
+      prop_window_eq_direct_binning;
+      prop_decay_weights_order_independent;
+    ]
+
+let suites =
+  [
+    ( "serve.window",
+      Alcotest.test_case "retirement and lateness" `Quick
+        test_window_retirement
+      :: Alcotest.test_case "fixed-point weights" `Quick test_window_weights
+      :: Alcotest.test_case "shape drift" `Quick test_drift_shape
+      :: props );
+    ( "serve.server",
+      [
+        Alcotest.test_case "admission control" `Quick test_admission_control;
+        Alcotest.test_case "drift-triggered publication" `Quick
+          test_drift_trigger;
+        Alcotest.test_case "daemon run/stop" `Quick test_daemon_run_stop;
+        Alcotest.test_case "snapshot/restore identity" `Quick
+          test_snapshot_restore_identity;
+        Alcotest.test_case "restore rejects mismatched config" `Quick
+          test_restore_rejects_mismatch;
+      ] );
+  ]

@@ -8,4 +8,4 @@ let () =
    @ Test_concurrency.suites
    @ Test_core.suites
    @ Test_globals.suites @ Test_persist.suites @ Test_workload.suites
-   @ Test_exec.suites @ Test_search.suites)
+   @ Test_exec.suites @ Test_search.suites @ Test_serve.suites)
