@@ -1217,6 +1217,151 @@ let run_layout_search () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Code-layout subsystem (lib/codelayout): the same search engine over a
+   second substrate — basic blocks with CFG-edge affinities, bins are
+   I-cache lines. Three gates in one section: (1) the portfolio's best
+   never scores below greedy or declaration order on the shared
+   objective, (2) the searched block order STRICTLY reduces simulated
+   I-cache misses on the built-in trap workload, and (3) the flat
+   kernel's instruction-fetch side stays byte-identical to the boxed
+   reference under both layouts. Exit non-zero on any failure — the
+   runtest-code wiring doubles as the subsystem's soundness check. *)
+
+let run_code_layout () =
+  section "code_layout: block-affinity search vs declaration order";
+  let module Codelayout = Slo_codelayout.Codelayout in
+  let module Ctrap = Slo_workload.Ctrap in
+  let module Machine = Slo_sim.Machine in
+  let module Coherence = Slo_sim.Coherence in
+  let module Sim_stats = Slo_sim.Sim_stats in
+  let module Sgraph = Slo_graph.Sgraph in
+  let capacity = Ctrap.icache.Coherence.i_line_size in
+  let prob =
+    Codelayout.of_program ~capacity (Ctrap.program ()) (Ctrap.profile ())
+  in
+  let blocks = Codelayout.blocks prob in
+  let graph = Codelayout.graph prob in
+  let active =
+    List.length
+      (List.filter
+         (fun b -> Sgraph.degree graph (Codelayout.Block.name b) > 0)
+         blocks)
+  in
+  let restarts = if !quick then 4 else 8 in
+  let seed = 0 in
+  Printf.printf
+    "%d blocks (%d active), %d affinity edges, %dB bins; portfolio = greedy \
+     + swap + %d annealing restarts (seed %d)\n"
+    (List.length blocks) active (Sgraph.num_edges graph) capacity restarts
+    seed;
+  let pf =
+    Codelayout.search ?pool:(pool ()) ~seed ~restarts prob
+      Slo_search.Engine.Portfolio
+  in
+  Printf.printf "%-12s %12s %8s\n" "candidate" "score" "moves";
+  List.iter
+    (fun (r : Codelayout.result) ->
+      Printf.printf "%-12s %12.2f %8d\n%!" r.Codelayout.label
+        r.Codelayout.score r.Codelayout.moves)
+    pf.Codelayout.scoreboard;
+  let decl_score = Codelayout.score prob (Codelayout.decl_bins prob) in
+  let g = pf.Codelayout.greedy.Codelayout.score in
+  let b = pf.Codelayout.best.Codelayout.score in
+  Printf.printf "best: %s (%.2f vs greedy %.2f, declaration %.2f)\n%!"
+    pf.Codelayout.best.Codelayout.label b g decl_score;
+  if b < g || b < decl_score then begin
+    Printf.eprintf
+      "code_layout: best (%g) scores below a baseline (greedy %g, \
+       declaration %g)\n"
+      b g decl_score;
+    exit 1
+  end;
+  (* Simulator confirmation, each layout run on both backends: the flat
+     kernel's fetch path is on the line here, not just the objective. *)
+  let cpus = 4 in
+  let run backend code_layout = Ctrap.run_sim ~backend ~cpus ?code_layout () in
+  let best_order = pf.Codelayout.best.Codelayout.order in
+  let base_flat = run Coherence.Flat None in
+  let base_ref = run Coherence.Reference None in
+  let opt_flat = run Coherence.Flat (Some best_order) in
+  let opt_ref = run Coherence.Reference (Some best_order) in
+  let backend_identical = base_flat = base_ref && opt_flat = opt_ref in
+  if not backend_identical then begin
+    Printf.eprintf
+      "code_layout: flat kernel diverges from reference on the fetch path\n";
+    exit 1
+  end;
+  Printf.printf "sim (%d cpus, %d-line x %dB I-cache), flat = reference: %s\n"
+    cpus Ctrap.icache.Coherence.i_lines Ctrap.icache.Coherence.i_line_size
+    (if backend_identical then "yes" else "NO");
+  let row label (r : Machine.result) =
+    Printf.printf
+      "  %-12s imisses %8d / %8d fetches (%5.1f%%), istall %9d, makespan %9d\n%!"
+      label r.Machine.stats.Sim_stats.imisses
+      r.Machine.stats.Sim_stats.ifetches
+      (100.0 *. Sim_stats.imiss_rate r.Machine.stats)
+      r.Machine.stats.Sim_stats.istall_cycles r.Machine.makespan
+  in
+  row "declaration" base_flat;
+  row pf.Codelayout.best.Codelayout.label opt_flat;
+  let confirmed =
+    opt_flat.Machine.stats.Sim_stats.imisses
+    < base_flat.Machine.stats.Sim_stats.imisses
+  in
+  if not confirmed then begin
+    Printf.eprintf
+      "code_layout: searched layout did not strictly reduce simulated \
+       I-cache misses (declaration %d, searched %d)\n"
+      base_flat.Machine.stats.Sim_stats.imisses
+      opt_flat.Machine.stats.Sim_stats.imisses;
+    exit 1
+  end;
+  Printf.printf "simulator confirmation: yes\n%!";
+  let sim_row (r : Machine.result) =
+    Json.Obj
+      [
+        ("imisses", Json.Int r.Machine.stats.Sim_stats.imisses);
+        ("ifetches", Json.Int r.Machine.stats.Sim_stats.ifetches);
+        ("imiss_rate", Json.Float (Sim_stats.imiss_rate r.Machine.stats));
+        ("istall_cycles", Json.Int r.Machine.stats.Sim_stats.istall_cycles);
+        ("makespan", Json.Int r.Machine.makespan);
+      ]
+  in
+  Json.Obj
+    [
+      ("capacity", Json.Int capacity);
+      ("blocks", Json.Int (List.length blocks));
+      ("active", Json.Int active);
+      ("edges", Json.Int (Sgraph.num_edges graph));
+      ("restarts", Json.Int restarts);
+      ("seed", Json.Int seed);
+      ("decl_score", Json.Float decl_score);
+      ("greedy_score", Json.Float g);
+      ("best_score", Json.Float b);
+      ("winner", Json.Str pf.Codelayout.best.Codelayout.label);
+      ( "scoreboard",
+        Json.List
+          (List.map
+             (fun (r : Codelayout.result) ->
+               Json.Obj
+                 [
+                   ("candidate", Json.Str r.Codelayout.label);
+                   ("score", Json.Float r.Codelayout.score);
+                   ("moves", Json.Int r.Codelayout.moves);
+                 ])
+             pf.Codelayout.scoreboard) );
+      ( "sim",
+        Json.Obj
+          [
+            ("cpus", Json.Int cpus);
+            ("declaration", sim_row base_flat);
+            ("best", sim_row opt_flat);
+          ] );
+      ("backend_identical", Json.Bool backend_identical);
+      ("sim_confirmed", Json.Bool confirmed);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Flat memory-system kernel vs the boxed reference implementation. Three
    checks in one section: (1) result identity — full Machine.result records
    (makespan, per-CPU cycles, stats, samples, trace events) must be equal
@@ -1763,6 +1908,7 @@ let all_sections =
     ("ablation-protocol", run_ablation_protocol);
     ("micro", run_micro);
     ("layout_search", run_layout_search);
+    ("code_layout", run_code_layout);
     ("cc_scale", run_cc_scale);
     ("sim_scale", run_sim_scale);
     ("model_check", run_model_check);

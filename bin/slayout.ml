@@ -217,6 +217,22 @@ let jobs_arg =
            if set, else the recommended domain count). Results are \
            identical for every N.")
 
+(* An unknown --optimizer is a command-line error like an unknown
+   subcommand: Cmdliner prints the valid choices and exits with its
+   cli-error status (124), consistently across commands. *)
+let selector_conv =
+  let parse s =
+    match Optimizer.selector_of_string s with
+    | sel -> Ok sel
+    | exception Invalid_argument _ ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown optimizer %S (valid: %s)" s
+              (String.concat ", " Optimizer.selector_names)))
+  in
+  let print ppf sel = Format.pp_print_string ppf (Optimizer.selector_name sel) in
+  Arg.conv ~docv:"NAME" (parse, print)
+
 (* domains = 1 keeps the serial code path (no pool at all) so the two
    paths stay observably interchangeable from the CLI *)
 let with_jobs jobs f =
@@ -334,9 +350,7 @@ let suggest_cmd =
       inline profile_file samples_file samples_bin_file jobs optimizer restarts
       seed =
     or_die (fun () ->
-        (* parse the optimizer name before doing any work so a typo dies
-           with the list of valid choices *)
-        let selector = Option.map Optimizer.selector_of_string optimizer in
+        let selector = optimizer in
         let program, params, flg, portfolio =
           (* the pool only lives inside this closure, so the search stage
              (which fans its candidates across it) runs here too *)
@@ -388,7 +402,7 @@ let suggest_cmd =
   let optimizer_arg =
     Arg.(
       value
-      & opt (some string) None
+      & opt (some selector_conv) None
       & info [ "optimizer" ] ~docv:"NAME"
           ~doc:
             "run the metaheuristic layout search after the analysis and \
@@ -711,6 +725,136 @@ let sdet_cmd =
       const run $ cpus_arg $ bus_flag $ runs_arg $ jobs_arg $ stats_flag
       $ json_arg)
 
+let codelayout_cmd =
+  let module Codelayout = Slo_codelayout.Codelayout in
+  let module Ctrap = Slo_workload.Ctrap in
+  let run file capacity optimizer restarts seed jobs cpus int_arg rounds =
+    or_die (fun () ->
+        let program, counts, builtin =
+          match file with
+          | Some f ->
+            let p = load_program f in
+            (p, generic_profile p ~int_arg ~rounds, false)
+          | None -> (Ctrap.program (), Ctrap.profile (), true)
+        in
+        let prob = Codelayout.of_program ~capacity program counts in
+        let pf =
+          with_jobs jobs (fun ~domains:_ pool ->
+              Codelayout.search ?pool ~seed ~restarts prob optimizer)
+        in
+        let blocks = Codelayout.blocks prob in
+        let graph = Codelayout.graph prob in
+        let active =
+          List.length
+            (List.filter
+               (fun b -> Sgraph.degree graph (Codelayout.Block.name b) > 0)
+               blocks)
+        in
+        Printf.printf
+          "code layout: %d blocks (%d active), %d affinity edges, %dB bins\n\n"
+          (List.length blocks) active (Sgraph.num_edges graph) capacity;
+        Printf.printf "%-12s %12s %8s\n" "candidate" "score" "moves";
+        List.iter
+          (fun (r : Codelayout.result) ->
+            Printf.printf "%-12s %12.2f %8d\n" r.Codelayout.label
+              r.Codelayout.score r.Codelayout.moves)
+          pf.Codelayout.scoreboard;
+        let decl_score = Codelayout.score prob (Codelayout.decl_bins prob) in
+        Printf.printf "best: %s (%.2f vs greedy %.2f, declaration %.2f)\n"
+          pf.Codelayout.best.Codelayout.label pf.Codelayout.best.Codelayout.score
+          pf.Codelayout.greedy.Codelayout.score decl_score;
+        if builtin then begin
+          (* The built-in trap ships its own simulator driver: confirm the
+             objective gap as I-cache misses, decl order vs searched. *)
+          let base = Ctrap.run_sim ~cpus () in
+          let opt =
+            Ctrap.run_sim ~cpus ~code_layout:pf.Codelayout.best.Codelayout.order
+              ()
+          in
+          let module S = Slo_sim.Sim_stats in
+          Printf.printf
+            "\nsim (%d cpus, %d-line x %dB I-cache):\n" cpus
+            Ctrap.icache.Slo_sim.Coherence.i_lines
+            Ctrap.icache.Slo_sim.Coherence.i_line_size;
+          let row label (r : Machine.result) =
+            Printf.printf
+              "  %-12s imisses %8d / %8d fetches (%5.1f%%), istall %9d, \
+               makespan %9d\n"
+              label r.Machine.stats.S.imisses r.Machine.stats.S.ifetches
+              (100.0 *. S.imiss_rate r.Machine.stats)
+              r.Machine.stats.S.istall_cycles r.Machine.makespan
+          in
+          row "declaration" base;
+          row pf.Codelayout.best.Codelayout.label opt;
+          if opt.Machine.stats.S.imisses < base.Machine.stats.S.imisses then
+            print_endline "confirmed: searched layout fetches fewer lines"
+          else begin
+            print_endline "NOT confirmed: searched layout did not reduce misses";
+            exit 1
+          end
+        end)
+  in
+  let file_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "minic source file to lay out (default: the built-in code-layout \
+             trap workload, which also runs a simulator confirmation)")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int Codelayout.default_capacity
+      & info [ "capacity" ] ~docv:"BYTES" ~doc:"I-cache line size (bin capacity)")
+  in
+  let optimizer_arg =
+    Arg.(
+      value
+      & opt selector_conv Slo_search.Optimizer.Portfolio
+      & info [ "optimizer" ] ~docv:"NAME"
+          ~doc:
+            "search strategy: $(b,greedy), $(b,swap), $(b,anneal) or \
+             $(b,portfolio) (default)")
+  in
+  let restarts_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "restarts" ] ~docv:"N"
+          ~doc:"annealing restarts for anneal|portfolio")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"master seed of the search PRNG streams")
+  in
+  let cpus_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "cpus" ] ~docv:"N" ~doc:"machine size of the sim confirmation")
+  in
+  Cmd.v
+    (Cmd.info "codelayout"
+       ~doc:"search a basic-block code layout that packs hot paths onto few \
+             I-cache lines"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the same metaheuristic portfolio as $(b,suggest) over a \
+              second substrate: nodes are the program's basic blocks, \
+              affinity is how often control passes between two blocks \
+              (profile edge counts), and bins are I-cache lines. The best \
+              partition is flattened into a block order for the simulator's \
+              instruction-fetch side. Without $(i,FILE) the built-in trap \
+              workload is used and the result is confirmed end to end: the \
+              searched order must fetch strictly fewer I-cache lines than \
+              declaration order, or the command exits non-zero.";
+         ])
+    Term.(
+      const run $ file_opt_arg $ capacity_arg $ optimizer_arg $ restarts_arg
+      $ seed_arg $ jobs_arg $ cpus_arg $ int_arg_t $ rounds_arg)
+
 let verify_cmd =
   let module Mc = Slo_sim.Modelcheck in
   let run () =
@@ -990,5 +1134,5 @@ let () =
           [
             parse_cmd; affinity_cmd; fmf_cmd; collect_cmd; convert_cmd;
             suggest_cmd; dot_cmd; simulate_cmd; sdet_cmd; serve_cmd;
-            verify_cmd;
+            codelayout_cmd; verify_cmd;
           ]))

@@ -25,28 +25,20 @@ let make ~struct_name ~fields ~graph ~line_size =
 
 let weight t f1 f2 = Sgraph.weight0 t.graph f1 f2
 
-(* fold over unordered pairs of distinct fields *)
-let fold_pairs ~f init fields =
-  let rec go acc = function
-    | [] -> acc
-    | (x : Field.t) :: rest ->
-      let acc =
-        List.fold_left (fun acc (y : Field.t) -> f acc x.Field.name y.Field.name) acc rest
-      in
-      go acc rest
-  in
-  go init fields
+(* The scoring primitives are the generic substrate ones, instantiated at
+   fields — the same code path every other substrate scores through, so
+   fold order (and hence float results) cannot drift between domains. *)
+module Node = struct
+  type t = Field.t
 
-let pair_weight_sum ~weight fields =
-  fold_pairs ~f:(fun acc a b -> acc +. weight a b) 0.0 fields
+  let name (f : Field.t) = f.Field.name
+end
 
-let cross_weight_sum ~weight b1 b2 =
-  List.fold_left
-    (fun acc (x : Field.t) ->
-      List.fold_left
-        (fun acc (y : Field.t) -> acc +. weight x.Field.name y.Field.name)
-        acc b2)
-    0.0 b1
+module Pairs = Substrate.Pairs (Node)
+
+let fold_pairs = Pairs.fold_pairs
+let pair_weight_sum = Pairs.pair_weight_sum
+let cross_weight_sum = Pairs.cross_weight_sum
 
 let block_weight t block = pair_weight_sum ~weight:(weight t) block
 

@@ -1,15 +1,44 @@
 module Field = Slo_layout.Field
 module Layout = Slo_layout.Layout
 module Sgraph = Slo_graph.Sgraph
-module Prng = Slo_util.Prng
-module Pool = Slo_exec.Pool
-module Obs = Slo_obs.Obs
 
-type kind = Greedy | Swap | Anneal
+(* The field substrate: the historical direct implementation of this
+   module, expressed as an instantiation of the generic engine. Behavior
+   (scores, moves, PRNG draws, error messages) is byte-identical to the
+   pre-functor code — pinned by a QCheck law in test/test_search.ml. *)
+module Problem = struct
+  module Node = struct
+    type t = Field.t
 
-let kind_name = function Greedy -> "greedy" | Swap -> "swap" | Anneal -> "anneal"
+    let name (f : Field.t) = f.Field.name
+  end
 
-type selector = One of kind | Portfolio
+  type t = Objective.t
+
+  let nodes (o : Objective.t) = o.Objective.fields
+  let weight = Objective.weight
+  let active = Objective.active_fields
+  let block_fits = Objective.block_fits
+
+  (* Only called on non-empty blocks not containing [f]: can [f] join
+     without overflowing the cache line? *)
+  let fits (o : Objective.t) block (f : Field.t) =
+    Layout.packed_extend (Layout.packed_size block) f <= o.Objective.line_size
+
+  let max_abs_weight (o : Objective.t) =
+    List.fold_left
+      (fun acc (_, _, w) -> Float.max acc (Float.abs w))
+      0.0
+      (Sgraph.edges o.Objective.graph)
+end
+
+module E = Engine.Make (Problem)
+
+type kind = Engine.kind = Greedy | Swap | Anneal
+
+let kind_name = Engine.kind_name
+
+type selector = Engine.selector = One of kind | Portfolio
 
 let selector_names = [ "greedy"; "swap"; "anneal"; "portfolio" ]
 
@@ -26,7 +55,7 @@ let selector_of_string s =
          s
          (String.concat "|" selector_names))
 
-let selector_name = function One k -> kind_name k | Portfolio -> "portfolio"
+let selector_name = Engine.selector_name
 
 type result = {
   kind : kind;
@@ -38,278 +67,21 @@ type result = {
   moves : int;
 }
 
-(* ------------------------------------------------------------------ *)
-(* Mutable search state: a fixed-size array of blocks. Extra empty slots
-   (one per active field) let any move open a fresh block, so every
-   line-respecting partition of the active fields is reachable. Blocks
-   themselves stay immutable lists — snapshotting the state is an
-   Array.copy. *)
-
-type state = {
-  obj : Objective.t;
-  blocks : Field.t list array;
-  pos : (string, int) Hashtbl.t;  (* field name -> block index *)
-}
-
-let state_of_blocks obj blocks ~spare =
-  let n = List.length blocks in
-  let arr = Array.make (n + spare) [] in
-  List.iteri (fun i b -> arr.(i) <- b) blocks;
-  let pos = Hashtbl.create 64 in
-  Array.iteri
-    (fun i b ->
-      List.iter (fun (f : Field.t) -> Hashtbl.replace pos f.Field.name i) b)
-    arr;
-  { obj; blocks = arr; pos }
-
-let nonempty_blocks arr = List.filter (fun b -> b <> []) (Array.to_list arr)
-
-(* w(f, B \ {f}): the attachment of a field to a block it may or may not
-   belong to. *)
-let weight_to st fname block =
-  List.fold_left
-    (fun acc (g : Field.t) ->
-      if String.equal g.Field.name fname then acc
-      else acc +. Objective.weight st.obj fname g.Field.name)
-    0.0 block
-
-(* Can [f] join [block] (which must not contain it)? Singletons always
-   fit — the clustering gives an oversized field its own line(s). *)
-let fits st block (f : Field.t) =
-  match block with
-  | [] -> true
-  | _ -> Layout.packed_extend (Layout.packed_size block) f <= st.obj.Objective.line_size
-
-let remove_field fname block =
-  List.filter (fun (g : Field.t) -> not (String.equal g.Field.name fname)) block
-
-let move_field st (f : Field.t) ~src ~dst =
-  st.blocks.(src) <- remove_field f.Field.name st.blocks.(src);
-  st.blocks.(dst) <- st.blocks.(dst) @ [ f ];
-  Hashtbl.replace st.pos f.Field.name dst
-
-(* ------------------------------------------------------------------ *)
-(* Steepest-descent pairwise swap / cross-line move (kind Swap). *)
-
-type move = Move of Field.t * int * int | Exchange of Field.t * Field.t
-
-let epsilon = 1e-9
-
-let best_move st active =
-  (* Fixed enumeration order + strict improvement keeps the pick
-     deterministic: ties go to the first candidate encountered. *)
-  let best = ref None in
-  let consider delta action =
-    match !best with
-    | Some (d, _) when d >= delta -> ()
-    | _ -> best := Some (delta, action)
-  in
-  let nblocks = Array.length st.blocks in
-  Array.iter
-    (fun (f : Field.t) ->
-      let src = Hashtbl.find st.pos f.Field.name in
-      let detach = weight_to st f.Field.name st.blocks.(src) in
-      let singleton = match st.blocks.(src) with [ _ ] -> true | _ -> false in
-      for dst = 0 to nblocks - 1 do
-        if dst <> src then begin
-          let b = st.blocks.(dst) in
-          (* singleton -> empty block is a no-op; skip it *)
-          if not (b = [] && singleton) && fits st b f then
-            consider (weight_to st f.Field.name b -. detach) (Move (f, src, dst))
-        end
-      done)
-    active;
-  let n = Array.length active in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let f = active.(i) and g = active.(j) in
-      let bi = Hashtbl.find st.pos f.Field.name in
-      let bj = Hashtbl.find st.pos g.Field.name in
-      if bi <> bj then begin
-        let bi_rest = remove_field f.Field.name st.blocks.(bi) in
-        let bj_rest = remove_field g.Field.name st.blocks.(bj) in
-        if fits st bi_rest g && fits st bj_rest f then
-          consider
-            (weight_to st f.Field.name bj_rest
-            +. weight_to st g.Field.name bi_rest
-            -. weight_to st f.Field.name bi_rest
-            -. weight_to st g.Field.name bj_rest)
-            (Exchange (f, g))
-      end
-    done
-  done;
-  !best
-
-let apply_move st = function
-  | Move (f, src, dst) -> move_field st f ~src ~dst
-  | Exchange (f, g) ->
-    let bi = Hashtbl.find st.pos f.Field.name in
-    let bj = Hashtbl.find st.pos g.Field.name in
-    move_field st f ~src:bi ~dst:bj;
-    move_field st g ~src:bj ~dst:bi
-
-let swap_descent st active =
-  (* Each applied move improves the objective by > epsilon and the
-     partition space is finite, so this terminates; the cap is a pure
-     safety net against float pathologies. *)
-  let max_moves = 1000 + (32 * Array.length active) in
-  let rec descend moves =
-    if moves >= max_moves then moves
-    else
-      match best_move st active with
-      | Some (delta, action) when delta > epsilon ->
-        apply_move st action;
-        descend (moves + 1)
-      | _ -> moves
-  in
-  descend 0
-
-(* ------------------------------------------------------------------ *)
-(* Simulated annealing (kind Anneal). *)
-
-let max_abs_weight graph =
-  List.fold_left
-    (fun acc (_, _, w) -> Float.max acc (Float.abs w))
-    0.0 (Sgraph.edges graph)
-
-let anneal ~prng ~steps st active =
-  let n_active = Array.length active in
-  let nblocks = Array.length st.blocks in
-  let t0 = Float.max 1.0 (max_abs_weight st.obj.Objective.graph) in
-  let cool = 1e-3 ** (1.0 /. float_of_int steps) in
-  (* geometric schedule from t0 down to t0/1000 over [steps] proposals *)
-  let temp = ref t0 in
-  let cur = ref (Objective.score_blocks st.obj (nonempty_blocks st.blocks)) in
-  let best = ref !cur in
-  let best_blocks = ref (Array.copy st.blocks) in
-  let accepted = ref 0 in
-  let accept delta apply =
-    if delta >= 0.0 || Prng.float prng 1.0 < exp (delta /. !temp) then begin
-      apply ();
-      incr accepted;
-      cur := !cur +. delta;
-      if !cur > !best then begin
-        best := !cur;
-        best_blocks := Array.copy st.blocks
-      end
-    end
-  in
-  for _ = 1 to steps do
-    (if n_active > 0 then
-       let f = active.(Prng.int prng n_active) in
-       let src = Hashtbl.find st.pos f.Field.name in
-       if n_active < 2 || Prng.int prng 3 < 2 then begin
-         (* single-field move to a random (possibly fresh) block *)
-         let dst = Prng.int prng nblocks in
-         let singleton =
-           match st.blocks.(src) with [ _ ] -> true | _ -> false
-         in
-         if
-           dst <> src
-           && (not (st.blocks.(dst) = [] && singleton))
-           && fits st st.blocks.(dst) f
-         then
-           let delta =
-             weight_to st f.Field.name st.blocks.(dst)
-             -. weight_to st f.Field.name st.blocks.(src)
-           in
-           accept delta (fun () -> move_field st f ~src ~dst)
-       end
-       else begin
-         (* cross-block pairwise swap *)
-         let g = active.(Prng.int prng n_active) in
-         let dst = Hashtbl.find st.pos g.Field.name in
-         if dst <> src then begin
-           let src_rest = remove_field f.Field.name st.blocks.(src) in
-           let dst_rest = remove_field g.Field.name st.blocks.(dst) in
-           if fits st src_rest g && fits st dst_rest f then
-             let delta =
-               weight_to st f.Field.name dst_rest
-               +. weight_to st g.Field.name src_rest
-               -. weight_to st f.Field.name src_rest
-               -. weight_to st g.Field.name dst_rest
-             in
-             accept delta (fun () -> apply_move st (Exchange (f, g)))
-         end
-       end);
-    temp := !temp *. cool
-  done;
-  (!accepted, !best_blocks)
-
-(* ------------------------------------------------------------------ *)
-
-let check_init obj init =
-  let names blocks =
-    List.sort compare
-      (List.concat_map
-         (List.map (fun (f : Field.t) -> f.Field.name))
-         blocks)
-  in
-  if
-    names init
-    <> List.sort compare
-         (List.map (fun (f : Field.t) -> f.Field.name) obj.Objective.fields)
-  then
-    invalid_arg "Search.Optimizer.run: init is not a partition of the fields";
-  List.iter
-    (fun b ->
-      if not (Objective.block_fits obj b) then
-        invalid_arg "Search.Optimizer.run: init block exceeds the cache line")
-    init
-
-let mk_result obj kind ~label ~blocks ~moves =
-  let blocks = List.filter (fun b -> b <> []) blocks in
+(* The engine searches partitions; the field substrate's extra deliverable
+   is the concrete layout, a pure function of the winning blocks. *)
+let of_engine obj (r : E.result) =
   {
-    kind;
-    label;
-    stream = 0;
-    score = Objective.score_blocks obj blocks;
-    blocks;
-    layout = Objective.layout_of_blocks obj blocks;
-    moves;
+    kind = r.E.kind;
+    label = r.E.label;
+    stream = r.E.stream;
+    score = r.E.score;
+    blocks = r.E.blocks;
+    layout = Objective.layout_of_blocks obj r.E.blocks;
+    moves = r.E.moves;
   }
 
-let default_steps obj =
-  Int.max 500 (120 * List.length (Objective.active_fields obj))
-
 let run ?prng ?steps obj ~init kind =
-  check_init obj init;
-  (match steps with
-  | Some s when s <= 0 -> invalid_arg "Search.Optimizer.run: steps <= 0"
-  | _ -> ());
-  match kind with
-  | Greedy -> mk_result obj Greedy ~label:"greedy" ~blocks:init ~moves:0
-  | Swap ->
-    let active = Array.of_list (Objective.active_fields obj) in
-    let st = state_of_blocks obj init ~spare:(Array.length active) in
-    let moves = swap_descent st active in
-    let r =
-      mk_result obj Swap ~label:"swap"
-        ~blocks:(nonempty_blocks st.blocks)
-        ~moves
-    in
-    (* descent is monotone from init, but keep the guarantee exact under
-       float accumulation: never return below the seed *)
-    if r.score < Objective.score_blocks obj init then
-      mk_result obj Swap ~label:"swap" ~blocks:init ~moves
-    else r
-  | Anneal ->
-    let prng = match prng with Some p -> p | None -> Prng.create ~seed:0 in
-    let steps = match steps with Some s -> s | None -> default_steps obj in
-    let active = Array.of_list (Objective.active_fields obj) in
-    let st = state_of_blocks obj init ~spare:(Array.length active) in
-    let moves, best_blocks = anneal ~prng ~steps st active in
-    let r =
-      mk_result obj Anneal ~label:"anneal"
-        ~blocks:(nonempty_blocks best_blocks)
-        ~moves
-    in
-    if r.score < Objective.score_blocks obj init then
-      mk_result obj Anneal ~label:"anneal" ~blocks:init ~moves
-    else r
-
-(* ------------------------------------------------------------------ *)
-(* Portfolio *)
+  of_engine obj (E.run ?prng ?steps obj ~init kind)
 
 type portfolio = { best : result; greedy : result; scoreboard : result list }
 
@@ -337,45 +109,13 @@ let decl_blocks obj =
       runs [] 0 [] group)
     (Objective.line_groups obj layout)
 
-let run_selector ?pool ?(seed = 0) ?(restarts = 4) ?steps obj ~init selector =
-  if restarts < 1 then
-    invalid_arg "Search.Optimizer.run_selector: restarts < 1";
-  Obs.time "search.portfolio_s" @@ fun () ->
-  let anneal_tasks =
-    List.init restarts (fun i ->
-        (Printf.sprintf "anneal#%d" i, Anneal, init))
+let run_selector ?pool ?seed ?restarts ?steps obj ~init selector =
+  let pf =
+    E.run_selector ?pool ?seed ?restarts ?steps ~decl:(decl_blocks obj) obj
+      ~init selector
   in
-  let baseline = ("greedy", Greedy, init) in
-  let tasks =
-    match selector with
-    | One Greedy -> [ baseline ]
-    | One Swap -> [ baseline; ("swap", Swap, init) ]
-    | One Anneal -> baseline :: anneal_tasks
-    | Portfolio ->
-      [ baseline; ("swap", Swap, init); ("swap@decl", Swap, decl_blocks obj) ]
-      @ anneal_tasks
-  in
-  let tasks = List.mapi (fun i (label, k, blocks) -> (i, label, k, blocks)) tasks in
-  let run_task prng (i, label, kind, blocks) =
-    let r =
-      Obs.time "search.task_s" (fun () -> run ~prng ?steps obj ~init:blocks kind)
-    in
-    Obs.incr "search.tasks";
-    if r.moves > 0 then Obs.incr ~by:r.moves "search.moves";
-    { r with stream = i; label }
-  in
-  let results =
-    match pool with
-    | Some p -> Pool.map_seeded p ~seed run_task tasks
-    | None ->
-      List.mapi (fun i t -> run_task (Prng.derive ~seed ~stream:i) t) tasks
-  in
-  let greedy = List.hd results in
-  let best =
-    List.fold_left (fun b r -> if r.score > b.score then r else b) greedy
-      (List.tl results)
-  in
-  let scoreboard =
-    List.stable_sort (fun a b -> compare b.score a.score) results
-  in
-  { best; greedy; scoreboard }
+  {
+    best = of_engine obj pf.E.best;
+    greedy = of_engine obj pf.E.greedy;
+    scoreboard = List.map (of_engine obj) pf.E.scoreboard;
+  }

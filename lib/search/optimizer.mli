@@ -1,4 +1,7 @@
-(** Metaheuristic layout search over the {!Objective}.
+(** Metaheuristic layout search over the {!Objective} — the {e field}
+    instantiation of the substrate-independent {!Engine} (see
+    {!Substrate.PROBLEM}); basic-block layout ([Slo_codelayout]) is the
+    second instantiation of the same core.
 
     The paper's greedy clusterer (§4.4) is a one-shot constructive
     heuristic: it never revisits a placement. The optimizers here treat
@@ -33,11 +36,11 @@
     and records its duration into [search.task_s]; {!run_selector} times
     itself into [search.portfolio_s]. Write-only, as everywhere else. *)
 
-type kind = Greedy | Swap | Anneal
+type kind = Engine.kind = Greedy | Swap | Anneal
 
 val kind_name : kind -> string
 
-type selector = One of kind | Portfolio
+type selector = Engine.selector = One of kind | Portfolio
 
 val selector_names : string list
 (** [["greedy"; "swap"; "anneal"; "portfolio"]] — the valid CLI

@@ -1,6 +1,12 @@
 type protocol = Mesi | Moesi
 type backend = Flat | Reference
 
+type icache = Memkern.icache = {
+  i_lines : int;
+  i_ways : int option;
+  i_line_size : int;
+}
+
 (* The boxed reference implementation. It is the semantic spec: readable
    OCaml over Hashtbl/list structures, kept as the differential oracle the
    flat kernel (memkern.ml) is tested against. Protocol changes must land
@@ -11,11 +17,17 @@ module Ref = struct
     mutable sharers : int list;  (* CPUs holding the line in S, sorted *)
   }
 
+  (* The boxed instruction-cache side: one coherence-free Cache per CPU
+     (state is irrelevant for code; lines are inserted Shared and victims
+     are simply dropped — nothing is dirty and there is no directory). *)
+  type ref_icache = { icaches : Cache.t array; ic_lsize : int }
+
   type t = {
     topo : Topology.t;
     lsize : int;
     proto : protocol;
     caches : Cache.t array;
+    ic : ref_icache option;
     directory : (int, dir_entry) Hashtbl.t;
     touched : (int, unit) Hashtbl.t;  (* lines ever accessed, for cold misses *)
     inv_hints : (int, (int * (int * int)) list) Hashtbl.t;
@@ -27,7 +39,18 @@ module Ref = struct
     stats : Sim_stats.t array;
   }
 
-  let create topo ~line_size ~cache_capacity ?ways ~protocol () =
+  let make_ic ~ncpus { i_lines; i_ways; i_line_size } =
+    if i_line_size <= 0 then
+      invalid_arg "Coherence.create: icache line_size <= 0";
+    if i_lines <= 0 then invalid_arg "Coherence.create: icache lines <= 0";
+    {
+      icaches =
+        Array.init ncpus (fun _ ->
+            Cache.create ~capacity:i_lines ?ways:i_ways ());
+      ic_lsize = i_line_size;
+    }
+
+  let create topo ~line_size ~cache_capacity ?ways ?icache ~protocol () =
     if line_size <= 0 then invalid_arg "Coherence.create: line_size <= 0";
     if cache_capacity <= 0 then
       invalid_arg "Coherence.create: cache_capacity <= 0";
@@ -37,6 +60,7 @@ module Ref = struct
       lsize = line_size;
       proto = protocol;
       caches = Array.init n (fun _ -> Cache.create ~capacity:cache_capacity ?ways ());
+      ic = Option.map (make_ic ~ncpus:n) icache;
       directory = Hashtbl.create 4096;
       touched = Hashtbl.create 4096;
       inv_hints = Hashtbl.create 256;
@@ -295,6 +319,40 @@ module Ref = struct
       let all = match e.owner with Some o -> o :: base | None -> base in
       List.sort_uniq compare all
 
+  (* Mirror of Memkern.ifetch: fetch every I-cache line overlapping
+     [addr, addr + size). Hits cost l1_hit, misses a memory fetch; the
+     evicted victim (if any) is simply dropped — code is never dirty. *)
+  let ifetch t ~cpu ~addr ~size =
+    match t.ic with
+    | None -> invalid_arg "Coherence.ifetch: no instruction cache configured"
+    | Some ic ->
+      if cpu < 0 || cpu >= Array.length t.caches then
+        invalid_arg (Printf.sprintf "Coherence.ifetch: cpu %d out of range" cpu);
+      if size <= 0 then invalid_arg "Coherence.ifetch: size <= 0";
+      if addr < 0 then invalid_arg "Coherence.ifetch: addr < 0";
+      let st = t.stats.(cpu) in
+      let cache = ic.icaches.(cpu) in
+      let first = addr / ic.ic_lsize and last = (addr + size - 1) / ic.ic_lsize in
+      let total = ref 0 in
+      for line = first to last do
+        st.Sim_stats.ifetches <- st.Sim_stats.ifetches + 1;
+        match Cache.state cache line with
+        | Some _ ->
+          Cache.touch cache line;
+          total := !total + (lat t).Topology.l1_hit
+        | None ->
+          st.Sim_stats.imisses <- st.Sim_stats.imisses + 1;
+          ignore (Cache.insert cache line Cache.Shared);
+          total := !total + Topology.memory_latency t.topo
+      done;
+      st.Sim_stats.istall_cycles <- st.Sim_stats.istall_cycles + !total;
+      !total
+
+  let icache_resident t ~cpu ~line =
+    match t.ic with
+    | None -> false
+    | Some ic -> Cache.state ic.icaches.(cpu) line <> None
+
   let check_invariants t =
     let fail fmt = Format.kasprintf invalid_arg fmt in
     let state_name = function
@@ -374,14 +432,15 @@ end
    differential tests and as the bench sim_scale baseline. *)
 type t = Flat_k of Memkern.t | Ref_k of Ref.t
 
-let create topo ~line_size ~cache_capacity ?ways ?(protocol = Mesi)
+let create topo ~line_size ~cache_capacity ?ways ?icache ?(protocol = Mesi)
     ?(backend = Flat) () =
   match backend with
   | Flat ->
     Flat_k
-      (Memkern.create topo ~line_size ~cache_capacity ?ways
+      (Memkern.create topo ~line_size ~cache_capacity ?ways ?icache
          ~moesi:(protocol = Moesi) ())
-  | Reference -> Ref_k (Ref.create topo ~line_size ~cache_capacity ?ways ~protocol ())
+  | Reference ->
+    Ref_k (Ref.create topo ~line_size ~cache_capacity ?ways ?icache ~protocol ())
 
 let backend = function Flat_k _ -> Flat | Ref_k _ -> Reference
 
@@ -401,6 +460,27 @@ let access t ~cpu ~addr ~size ~is_write =
   match t with
   | Flat_k k -> Memkern.access k ~cpu ~addr ~size ~is_write
   | Ref_k r -> Ref.access r ~cpu ~addr ~size ~is_write
+
+let has_icache = function
+  | Flat_k k -> Memkern.has_icache k
+  | Ref_k r -> r.Ref.ic <> None
+
+let icache_line_size = function
+  | Flat_k k -> Memkern.icache_line_size k
+  | Ref_k r -> (
+    match r.Ref.ic with
+    | None -> invalid_arg "Coherence.icache_line_size: no instruction cache"
+    | Some ic -> ic.Ref.ic_lsize)
+
+let ifetch t ~cpu ~addr ~size =
+  match t with
+  | Flat_k k -> Memkern.ifetch k ~cpu ~addr ~size
+  | Ref_k r -> Ref.ifetch r ~cpu ~addr ~size
+
+let icache_resident t ~cpu ~line =
+  match t with
+  | Flat_k k -> Memkern.icache_resident k ~cpu ~line
+  | Ref_k r -> Ref.icache_resident r ~cpu ~line
 
 let stats t ~cpu =
   match t with

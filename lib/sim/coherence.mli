@@ -51,18 +51,31 @@ type backend =
 
 type t
 
+(** Instruction-cache geometry for the optional fetch side (the code-layout
+    subsystem). I-caches are private per CPU and coherence-free: code is
+    read-only, so there are no states, no directory and no writebacks —
+    just presence and true LRU. Both backends implement it and the
+    differential suites compare them. *)
+type icache = Memkern.icache = {
+  i_lines : int;  (** per-CPU capacity in I-cache lines *)
+  i_ways : int option;  (** associativity; [None] = fully associative *)
+  i_line_size : int;  (** I-cache line size in bytes *)
+}
+
 val create :
   Topology.t ->
   line_size:int ->
   cache_capacity:int ->
   ?ways:int ->
+  ?icache:icache ->
   ?protocol:protocol ->
   ?backend:backend ->
   unit ->
   t
 (** [ways] defaults to fully associative; [protocol] to {!Mesi}; [backend]
-    to {!Flat}. @raise Invalid_argument on non-positive sizes or invalid
-    associativity. *)
+    to {!Flat}; [icache] to absent (no instruction side is simulated).
+    @raise Invalid_argument on non-positive sizes or invalid
+    associativity (for the data cache or the I-cache). *)
 
 val line_size : t -> int
 val topology : t -> Topology.t
@@ -76,6 +89,25 @@ val access : t -> cpu:int -> addr:int -> size:int -> is_write:bool -> int
     aligned fields; arrays are accessed element-wise).
     @raise Invalid_argument if the access straddles a line or [cpu] is out
     of range. *)
+
+val has_icache : t -> bool
+
+val icache_line_size : t -> int
+(** @raise Invalid_argument when no I-cache is configured. *)
+
+val ifetch : t -> cpu:int -> addr:int -> size:int -> int
+(** Fetch the instruction bytes [addr, addr + size) — a basic block's
+    address range — into [cpu]'s I-cache and return the total latency in
+    cycles. Unlike {!access} the range may span any number of I-cache
+    lines: each overlapped line counts one [ifetches] stat (and on absence
+    one [imisses] plus a memory fetch; hits cost [l1_hit]). Evicted lines
+    are dropped — code is never dirty.
+    @raise Invalid_argument when no I-cache is configured, [cpu] is out of
+    range, [addr < 0], or [size <= 0]. *)
+
+val icache_resident : t -> cpu:int -> line:int -> bool
+(** Whether the I-cache line is resident in [cpu]'s I-cache (false when no
+    I-cache is configured). Introspection for the differential tests. *)
 
 val stats : t -> cpu:int -> Sim_stats.t
 val total_stats : t -> Sim_stats.t

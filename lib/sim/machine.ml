@@ -20,6 +20,7 @@ type config = {
   store_base : int;
   trace : bool;
   backend : Coherence.backend;
+  icache : Coherence.icache option;
 }
 
 type trace_event = {
@@ -34,7 +35,7 @@ let default_config topology =
   { topology; line_size = 128; cache_lines = 4096; cache_ways = None;
     protocol = Coherence.Mesi; sample_period = None; seed = 42;
     load_base = 2; store_base = 8; trace = false;
-    backend = Coherence.Flat }
+    backend = Coherence.Flat; icache = None }
 
 let call_overhead = 5
 
@@ -62,6 +63,7 @@ type result = {
   per_cpu_stats : Sim_stats.t array;
   samples : sample list;
   trace : trace_event list;
+  fetch_trace : trace_event list;
 }
 
 let throughput r =
@@ -136,6 +138,7 @@ type frame = {
   f_proc : cproc;
   f_regs : int array;
   f_insts : instance array;
+  f_code : (int * int) array;  (* per-block (address, size) of the proc's code *)
   mutable f_block : int;
   mutable f_ip : int;
 }
@@ -166,17 +169,49 @@ type t = {
   mutable ran : bool;
   mutable samples_rev : sample list;
   mutable trace_rev : trace_event list;
+  mutable fetch_trace_rev : trace_event list;
   mutable all_instances : instance list;
   next_sample : int array;
+  code : (string, (int * int) array) Hashtbl.t;
+      (* proc -> per-block (address, size) under the current code layout *)
 }
 
 (* Global variables live in their own line-aligned segment far above the
    instance arena, laid out by the (overridable) "$globals" layout. *)
 let globals_base = 1 lsl 40
 
+(* The code segment sits above even the globals, so instruction addresses
+   can never collide with data. Every minic instruction occupies
+   [instr_bytes]; a block additionally pays one terminator slot, so block
+   sizes are 4*(ninstrs+1) bytes and a block's address range is what one
+   [Coherence.ifetch] covers on entry. *)
+let code_base = 1 lsl 44
+let instr_bytes = 4
+let block_size (blk : Cfg.block) = instr_bytes * (Array.length blk.Cfg.b_instrs + 1)
+let code_block_size = block_size
+
 let create config program =
+  let cfgs = Cfg.of_program program in
   let cfg_of = Hashtbl.create 16 in
-  List.iter (fun (n, c) -> Hashtbl.replace cfg_of n c) (Cfg.of_program program);
+  List.iter (fun (n, c) -> Hashtbl.replace cfg_of n c) cfgs;
+  (* Default code layout: procedures in program order, blocks in
+     declaration (CFG index) order, packed contiguously — the "as compiled"
+     baseline the code-layout optimizer reorders. *)
+  let code = Hashtbl.create 16 in
+  let next_code = ref code_base in
+  List.iter
+    (fun (name, (c : Cfg.t)) ->
+      let arr =
+        Array.map
+          (fun blk ->
+            let size = block_size blk in
+            let addr = !next_code in
+            next_code := addr + size;
+            (addr, size))
+          c.Cfg.blocks
+      in
+      Hashtbl.replace code name arr)
+    cfgs;
   let layouts = Hashtbl.create 8 in
   List.iter
     (fun sd -> Hashtbl.replace layouts sd.Ast.sd_name (Layout.of_struct sd))
@@ -192,7 +227,8 @@ let create config program =
     coherence =
       Coherence.create config.topology ~line_size:config.line_size
         ~cache_capacity:config.cache_lines ?ways:config.cache_ways
-        ~protocol:config.protocol ~backend:config.backend ();
+        ?icache:config.icache ~protocol:config.protocol
+        ~backend:config.backend ();
     memory = Flat_tab.create ~capacity:4096 ();
     layouts;
     arena_next = 0;
@@ -204,11 +240,71 @@ let create config program =
     ran = false;
     samples_rev = [];
     trace_rev = [];
+    fetch_trace_rev = [];
     all_instances = [];
     next_sample = Array.make n (match config.sample_period with Some p -> p | None -> max_int);
+    code;
   }
 
 let coherence t = t.coherence
+
+let code_blocks t =
+  let all =
+    Hashtbl.fold
+      (fun name arr acc ->
+        let rec go i acc =
+          if i < 0 then acc
+          else
+            let addr, size = arr.(i) in
+            go (i - 1) ((name, i, addr, size) :: acc)
+        in
+        go (Array.length arr - 1) acc)
+      t.code []
+  in
+  List.sort (fun (_, _, a1, _) (_, _, a2, _) -> compare a1 a2) all
+
+let set_code_layout t order =
+  if t.ran then invalid_arg "Machine.set_code_layout: machine already ran";
+  let expected = Hashtbl.fold (fun _ arr acc -> acc + Array.length arr) t.code 0 in
+  let fresh = Hashtbl.create 16 in
+  let seen = Hashtbl.create 64 in
+  let next = ref code_base in
+  let placed = ref 0 in
+  List.iter
+    (fun (proc, b) ->
+      let cfg =
+        match Hashtbl.find_opt t.cfg_of proc with
+        | Some c -> c
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Machine.set_code_layout: unknown procedure %S" proc)
+      in
+      if b < 0 || b >= Array.length cfg.Cfg.blocks then
+        invalid_arg
+          (Printf.sprintf "Machine.set_code_layout: %S has no block %d" proc b);
+      if Hashtbl.mem seen (proc, b) then
+        invalid_arg
+          (Printf.sprintf "Machine.set_code_layout: duplicate block %s#%d" proc b);
+      Hashtbl.replace seen (proc, b) ();
+      let arr =
+        match Hashtbl.find_opt fresh proc with
+        | Some a -> a
+        | None ->
+          let a = Array.make (Array.length cfg.Cfg.blocks) (-1, -1) in
+          Hashtbl.replace fresh proc a;
+          a
+      in
+      let size = block_size cfg.Cfg.blocks.(b) in
+      arr.(b) <- (!next, size);
+      next := !next + size;
+      incr placed)
+    order;
+  if !placed <> expected then
+    invalid_arg
+      (Printf.sprintf
+         "Machine.set_code_layout: order covers %d of the program's %d blocks"
+         !placed expected);
+  Hashtbl.iter (fun name arr -> Hashtbl.replace t.code name arr) fresh
 
 let layout_of t ~struct_name =
   match Hashtbl.find_opt t.layouts struct_name with
@@ -517,9 +613,28 @@ let make_frame t proc =
     f_proc = cp;
     f_regs = Array.make cp.cp_nregs 0;
     f_insts = Array.make cp.cp_ninsts { i_id = -1; i_struct = ""; i_base = -1 };
+    f_code = Hashtbl.find t.code proc;
     f_block = 0;
     f_ip = 0;
   }
+
+(* Fetch the instruction bytes of the frame's current block; free (and
+   trace-silent) when no I-cache is configured, so data-only runs are
+   byte-identical to the pre-I-cache machine. Called on every block entry:
+   invocation start, goto, branch, and call — but not on return, which
+   resumes mid-block without refetching (the straight-line bytes after the
+   call site were already fetched on block entry). *)
+let fetch_cost t thread frame =
+  match t.config.icache with
+  | None -> 0
+  | Some _ ->
+    let addr, size = frame.f_code.(frame.f_block) in
+    if t.config.trace then
+      t.fetch_trace_rev <-
+        { t_cpu = thread.t_cpu; t_itc = thread.t_clock; t_addr = addr;
+          t_size = size; t_is_write = false }
+        :: t.fetch_trace_rev;
+    Coherence.ifetch t.coherence ~cpu:thread.t_cpu ~addr ~size
 
 let start_invocation t thread (proc, args) =
   let frame = make_frame t proc in
@@ -535,7 +650,8 @@ let start_invocation t thread (proc, args) =
         incr next_inst
       | _ -> assert false (* validated in add_thread *))
     frame.f_proc.cp_params args;
-  thread.t_frames <- [ frame ]
+  thread.t_frames <- [ frame ];
+  frame
 
 (* Execute one instruction (or terminator) of [thread]; returns its cost in
    cycles. *)
@@ -548,8 +664,8 @@ let step t thread =
       0
     | item :: rest ->
       thread.t_work <- rest;
-      start_invocation t thread item;
-      call_overhead)
+      let frame = start_invocation t thread item in
+      call_overhead + fetch_cost t thread frame)
   | frame :: parents ->
     let blk = frame.f_proc.cp_blocks.(frame.f_block) in
     if frame.f_ip < Array.length blk.cb_instrs then begin
@@ -616,19 +732,19 @@ let step t thread =
             child.f_insts.(child_slot) <- frame.f_insts.(parent_slot))
           inst_args;
         thread.t_frames <- child :: frame :: parents;
-        call_overhead
+        call_overhead + fetch_cost t thread child
     end
     else begin
       match blk.cb_term with
       | CGoto next ->
         frame.f_block <- next;
         frame.f_ip <- 0;
-        1
+        1 + fetch_cost t thread frame
       | CBranch { cond; if_true; if_false; _ } ->
         let v = eval_cexpr frame.f_regs thread.t_prng cond in
         frame.f_block <- (if v <> 0 then if_true else if_false);
         frame.f_ip <- 0;
-        1
+        1 + fetch_cost t thread frame
       | CReturn ->
         thread.t_frames <- parents;
         1
@@ -720,6 +836,12 @@ let run t =
   Obs.incr ~by:stats.Sim_stats.writebacks "sim.writebacks";
   Obs.incr ~by:stats.Sim_stats.stall_cycles "sim.stall_cycles";
   Obs.incr ~by:(List.length t.samples_rev) "sim.samples";
+  if t.config.icache <> None then begin
+    Obs.incr "sim.icache.runs";
+    Obs.incr ~by:stats.Sim_stats.ifetches "sim.icache.fetches";
+    Obs.incr ~by:stats.Sim_stats.imisses "sim.icache.misses";
+    Obs.incr ~by:stats.Sim_stats.istall_cycles "sim.icache.stall_cycles"
+  end;
   (match Coherence.kstats t.coherence with
   | Some k ->
     Obs.incr "sim.kernel.runs";
@@ -745,6 +867,7 @@ let run t =
     per_cpu_stats;
     samples = List.rev t.samples_rev;
     trace = List.rev t.trace_rev;
+    fetch_trace = List.rev t.fetch_trace_rev;
   }
 
 let read_field t inst ~field ?(index = 0) () =

@@ -37,6 +37,12 @@ type config = {
       (** memory-system implementation: the flat allocation-free kernel
           (default) or the boxed reference oracle — bit-identical results,
           different speed *)
+  icache : Coherence.icache option;
+      (** simulate the instruction-fetch side: every block entry
+          (invocation start, goto, branch, call — not return) fetches the
+          block's code-address range through a private per-CPU I-cache and
+          pays the fetch latency. [None] (default) leaves the machine
+          byte-identical to the fetch-free model. *)
 }
 
 (** One struct/global memory access, as recorded when [config.trace] is
@@ -53,7 +59,7 @@ type trace_event = {
 
 val default_config : Topology.t -> config
 (** line_size 128, 4096 fully-associative lines, MESI, no sampling,
-    seed 42, load_base 2, store_base 8, flat kernel backend. *)
+    seed 42, load_base 2, store_base 8, flat kernel backend, no I-cache. *)
 
 val call_overhead : int
 
@@ -85,6 +91,10 @@ type result = {
   per_cpu_stats : Sim_stats.t array;
   samples : sample list;  (** in collection order *)
   trace : trace_event list;  (** empty unless [config.trace] *)
+  fetch_trace : trace_event list;
+      (** instruction-fetch events (one per block entry, [t_is_write]
+          false, [t_addr]/[t_size] the block's code range); empty unless
+          both [config.trace] and [config.icache] are set *)
 }
 
 val throughput : result -> float
@@ -104,6 +114,25 @@ val set_layout : t -> Slo_layout.Layout.t -> unit
     @raise Invalid_argument otherwise. *)
 
 val layout_of : t -> struct_name:string -> Slo_layout.Layout.t
+
+val code_block_size : Slo_ir.Cfg.block -> int
+(** Code bytes of one basic block: [4 * (ninstrs + 1)] — the single source
+    of block sizes, shared with the code-layout optimizer. *)
+
+val code_blocks : t -> (string * Slo_ir.Cfg.block_id * int * int) list
+(** [(proc, block, address, size)] of every basic block under the current
+    code layout, ascending by address. Sizes are [4 * (ninstrs + 1)] bytes
+    (one 4-byte slot per instruction plus the terminator); the default
+    layout packs procedures in program order, blocks in CFG index order,
+    contiguously from the code-segment base. *)
+
+val set_code_layout : t -> (string * Slo_ir.Cfg.block_id) list -> unit
+(** Reassign code addresses: blocks are packed contiguously in the given
+    order (the code-layout optimizer's output). The order must cover every
+    basic block of every procedure exactly once. Only affects runs with an
+    I-cache configured. Must be called before {!run}.
+    @raise Invalid_argument on an unknown procedure/block, a duplicate, an
+    incomplete cover, or after the machine ran. *)
 
 val alloc : t -> struct_name:string -> instance
 (** Arena-allocate a zeroed instance at the next line boundary. *)

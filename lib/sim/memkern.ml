@@ -28,6 +28,28 @@ let bit_index b =
   let rec go i p = if p = b then i else go (i + 1) (p lsl 1) in
   go 0 1
 
+(* Instruction-cache geometry. The I-cache is private per CPU and
+   coherence-free (code is read-only), so it needs none of the directory
+   machinery below — just packed slots and LRU chains. *)
+type icache = { i_lines : int; i_ways : int option; i_line_size : int }
+
+(* Flat per-CPU instruction caches: the same packed-slot + array-index LRU
+   representation as the data caches, minus states (a slot word is just
+   the line index; -1 = empty) and minus the directory. *)
+type ic = {
+  ic_lsize : int;
+  ic_nsets : int;
+  ic_nways : int;
+  ic_slots : int array;
+  ic_nxt : int array;
+  ic_prv : int array;
+  ic_head : int array;
+  ic_tail : int array;
+  ic_fill : int array;
+  ic_free : int array;
+  ic_where : Flat_tab.t array; (* per CPU: line -> slot index *)
+}
+
 type t = {
   topo : Topology.t;
   lsize : int;
@@ -73,9 +95,45 @@ type t = {
   mutable dir_live : int;
   mutable dir_peak : int;
   mutable hint_drops : int;
+  ic : ic option;
 }
 
-let create topo ~line_size ~cache_capacity ?ways ~moesi () =
+let make_ic ~ncpus { i_lines; i_ways; i_line_size } =
+  if i_line_size <= 0 then invalid_arg "Memkern.create: icache line_size <= 0";
+  if i_lines <= 0 then invalid_arg "Memkern.create: icache lines <= 0";
+  let nways = match i_ways with Some w -> w | None -> i_lines in
+  if nways <= 0 then invalid_arg "Memkern.create: icache ways <= 0";
+  if i_lines mod nways <> 0 then
+    invalid_arg "Memkern.create: icache ways must divide capacity";
+  let nsets = i_lines / nways in
+  let nslots = ncpus * i_lines in
+  let ic =
+    {
+      ic_lsize = i_line_size;
+      ic_nsets = nsets;
+      ic_nways = nways;
+      ic_slots = Array.make nslots (-1);
+      ic_nxt = Array.make nslots (-1);
+      ic_prv = Array.make nslots (-1);
+      ic_head = Array.make (ncpus * nsets) (-1);
+      ic_tail = Array.make (ncpus * nsets) (-1);
+      ic_fill = Array.make (ncpus * nsets) 0;
+      ic_free = Array.make (ncpus * nsets) (-1);
+      ic_where =
+        Array.init ncpus (fun _ ->
+            Flat_tab.create ~capacity:(min (2 * i_lines) 8192) ());
+    }
+  in
+  for sb = 0 to (ncpus * nsets) - 1 do
+    let base = sb * nways in
+    for w = 0 to nways - 1 do
+      ic.ic_nxt.(base + w) <- (if w = nways - 1 then -1 else base + w + 1)
+    done;
+    ic.ic_free.(sb) <- base
+  done;
+  ic
+
+let create topo ~line_size ~cache_capacity ?ways ?icache ~moesi () =
   if line_size <= 0 then invalid_arg "Memkern.create: line_size <= 0";
   if cache_capacity <= 0 then invalid_arg "Memkern.create: cache_capacity <= 0";
   let nways = match ways with Some w -> w | None -> cache_capacity in
@@ -120,6 +178,7 @@ let create topo ~line_size ~cache_capacity ?ways ~moesi () =
       dir_live = 0;
       dir_peak = 0;
       hint_drops = 0;
+      ic = Option.map (make_ic ~ncpus) icache;
     }
   in
   (* Chain every way of every set onto its free list. *)
@@ -564,6 +623,91 @@ let access t ~cpu ~addr ~size ~is_write =
   st.Sim_stats.stall_cycles <- st.Sim_stats.stall_cycles + latency;
   latency
 
+(* ---------- instruction fetch (mirrors Coherence.Ref.ifetch) ---------- *)
+
+let ic_sb ic cpu line = (cpu * ic.ic_nsets) + (line mod ic.ic_nsets)
+
+let ic_unlink ic sb s =
+  let p = ic.ic_prv.(s) and n = ic.ic_nxt.(s) in
+  if p >= 0 then ic.ic_nxt.(p) <- n else ic.ic_head.(sb) <- n;
+  if n >= 0 then ic.ic_prv.(n) <- p else ic.ic_tail.(sb) <- p;
+  ic.ic_prv.(s) <- -1;
+  ic.ic_nxt.(s) <- -1;
+  ic.ic_fill.(sb) <- ic.ic_fill.(sb) - 1
+
+let ic_push_front ic sb s =
+  let h = ic.ic_head.(sb) in
+  ic.ic_nxt.(s) <- h;
+  ic.ic_prv.(s) <- -1;
+  if h >= 0 then ic.ic_prv.(h) <- s else ic.ic_tail.(sb) <- s;
+  ic.ic_head.(sb) <- s;
+  ic.ic_fill.(sb) <- ic.ic_fill.(sb) + 1
+
+(* Miss path: evict the set's LRU tail if full (no writeback — code is
+   clean), place the line, mark MRU. *)
+let ic_insert ic cpu line =
+  let sb = ic_sb ic cpu line in
+  if ic.ic_fill.(sb) >= ic.ic_nways then begin
+    let v = ic.ic_tail.(sb) in
+    ic_unlink ic sb v;
+    Flat_tab.remove ic.ic_where.(cpu) ic.ic_slots.(v);
+    ic.ic_slots.(v) <- line;
+    ic_push_front ic sb v;
+    Flat_tab.set ic.ic_where.(cpu) line v
+  end
+  else begin
+    let s = ic.ic_free.(sb) in
+    ic.ic_free.(sb) <- ic.ic_nxt.(s);
+    ic.ic_slots.(s) <- line;
+    ic_push_front ic sb s;
+    Flat_tab.set ic.ic_where.(cpu) line s
+  end
+
+let has_icache t = t.ic <> None
+
+let icache_line_size t =
+  match t.ic with
+  | None -> invalid_arg "Memkern.icache_line_size: no instruction cache"
+  | Some ic -> ic.ic_lsize
+
+(* Fetch the instruction bytes [addr, addr + size): every I-cache line the
+   range overlaps is fetched, line by line. Hits cost l1_hit, misses a
+   memory fetch; there is no cache-to-cache path (code is read-only and
+   clean everywhere, so memory is always as close as any peer). *)
+let ifetch t ~cpu ~addr ~size =
+  match t.ic with
+  | None -> invalid_arg "Memkern.ifetch: no instruction cache configured"
+  | Some ic ->
+    if cpu < 0 || cpu >= t.ncpus then
+      invalid_arg (Printf.sprintf "Memkern.ifetch: cpu %d out of range" cpu);
+    if size <= 0 then invalid_arg "Memkern.ifetch: size <= 0";
+    if addr < 0 then invalid_arg "Memkern.ifetch: addr < 0";
+    let st = t.stats.(cpu) in
+    let first = addr / ic.ic_lsize and last = (addr + size - 1) / ic.ic_lsize in
+    let total = ref 0 in
+    for line = first to last do
+      st.Sim_stats.ifetches <- st.Sim_stats.ifetches + 1;
+      let s = Flat_tab.find ic.ic_where.(cpu) line ~default:(-1) in
+      if s >= 0 then begin
+        let sb = ic_sb ic cpu line in
+        ic_unlink ic sb s;
+        ic_push_front ic sb s;
+        total := !total + (lat t).Topology.l1_hit
+      end
+      else begin
+        st.Sim_stats.imisses <- st.Sim_stats.imisses + 1;
+        ic_insert ic cpu line;
+        total := !total + Topology.memory_latency t.topo
+      end
+    done;
+    st.Sim_stats.istall_cycles <- st.Sim_stats.istall_cycles + !total;
+    !total
+
+let icache_resident t ~cpu ~line =
+  match t.ic with
+  | None -> false
+  | Some ic -> Flat_tab.find ic.ic_where.(cpu) line ~default:(-1) >= 0
+
 let stats t ~cpu = t.stats.(cpu)
 let total_stats t = Sim_stats.sum (Array.to_list t.stats)
 
@@ -761,4 +905,60 @@ let check_invariants t =
         fail "Memkern invariant: hint for cpu %d on dead line %d" cpu line;
       if t.hintm.((e * t.nwords) + (cpu / bpw)) land (1 lsl (cpu mod bpw)) = 0
       then fail "Memkern invariant: hint for cpu %d line %d not in hint mask"
-          cpu line)
+          cpu line);
+  (* I-cache representation: LRU chains and fill counts agree, chained
+     slots belong to the where table, live + free slots account for every
+     way of every set. *)
+  match t.ic with
+  | None -> ()
+  | Some ic ->
+    for cpu = 0 to t.ncpus - 1 do
+      Flat_tab.iter ic.ic_where.(cpu) (fun line s ->
+          if ic.ic_slots.(s) <> line then
+            fail "Memkern invariant: icache slot %d disagrees with line %d" s
+              line;
+          if s / (ic.ic_nsets * ic.ic_nways) <> cpu then
+            fail "Memkern invariant: icache line %d of cpu %d in foreign slot"
+              line cpu;
+          if s / ic.ic_nways mod ic.ic_nsets <> line mod ic.ic_nsets then
+            fail "Memkern invariant: icache line %d of cpu %d in wrong set"
+              line cpu);
+      for set = 0 to ic.ic_nsets - 1 do
+        let sb = (cpu * ic.ic_nsets) + set in
+        let n = ref 0 in
+        let s = ref ic.ic_head.(sb) in
+        let prev = ref (-1) in
+        while !s >= 0 do
+          incr n;
+          if !n > ic.ic_nways then
+            fail "Memkern invariant: icache LRU chain longer than ways";
+          if ic.ic_prv.(!s) <> !prev then
+            fail "Memkern invariant: icache LRU back-link broken at slot %d" !s;
+          if
+            Flat_tab.find ic.ic_where.(cpu) ic.ic_slots.(!s) ~default:(-1)
+            <> !s
+          then fail "Memkern invariant: chained icache slot %d not in table" !s;
+          prev := !s;
+          s := ic.ic_nxt.(!s)
+        done;
+        if ic.ic_tail.(sb) <> !prev then
+          fail "Memkern invariant: icache LRU tail mismatch (cpu %d set %d)"
+            cpu set;
+        if !n <> ic.ic_fill.(sb) then
+          fail "Memkern invariant: icache fill %d but %d chained (cpu %d)"
+            ic.ic_fill.(sb) !n cpu;
+        let fr = ref 0 in
+        let s = ref ic.ic_free.(sb) in
+        while !s >= 0 do
+          incr fr;
+          if !fr > ic.ic_nways then
+            fail "Memkern invariant: icache free chain cycle";
+          if ic.ic_slots.(!s) <> -1 then
+            fail "Memkern invariant: free icache slot %d holds a line" !s;
+          s := ic.ic_nxt.(!s)
+        done;
+        if !n + !fr <> ic.ic_nways then
+          fail "Memkern invariant: %d live + %d free icache slots != %d ways"
+            !n !fr ic.ic_nways
+      done
+    done

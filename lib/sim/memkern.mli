@@ -32,16 +32,27 @@
 
 type t
 
+(** Instruction-cache geometry (the optional fetch side). The I-cache is
+    private per CPU and coherence-free — code is read-only, so there is no
+    directory, no states, no invalidation; just presence and true LRU. *)
+type icache = {
+  i_lines : int;  (** per-CPU capacity in I-cache lines *)
+  i_ways : int option;  (** associativity; [None] = fully associative *)
+  i_line_size : int;  (** I-cache line size in bytes *)
+}
+
 val create :
   Topology.t ->
   line_size:int ->
   cache_capacity:int ->
   ?ways:int ->
+  ?icache:icache ->
   moesi:bool ->
   unit ->
   t
 (** Same validation as {!Coherence.create}: positive sizes, [ways]
-    (default: fully associative) dividing [cache_capacity]. *)
+    (default: fully associative) dividing [cache_capacity]; the same rules
+    again for [icache] when given (no I-cache is simulated otherwise). *)
 
 val line_size : t -> int
 val topology : t -> Topology.t
@@ -50,6 +61,25 @@ val moesi : t -> bool
 val access : t -> cpu:int -> addr:int -> size:int -> is_write:bool -> int
 (** One load/store; returns its latency in cycles. Identical contract to
     {!Coherence.access}. *)
+
+val has_icache : t -> bool
+
+val icache_line_size : t -> int
+(** @raise Invalid_argument when no I-cache is configured. *)
+
+val ifetch : t -> cpu:int -> addr:int -> size:int -> int
+(** Fetch the instruction bytes [addr, addr + size) — a basic block's
+    address range — into [cpu]'s I-cache, line by line; returns the total
+    latency in cycles. Unlike {!access}, the range may span any number of
+    I-cache lines: each overlapped line counts one [ifetches] (and, when
+    absent, one [imisses] plus a memory fetch; hits cost [l1_hit]).
+    Identical contract to {!Coherence.ifetch}.
+    @raise Invalid_argument when no I-cache is configured, [cpu] is out of
+    range, [addr < 0], or [size <= 0]. *)
+
+val icache_resident : t -> cpu:int -> line:int -> bool
+(** Whether the I-cache line is resident in [cpu]'s I-cache (false when no
+    I-cache is configured). Introspection for the differential tests. *)
 
 val stats : t -> cpu:int -> Sim_stats.t
 val total_stats : t -> Sim_stats.t

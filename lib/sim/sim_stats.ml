@@ -10,6 +10,9 @@ type t = {
   mutable invalidations : int;
   mutable writebacks : int;
   mutable stall_cycles : int;
+  mutable ifetches : int;
+  mutable imisses : int;
+  mutable istall_cycles : int;
 }
 
 let create () =
@@ -25,6 +28,9 @@ let create () =
     invalidations = 0;
     writebacks = 0;
     stall_cycles = 0;
+    ifetches = 0;
+    imisses = 0;
+    istall_cycles = 0;
   }
 
 let accesses t = t.loads + t.stores
@@ -34,6 +40,10 @@ let misses t = t.cold_misses + t.capacity_misses + coherence_misses t
 let miss_rate t =
   let a = accesses t in
   if a = 0 then 0.0 else float_of_int (misses t) /. float_of_int a
+
+let imiss_rate t =
+  if t.ifetches = 0 then 0.0
+  else float_of_int t.imisses /. float_of_int t.ifetches
 
 let add_into acc x =
   acc.loads <- acc.loads + x.loads;
@@ -46,7 +56,10 @@ let add_into acc x =
   acc.upgrades <- acc.upgrades + x.upgrades;
   acc.invalidations <- acc.invalidations + x.invalidations;
   acc.writebacks <- acc.writebacks + x.writebacks;
-  acc.stall_cycles <- acc.stall_cycles + x.stall_cycles
+  acc.stall_cycles <- acc.stall_cycles + x.stall_cycles;
+  acc.ifetches <- acc.ifetches + x.ifetches;
+  acc.imisses <- acc.imisses + x.imisses;
+  acc.istall_cycles <- acc.istall_cycles + x.istall_cycles
 
 let sum xs =
   let acc = create () in
@@ -63,4 +76,12 @@ let pp ppf t =
      else 100.0 *. float_of_int t.hits /. float_of_int (accesses t))
     t.cold_misses t.capacity_misses t.true_sharing_misses
     t.false_sharing_misses t.upgrades t.invalidations t.writebacks
-    t.stall_cycles
+    t.stall_cycles;
+  (* The ifetch side only prints when an I-cache was simulated, so output
+     for data-only runs stays byte-identical to the pre-I-cache format. *)
+  if t.ifetches > 0 then
+    Format.fprintf ppf
+      "@,@[ifetches: %d, imisses: %d (%.1f%%), istall cycles: %d@]" t.ifetches
+      t.imisses
+      (100.0 *. imiss_rate t)
+      t.istall_cycles

@@ -22,6 +22,11 @@ type t = {
   mutable invalidations : int;  (** copies invalidated in other caches *)
   mutable writebacks : int;  (** M lines evicted or downgraded *)
   mutable stall_cycles : int;  (** cycles spent waiting on memory system *)
+  mutable ifetches : int;
+      (** instruction-cache line fetches (one per line of each fetched
+          block-address range); 0 unless an I-cache is simulated *)
+  mutable imisses : int;  (** instruction-cache line misses *)
+  mutable istall_cycles : int;  (** cycles spent waiting on ifetch misses *)
 }
 
 val create : unit -> t
@@ -29,6 +34,10 @@ val accesses : t -> int
 val misses : t -> int
 val coherence_misses : t -> int
 val miss_rate : t -> float
+
+val imiss_rate : t -> float
+(** [imisses / ifetches]; 0 when no ifetches happened. *)
+
 val add_into : t -> t -> unit
 (** [add_into acc x] accumulates [x] into [acc]. *)
 

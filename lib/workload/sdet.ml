@@ -13,6 +13,8 @@ type config = {
   seed : int;
   trace : bool;
   backend : Slo_sim.Coherence.backend;
+  icache : Slo_sim.Coherence.icache option;
+  code_layout : (string * int) list option;
 }
 
 let default_config topology =
@@ -26,6 +28,8 @@ let default_config topology =
     seed = 1;
     trace = false;
     backend = Slo_sim.Coherence.Flat;
+    icache = None;
+    code_layout = None;
   }
 
 (* Population sizes. A, D and E scale with the machine so that the number
@@ -54,9 +58,13 @@ let build_and_run cfg =
         store_base = 8;
         trace = cfg.trace;
         backend = cfg.backend;
+        icache = cfg.icache;
       }
       program
   in
+  (match cfg.code_layout with
+  | Some order -> Machine.set_code_layout machine order
+  | None -> ());
   List.iter
     (fun name -> Machine.set_layout machine (Kernel.baseline_layout name))
     (Kernel.struct_names @ [ Slo_ir.Ast.globals_struct_name ]);

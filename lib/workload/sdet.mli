@@ -38,10 +38,17 @@ type config = {
   backend : Slo_sim.Coherence.backend;
       (** memory-system implementation (default {!Slo_sim.Coherence.Flat};
           [Reference] is the boxed oracle, for differential benchmarks) *)
+  icache : Slo_sim.Coherence.icache option;
+      (** simulate the instruction-fetch side (default [None]: off, and
+          the run is byte-identical to the fetch-free model) *)
+  code_layout : (string * int) list option;
+      (** basic-block order override applied via
+          {!Slo_sim.Machine.set_code_layout} (default [None]: program
+          declaration order); only observable with [icache] set *)
 }
 
 val default_config : Slo_sim.Topology.t -> config
-(** reps 30, cache_lines 512, MESI, no sampling, seed 1. *)
+(** reps 30, cache_lines 512, MESI, no sampling, seed 1, no I-cache. *)
 
 val run_once : config -> Slo_sim.Machine.result
 (** Build the machine (baseline layouts + overrides), allocate populations,

@@ -460,6 +460,231 @@ let test_clear_last_sharer_kills_entry () =
         (st.Sim_stats.true_sharing_misses + st.Sim_stats.false_sharing_misses))
     [ fl; rf ]
 
+(* ------------------------------------------------------------------ *)
+(* Instruction-fetch side. The I-cache is private and coherence-free, but
+   the flat kernel and the boxed reference must still agree to the bit —
+   on per-line fetch latencies, the ifetch counters, and residency — with
+   data traffic interleaved so neither side can bleed into the other. *)
+
+let icfg = { Coherence.i_lines = 4; i_ways = None; i_line_size = 64 }
+
+let test_ifetch_unconfigured backend () =
+  let c =
+    Coherence.create (Topology.bus ~cpus:2 ()) ~line_size:128 ~cache_capacity:4
+      ~backend ()
+  in
+  Alcotest.(check bool) "no icache" false (Coherence.has_icache c);
+  match Coherence.ifetch c ~cpu:0 ~addr:0 ~size:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ifetch accepted without an icache"
+
+let test_ifetch_line_walk backend () =
+  let c =
+    Coherence.create (Topology.bus ~cpus:2 ()) ~line_size:128 ~cache_capacity:4
+      ~icache:icfg ~backend ()
+  in
+  Alcotest.(check bool) "icache on" true (Coherence.has_icache c);
+  check_int "line size" 64 (Coherence.icache_line_size c);
+  (* 8 bytes at offset 60 span I-lines 0 and 1: two fetches, two misses *)
+  let cold = Coherence.ifetch c ~cpu:0 ~addr:60 ~size:8 in
+  let st () = Coherence.stats c ~cpu:0 in
+  check_int "two line fetches" 2 (st ()).Sim_stats.ifetches;
+  check_int "two cold misses" 2 (st ()).Sim_stats.imisses;
+  check_int "stall cycles accumulate" cold (st ()).Sim_stats.istall_cycles;
+  Alcotest.(check bool) "line 0 resident" true
+    (Coherence.icache_resident c ~cpu:0 ~line:0);
+  Alcotest.(check bool) "line 1 resident" true
+    (Coherence.icache_resident c ~cpu:0 ~line:1);
+  Alcotest.(check bool) "private: not on the other cpu" false
+    (Coherence.icache_resident c ~cpu:1 ~line:0);
+  let warm = Coherence.ifetch c ~cpu:0 ~addr:60 ~size:8 in
+  Alcotest.(check bool) "warm refetch is cheaper" true (warm < cold);
+  check_int "no new misses" 2 (st ()).Sim_stats.imisses;
+  check_int "data side untouched" 0 ((st ()).Sim_stats.loads + (st ()).Sim_stats.stores)
+
+let test_icache_lru backend () =
+  let c =
+    Coherence.create (Topology.bus ~cpus:2 ()) ~line_size:128 ~cache_capacity:4
+      ~icache:icfg ~backend ()
+  in
+  let fetch l = ignore (Coherence.ifetch c ~cpu:0 ~addr:(l * 64) ~size:4) in
+  List.iter fetch [ 0; 1; 2; 3 ];
+  (* touch 0: line 1 becomes the LRU victim of the capacity-busting fetch *)
+  fetch 0;
+  fetch 4;
+  let res l = Coherence.icache_resident c ~cpu:0 ~line:l in
+  Alcotest.(check bool) "LRU line 1 evicted" false (res 1);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (Printf.sprintf "line %d resident" l) true (res l))
+    [ 0; 2; 3; 4 ]
+
+type mop = Data of int * int * int * bool | Fetch of int * int * int
+
+let mixed_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 150)
+      (let* tag = bool in
+       let* cpu = int_range 0 1000 in
+       if tag then
+         let* line = int_range 0 (lines_in_play - 1) in
+         let* off = int_range 0 15 in
+         let* w = bool in
+         return (Data (cpu, line, off, w))
+       else
+         let* addr = int_range 0 1023 in
+         let* size = int_range 1 130 in
+         return (Fetch (cpu, addr, size))))
+
+let prop_icache_differential =
+  QCheck2.Test.make
+    ~name:
+      "ifetch: flat == reference (latencies, stats, residency) with \
+       interleaved data traffic across protocols x topologies" ~count:25
+    mixed_gen
+    (fun ops ->
+      List.iter
+        (fun (_, topology) ->
+          List.iter
+            (fun protocol ->
+              let mk backend =
+                Coherence.create topology ~line_size:128 ~cache_capacity:8
+                  ~icache:icfg ~protocol ~backend ()
+              in
+              let fl = mk Coherence.Flat and rf = mk Coherence.Reference in
+              let cpus = Topology.num_cpus topology in
+              List.iter
+                (function
+                  | Data (cpu, line, off, w) ->
+                    let cpu = cpu mod cpus
+                    and addr = (line * 128) + (off * 8) in
+                    let a = Coherence.access fl ~cpu ~addr ~size:8 ~is_write:w in
+                    let b = Coherence.access rf ~cpu ~addr ~size:8 ~is_write:w in
+                    if a <> b then
+                      Alcotest.failf "data latency diverged: flat %d vs ref %d"
+                        a b
+                  | Fetch (cpu, addr, size) ->
+                    let cpu = cpu mod cpus in
+                    let a = Coherence.ifetch fl ~cpu ~addr ~size in
+                    let b = Coherence.ifetch rf ~cpu ~addr ~size in
+                    if a <> b then
+                      Alcotest.failf
+                        "fetch latency diverged (cpu %d addr %d size %d): \
+                         flat %d vs ref %d"
+                        cpu addr size a b)
+                ops;
+              Coherence.check_invariants fl;
+              Coherence.check_invariants rf;
+              for cpu = 0 to cpus - 1 do
+                if Coherence.stats fl ~cpu <> Coherence.stats rf ~cpu then
+                  Alcotest.failf "per-cpu stats diverged on cpu %d" cpu;
+                for line = 0 to 18 do
+                  if
+                    Coherence.icache_resident fl ~cpu ~line
+                    <> Coherence.icache_resident rf ~cpu ~line
+                  then
+                    Alcotest.failf "icache residency diverged: cpu %d line %d"
+                      cpu line
+                done
+              done)
+            [ Coherence.Mesi; Coherence.Moesi ])
+        topologies;
+      true)
+
+(* Machine-level: with the instruction side on and tracing enabled, the
+   whole result — fetch trace included — must stay backend-identical. *)
+let machine_icache =
+  { Coherence.i_lines = 4; i_ways = Some 2; i_line_size = 32 }
+
+let run_src_machine ?code_layout backend =
+  let program = Typecheck.check (Parser.parse_program ~file:"t.mc" src) in
+  let topology = Topology.superdome ~cpus:4 () in
+  let m =
+    Machine.create
+      {
+        (Machine.default_config topology) with
+        Machine.cache_lines = 16;
+        icache = Some machine_icache;
+        trace = true;
+        seed = 11;
+        backend;
+      }
+      program
+  in
+  (match code_layout with
+  | Some order -> Machine.set_code_layout m order
+  | None -> ());
+  let s = Machine.alloc m ~struct_name:"S" in
+  for cpu = 0 to 3 do
+    Machine.add_thread m ~cpu
+      ~work:
+        [
+          ( (if cpu mod 2 = 0 then "writer" else "reader"),
+            [ Machine.Ainst s; Machine.Aint 40 ] );
+        ]
+  done;
+  Machine.run m
+
+let test_machine_fetch_identity () =
+  let r_flat = run_src_machine Coherence.Flat
+  and r_ref = run_src_machine Coherence.Reference in
+  Alcotest.(check bool) "whole results identical (incl. fetch trace)" true
+    (r_flat = r_ref);
+  Alcotest.(check bool) "fetch trace non-empty" true
+    (r_flat.Machine.fetch_trace <> []);
+  Alcotest.(check bool) "fetches counted" true
+    (r_flat.Machine.stats.Sim_stats.ifetches > 0);
+  Alcotest.(check bool) "misses counted" true
+    (r_flat.Machine.stats.Sim_stats.imisses > 0);
+  (* a permuted layout must stay backend-identical too *)
+  let program = Typecheck.check (Parser.parse_program ~file:"t.mc" src) in
+  let order =
+    List.rev_map
+      (fun (proc, b, _, _) -> (proc, b))
+      (Machine.code_blocks
+         (Machine.create
+            (Machine.default_config (Topology.bus ~cpus:2 ()))
+            program))
+  in
+  let p_flat = run_src_machine ~code_layout:order Coherence.Flat
+  and p_ref = run_src_machine ~code_layout:order Coherence.Reference in
+  Alcotest.(check bool) "permuted layout identical across backends" true
+    (p_flat = p_ref)
+
+let test_set_code_layout_validation () =
+  let program = Typecheck.check (Parser.parse_program ~file:"t.mc" src) in
+  let mk () =
+    Machine.create
+      (Machine.default_config (Topology.bus ~cpus:2 ()))
+      program
+  in
+  let all =
+    List.map (fun (proc, b, _, _) -> (proc, b)) (Machine.code_blocks (mk ()))
+  in
+  let expect_invalid label f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" label
+  in
+  (* a full permutation is accepted and actually moves the code *)
+  let m = mk () in
+  let before = Machine.code_blocks m in
+  Machine.set_code_layout m (List.rev all);
+  Alcotest.(check bool) "layout moved the blocks" true
+    (Machine.code_blocks m <> before);
+  expect_invalid "unknown procedure" (fun () ->
+      Machine.set_code_layout (mk ()) [ ("nope", 0) ]);
+  expect_invalid "unknown block" (fun () ->
+      Machine.set_code_layout (mk ()) (("writer", 999) :: List.tl all));
+  expect_invalid "duplicate block" (fun () ->
+      Machine.set_code_layout (mk ()) (List.hd all :: all));
+  expect_invalid "incomplete cover" (fun () ->
+      Machine.set_code_layout (mk ()) (List.tl all));
+  let m = mk () in
+  ignore (Machine.run m);
+  expect_invalid "relayout after run" (fun () ->
+      Machine.set_code_layout m all)
+
 let test_kstats_exposure () =
   let mk backend =
     Coherence.create
@@ -520,5 +745,26 @@ let suites =
         Alcotest.test_case "end-to-end backend identity" `Quick
           test_machine_backend_identity;
         Alcotest.test_case "kstats exposure" `Quick test_kstats_exposure;
+      ] );
+    ( "sim.kernel.icache",
+      [
+        Alcotest.test_case "ifetch without an icache is rejected (flat)" `Quick
+          (test_ifetch_unconfigured Coherence.Flat);
+        Alcotest.test_case "ifetch without an icache is rejected (reference)"
+          `Quick
+          (test_ifetch_unconfigured Coherence.Reference);
+        Alcotest.test_case "line walk, counters, privacy (flat)" `Quick
+          (test_ifetch_line_walk Coherence.Flat);
+        Alcotest.test_case "line walk, counters, privacy (reference)" `Quick
+          (test_ifetch_line_walk Coherence.Reference);
+        Alcotest.test_case "true-LRU replacement (flat)" `Quick
+          (test_icache_lru Coherence.Flat);
+        Alcotest.test_case "true-LRU replacement (reference)" `Quick
+          (test_icache_lru Coherence.Reference);
+        QCheck_alcotest.to_alcotest prop_icache_differential;
+        Alcotest.test_case "machine fetch-trace backend identity" `Quick
+          test_machine_fetch_identity;
+        Alcotest.test_case "set_code_layout validation" `Quick
+          test_set_code_layout_validation;
       ] );
   ]
