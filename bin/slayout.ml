@@ -26,6 +26,7 @@ module Interp = Slo_profile.Interp
 module Counts = Slo_profile.Counts
 module Machine = Slo_sim.Machine
 module Topology = Slo_sim.Topology
+module Coherence = Slo_sim.Coherence
 module Sample = Slo_concurrency.Sample
 module Fmf = Slo_concurrency.Fmf
 module Affinity_graph = Slo_affinity.Affinity_graph
@@ -106,13 +107,21 @@ let generic_profile program ~int_arg ~rounds =
   counts
 
 (* Generic concurrency harness: every CPU cycles through all procedures
-   against machine-wide shared instances. *)
-let generic_samples program ~cpus ~period ~reps ~int_arg =
-  let topology = Topology.superdome ~cpus () in
+   against machine-wide shared instances. [topology] defaults to the
+   scaled Superdome; [hierarchy] optionally threads a multi-level cache
+   geometry (per-CPU L1 + per-cell LLC) through to the kernel so the
+   per-level counters accumulate; [on_result] observes the raw machine
+   result (stats + per-CPU samples) before the samples are mapped to the
+   pipeline's representation. *)
+let generic_samples ?topology ?hierarchy ?on_result program ~cpus ~period ~reps
+    ~int_arg =
+  let topology =
+    match topology with Some t -> t | None -> Topology.superdome ~cpus ()
+  in
   let machine =
     Machine.create
       { (Machine.default_config topology) with
-        Machine.sample_period = Some period; seed = 3 }
+        Machine.sample_period = Some period; seed = 3; hierarchy }
       program
   in
   let shared = Hashtbl.create 8 in
@@ -142,6 +151,7 @@ let generic_samples program ~cpus ~period ~reps ~int_arg =
       Machine.add_thread machine ~cpu ~work:!work
     done;
     let result = Machine.run machine in
+    (match on_result with Some f -> f result | None -> ());
     List.map
       (fun (s : Machine.sample) ->
         { Sample.cpu = s.Machine.s_cpu; itc = s.Machine.s_itc;
@@ -233,6 +243,35 @@ let selector_conv =
   let print ppf sel = Format.pp_print_string ppf (Optimizer.selector_name sel) in
   Arg.conv ~docv:"NAME" (parse, print)
 
+(* An unknown --topology is a command-line error the same way: Cmdliner
+   prints the valid machine shapes and exits with its cli-error status
+   (124). The conv carries the builder, not the built topology, because
+   the machine size comes from a separate --cpus argument. *)
+let topology_names = [ "superdome"; "bus" ]
+
+let topology_conv =
+  let parse s =
+    match s with
+    | "superdome" -> Ok (s, fun cpus -> Topology.superdome ~cpus ())
+    | "bus" -> Ok (s, fun cpus -> Topology.bus ~cpus ())
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown topology %S (valid: %s)" s
+              (String.concat ", " topology_names)))
+  in
+  let print ppf (name, _) = Format.pp_print_string ppf name in
+  Arg.conv ~docv:"NAME" (parse, print)
+
+(* The multi-level geometry the collection machine simulates when a
+   --topology is requested: a small private L1 in front of the coherent
+   L2 plus a per-cell victim LLC, so the per-level hit counters (and the
+   asymmetric local/remote LLC latencies) flow into the samples and the
+   printed stats. *)
+let collect_hierarchy =
+  { Coherence.h_l1_lines = 64; h_l1_ways = Some 8;
+    h_llc_lines = 1024; h_llc_ways = None }
+
 (* domains = 1 keeps the serial code path (no pool at all) so the two
    paths stay observably interchangeable from the CLI *)
 let with_jobs jobs f =
@@ -284,8 +323,9 @@ let fmf_cmd =
     (Cmd.info "fmf" ~doc:"print the field mapping file (line -> fields)")
     Term.(const run $ file_arg)
 
-let analyze ?inline ?profile_file ?samples_file ?samples_bin_file ?pool file
-    struct_name int_arg rounds cpus period k1 k2 interval line_size =
+let analyze ?inline ?profile_file ?samples_file ?samples_bin_file ?pool
+    ?topology ?hierarchy ?on_result file struct_name int_arg rounds cpus period
+    k1 k2 interval line_size =
   let program = load_program ?inline file in
   let counts =
     match profile_file with
@@ -314,7 +354,9 @@ let analyze ?inline ?profile_file ?samples_file ?samples_bin_file ?pool file
           (Pipeline.concurrency_map ?pool ~params (fun f ->
                Slo_persist.Persist.iter_samples_file ~path f)) )
     | None, None ->
-      (generic_samples program ~cpus ~period ~reps:(rounds * 8) ~int_arg, None)
+      ( generic_samples ?topology ?hierarchy ?on_result program ~cpus ~period
+          ~reps:(rounds * 8) ~int_arg,
+        None )
   in
   let flg =
     Pipeline.analyze ~params ?cm ~program ~counts ~samples ~struct_name ()
@@ -348,17 +390,26 @@ let samples_bin_file_arg =
 let suggest_cmd =
   let run file struct_name int_arg rounds cpus period k1 k2 interval line_size
       inline profile_file samples_file samples_bin_file jobs optimizer restarts
-      seed =
+      seed topology stats =
     or_die (fun () ->
         let selector = optimizer in
+        (* With --topology the collection machine switches to the requested
+           shape and simulates the multi-level hierarchy, so the samples
+           carry the machine's asymmetric miss costs; the raw result is
+           kept for the hierarchy-aware search and --stats below. *)
+        let topo = Option.map (fun (_, mk) -> mk cpus) topology in
+        let hierarchy = Option.map (fun _ -> collect_hierarchy) topology in
+        let machine_result = ref None in
         let program, params, flg, portfolio =
           (* the pool only lives inside this closure, so the search stage
              (which fans its candidates across it) runs here too *)
           with_jobs jobs (fun ~domains:_ pool ->
               let program, params, flg =
                 analyze ~inline ?profile_file ?samples_file ?samples_bin_file
-                  ?pool file struct_name int_arg rounds cpus period k1 k2
-                  interval line_size
+                  ?pool ?topology:topo ?hierarchy
+                  ~on_result:(fun r -> machine_result := Some r)
+                  file struct_name int_arg rounds cpus period k1 k2 interval
+                  line_size
               in
               let portfolio =
                 Option.map
@@ -368,6 +419,10 @@ let suggest_cmd =
               in
               (program, params, flg, portfolio))
         in
+        (match topo with
+         | Some t ->
+           Printf.printf "collection machine: %s\n\n" (Topology.describe t)
+         | None -> ());
         print_endline (Report.render (Pipeline.report ~params flg));
         Format.printf "@.%a@." Slo_core.Advisor.pp (Slo_core.Advisor.analyze flg);
         let declared =
@@ -379,25 +434,77 @@ let suggest_cmd =
           "@.--- incremental layout (constraints on declared) ---@.%a@."
           (Layout.pp_lines ~line_size)
           (Pipeline.incremental_layout ~params flg ~baseline:declared);
-        match (selector, portfolio) with
-        | Some selector, Some p ->
-          Format.printf "@.--- layout search (%s, restarts=%d, seed=%d) ---@."
-            (Optimizer.selector_name selector)
-            restarts seed;
-          Printf.printf "%-12s %12s %8s\n" "candidate" "score" "moves";
-          List.iter
-            (fun (r : Optimizer.result) ->
-              Printf.printf "%-12s %12.2f %8d\n" r.Optimizer.label
-                r.Optimizer.score r.Optimizer.moves)
-            p.Optimizer.scoreboard;
-          Printf.printf "best: %s (%.2f vs greedy %.2f)\n"
-            p.Optimizer.best.Optimizer.label p.Optimizer.best.Optimizer.score
-            p.Optimizer.greedy.Optimizer.score;
-          Format.printf "@.--- searched layout (%s) ---@.%a@."
-            p.Optimizer.best.Optimizer.label
-            (Layout.pp_lines ~line_size)
-            p.Optimizer.best.Optimizer.layout
-        | _ -> ())
+        (match (selector, portfolio) with
+         | Some selector, Some p ->
+           Format.printf "@.--- layout search (%s, restarts=%d, seed=%d) ---@."
+             (Optimizer.selector_name selector)
+             restarts seed;
+           Printf.printf "%-12s %12s %8s\n" "candidate" "score" "moves";
+           List.iter
+             (fun (r : Optimizer.result) ->
+               Printf.printf "%-12s %12.2f %8d\n" r.Optimizer.label
+                 r.Optimizer.score r.Optimizer.moves)
+             p.Optimizer.scoreboard;
+           Printf.printf "best: %s (%.2f vs greedy %.2f)\n"
+             p.Optimizer.best.Optimizer.label p.Optimizer.best.Optimizer.score
+             p.Optimizer.greedy.Optimizer.score;
+           Format.printf "@.--- searched layout (%s) ---@.%a@."
+             p.Optimizer.best.Optimizer.label
+             (Layout.pp_lines ~line_size)
+             p.Optimizer.best.Optimizer.layout
+         | _ -> ());
+        (* Machine-specific layout (paper §5): score cross-CPU conflicts
+           by where the conflicting CPUs actually sit on the requested
+           topology, and show the distance-blind layout next to it when
+           the two disagree. *)
+        (match (topo, !machine_result) with
+         | Some t, Some r ->
+           let module Hier = Slo_search.Hier in
+           let module Field = Slo_layout.Field in
+           let sd = Option.get (Ast.find_struct program struct_name) in
+           let prof =
+             Hier.profile ~fmf:(Fmf.of_program program) ~struct_name
+               ~fields:(Field.of_struct sd)
+               ~ncpus:(Topology.num_cpus t) r.Machine.samples
+           in
+           let hier_obj =
+             Hier.objective ~k1 ~k2 ~topo:t ~struct_name ~line_size prof
+           in
+           let flat_obj =
+             Hier.flat_objective ~k1 ~k2 ~struct_name ~line_size prof
+           in
+           let best obj =
+             (Optimizer.run_selector ~seed ~restarts obj
+                ~init:(Optimizer.decl_blocks obj)
+                (Option.value selector ~default:Optimizer.Portfolio))
+               .Optimizer.best
+           in
+           let bh = best hier_obj and bf = best flat_obj in
+           Format.printf
+             "@.--- hierarchy-aware layout (%s, score %.2f) ---@.%a@."
+             (Topology.describe t) bh.Optimizer.score
+             (Layout.pp_lines ~line_size)
+             bh.Optimizer.layout;
+           if
+             Layout.fields bh.Optimizer.layout
+             <> Layout.fields bf.Optimizer.layout
+           then
+             Format.printf
+               "@.--- distance-blind layout (differs; hierarchy score %.2f) \
+                ---@.%a@."
+               (Slo_search.Objective.score hier_obj bf.Optimizer.layout)
+               (Layout.pp_lines ~line_size)
+               bf.Optimizer.layout
+           else
+             Format.printf
+               "@.(the distance-blind objective picks the same layout)@."
+         | _ -> ());
+        if stats then
+          match !machine_result with
+          | Some r ->
+            Format.printf "@.--- collection machine stats ---@.%a@."
+              Slo_sim.Sim_stats.pp r.Machine.stats
+          | None -> ())
   in
   let optimizer_arg =
     Arg.(
@@ -424,6 +531,31 @@ let suggest_cmd =
       value & opt int 0
       & info [ "seed" ] ~docv:"N" ~doc:"master seed of the search PRNG streams")
   in
+  let topology_arg =
+    Arg.(
+      value
+      & opt (some topology_conv) None
+      & info [ "topology" ] ~docv:"NAME"
+          ~doc:
+            "ask for a machine-specific layout: simulate the collection \
+             machine as $(docv) — $(b,superdome) (cellular NUMA, \
+             asymmetric cache-to-cache latencies) or $(b,bus) (flat SMP) — \
+             with the multi-level cache hierarchy enabled, then run the \
+             hierarchy-aware layout search that weighs each cross-CPU \
+             conflict by the conflicting CPUs' transfer latency, printing \
+             the distance-blind layout next to it when the two disagree. \
+             The machine size still comes from $(b,--cpus).")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "print the collection machine's simulator statistics after the \
+             report, including the per-level miss breakdown (L1 / L2 / LLC \
+             local / LLC remote hits) when $(b,--topology) enabled the \
+             multi-level hierarchy")
+  in
   Cmd.v
     (Cmd.info "suggest" ~doc:"run the full pipeline and print the layout report")
     Term.(
@@ -431,7 +563,7 @@ let suggest_cmd =
       $ cpus_collect_arg $ period_arg $ k1_arg $ k2_arg $ interval_arg
       $ line_size_arg $ inline_arg $ profile_file_arg $ samples_file_arg
       $ samples_bin_file_arg $ jobs_arg $ optimizer_arg $ restarts_arg
-      $ seed_arg)
+      $ seed_arg $ topology_arg $ stats_arg)
 
 let collect_cmd =
   let run file int_arg rounds cpus period out_prefix =

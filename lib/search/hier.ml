@@ -1,0 +1,149 @@
+(* Hierarchy-aware layout objective (ROADMAP item 4; the paper's §5
+   machine-dependence result). The classic FLG weighs every cross-CPU
+   conflict the same; on a NUMA machine like the Superdome the cost of a
+   conflict depends on where the two CPUs sit — a same-chip transfer is
+   cheaper than a memory fetch while a cross-crossbar one costs ~3x
+   memory. This module rebuilds the gain/loss edges from a per-CPU access
+   profile and scales each cross-CPU loss edge by the topological distance
+   of the conflicting pair, so the optimizer separates fields contended
+   across cells while still colocating fields contended only within a
+   chip, where the transfer is cheap. *)
+
+module Field = Slo_layout.Field
+module Sgraph = Slo_graph.Sgraph
+module Topology = Slo_sim.Topology
+module Machine = Slo_sim.Machine
+module Fmf = Slo_concurrency.Fmf
+
+type profile = {
+  p_fields : Field.t list;
+  p_ncpus : int;
+  p_reads : (string, int array) Hashtbl.t; (* field -> per-CPU read count *)
+  p_writes : (string, int array) Hashtbl.t;
+}
+
+let profile ~fmf ~struct_name ~fields ~ncpus samples =
+  if ncpus <= 0 then invalid_arg "Hier.profile: ncpus <= 0";
+  if fields = [] then invalid_arg "Hier.profile: no fields";
+  let reads = Hashtbl.create 16 and writes = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Field.t) ->
+      if Hashtbl.mem reads f.Field.name then
+        invalid_arg
+          (Printf.sprintf "Hier.profile: duplicate field %S" f.Field.name);
+      Hashtbl.replace reads f.Field.name (Array.make ncpus 0);
+      Hashtbl.replace writes f.Field.name (Array.make ncpus 0))
+    fields;
+  List.iter
+    (fun (s : Machine.sample) ->
+      let cpu = s.Machine.s_cpu in
+      if cpu >= 0 && cpu < ncpus then
+        List.iter
+          (fun (fname, is_w) ->
+            match Hashtbl.find_opt (if is_w then writes else reads) fname with
+            | Some a -> a.(cpu) <- a.(cpu) + 1
+            | None -> () (* a field of the struct we were not asked about *))
+          (Fmf.fields_at fmf ~line:s.Machine.s_line ~struct_name))
+    samples;
+  { p_fields = fields; p_ncpus = ncpus; p_reads = reads; p_writes = writes }
+
+let ncpus p = p.p_ncpus
+let fields p = p.p_fields
+
+let count tbl name cpu =
+  match Hashtbl.find_opt tbl name with
+  | Some a when cpu >= 0 && cpu < Array.length a -> a.(cpu)
+  | _ -> 0
+
+let read_count p ~field ~cpu = count p.p_reads field cpu
+let write_count p ~field ~cpu = count p.p_writes field cpu
+
+(* The level weight of one cross-CPU conflict: the cache-to-cache
+   transfer cost between the two CPUs, normalized by the memory latency
+   so a conflict "as bad as a miss" weighs 1.0. On the Superdome this
+   spans 0.2 (same chip) to ~3.3 (cross crossbar); on a bus machine it is
+   a flat 1.1 — which is exactly why the flat objective is a good match
+   there and a bad one on the big machine. *)
+let penalty topo ~src ~dst =
+  if src = dst then 0.0
+  else
+    float_of_int (Topology.transfer_latency topo ~src ~dst)
+    /. float_of_int (Topology.memory_latency topo)
+
+let arr tbl name ncpus =
+  match Hashtbl.find_opt tbl name with Some a -> a | None -> Array.make ncpus 0
+
+(* Per-field per-CPU total access counts (reads + writes). *)
+let access_arrays p =
+  List.map
+    (fun (f : Field.t) ->
+      let r = arr p.p_reads f.Field.name p.p_ncpus
+      and w = arr p.p_writes f.Field.name p.p_ncpus in
+      (f.Field.name, r, w, Array.init p.p_ncpus (fun c -> r.(c) + w.(c))))
+    p.p_fields
+
+let fold_pairs xs ~init ~f =
+  let rec outer acc = function
+    | [] -> acc
+    | x :: rest -> outer (List.fold_left (fun acc y -> f acc x y) acc rest) rest
+  in
+  outer init xs
+
+let add_nodes p =
+  List.fold_left
+    (fun g (f : Field.t) -> Sgraph.add_node g f.Field.name)
+    Sgraph.empty p.p_fields
+
+(* Colocation gain: for each CPU, paired accesses to both fields by that
+   CPU — accesses that would have shared a line had the fields been
+   colocated (the same [min] pairing estimate the CycleGain side of the
+   classic FLG uses). Same-CPU only: gain is machine-independent. *)
+let gain_graph p =
+  let accs = access_arrays p in
+  fold_pairs accs ~init:(add_nodes p) ~f:(fun g (fn, _, _, fa) (gn, _, _, ga) ->
+      let s = ref 0 in
+      for c = 0 to p.p_ncpus - 1 do
+        s := !s + min fa.(c) ga.(c)
+      done;
+      if !s > 0 then Sgraph.add_edge g fn gn (float_of_int !s) else g)
+
+(* Contention loss under a level-weight function: writes to one field by
+   CPU [c1] paired against accesses to the other field by CPU [c2 <> c1]
+   — the invalidation traffic colocation would create — each pair scaled
+   by [pen ~src:c1 ~dst:c2]. With [pen = penalty topo] this is the
+   hierarchy-aware loss; with a constant it degenerates to the classic
+   distance-blind estimate. *)
+let loss_graph ~pen p =
+  let accs = access_arrays p in
+  let pair_loss (wf : int array) (ga : int array) =
+    let s = ref 0.0 in
+    for c1 = 0 to p.p_ncpus - 1 do
+      if wf.(c1) > 0 then
+        for c2 = 0 to p.p_ncpus - 1 do
+          if c2 <> c1 && ga.(c2) > 0 then
+            s := !s +. (float_of_int (min wf.(c1) ga.(c2)) *. pen ~src:c1 ~dst:c2)
+        done
+    done;
+    !s
+  in
+  fold_pairs accs ~init:(add_nodes p)
+    ~f:(fun g (fn, _, fw, fa) (gn, _, gw, ga) ->
+      let l = pair_loss fw ga +. pair_loss gw fa in
+      if l > 0.0 then Sgraph.add_edge g fn gn l else g)
+
+let graph ?(k1 = 1.0) ?(k2 = 1.0) ~pen p =
+  let gain =
+    Sgraph.map_weights (gain_graph p) ~f:(fun _ _ w -> k1 *. w)
+  in
+  let loss =
+    Sgraph.map_weights (loss_graph ~pen p) ~f:(fun _ _ w -> -.(k2 *. w))
+  in
+  Sgraph.union gain loss
+
+let objective ?k1 ?k2 ~topo ~struct_name ~line_size p =
+  Objective.make ~struct_name ~fields:p.p_fields ~line_size
+    ~graph:(graph ?k1 ?k2 ~pen:(fun ~src ~dst -> penalty topo ~src ~dst) p)
+
+let flat_objective ?k1 ?k2 ~struct_name ~line_size p =
+  Objective.make ~struct_name ~fields:p.p_fields ~line_size
+    ~graph:(graph ?k1 ?k2 ~pen:(fun ~src:_ ~dst:_ -> 1.0) p)

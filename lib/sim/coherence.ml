@@ -7,6 +7,13 @@ type icache = Memkern.icache = {
   i_line_size : int;
 }
 
+type hierarchy = Memkern.hierarchy = {
+  h_l1_lines : int;
+  h_l1_ways : int option;
+  h_llc_lines : int;
+  h_llc_ways : int option;
+}
+
 (* The boxed reference implementation. It is the semantic spec: readable
    OCaml over Hashtbl/list structures, kept as the differential oracle the
    flat kernel (memkern.ml) is tested against. Protocol changes must land
@@ -22,12 +29,24 @@ module Ref = struct
      are simply dropped — nothing is dirty and there is no directory). *)
   type ref_icache = { icaches : Cache.t array; ic_lsize : int }
 
+  (* The boxed multi-level side: a residency-only Cache per CPU for the
+     L1 filter and one per cell for the victim LLC (state is irrelevant in
+     both — lines are inserted Shared; the L2 below owns the coherence
+     state, and an LLC line by construction has no cached copy at all). *)
+  type ref_hier = {
+    l1s : Cache.t array;
+    llcs : Cache.t array;
+    r_ncells : int;
+    r_cellof : int array;
+  }
+
   type t = {
     topo : Topology.t;
     lsize : int;
     proto : protocol;
     caches : Cache.t array;
     ic : ref_icache option;
+    hx : ref_hier option;
     directory : (int, dir_entry) Hashtbl.t;
     touched : (int, unit) Hashtbl.t;  (* lines ever accessed, for cold misses *)
     inv_hints : (int, (int * (int * int)) list) Hashtbl.t;
@@ -50,7 +69,23 @@ module Ref = struct
       ic_lsize = i_line_size;
     }
 
-  let create topo ~line_size ~cache_capacity ?ways ?icache ~protocol () =
+  let make_hier topo ~ncpus h =
+    if h.h_l1_lines <= 0 then invalid_arg "Coherence.create: L1 lines <= 0";
+    if h.h_llc_lines <= 0 then invalid_arg "Coherence.create: LLC lines <= 0";
+    let ncells = Topology.num_cells topo in
+    {
+      l1s =
+        Array.init ncpus (fun _ ->
+            Cache.create ~capacity:h.h_l1_lines ?ways:h.h_l1_ways ());
+      llcs =
+        Array.init ncells (fun _ ->
+            Cache.create ~capacity:h.h_llc_lines ?ways:h.h_llc_ways ());
+      r_ncells = ncells;
+      r_cellof = Array.init ncpus (Topology.cell_of topo);
+    }
+
+  let create topo ~line_size ~cache_capacity ?ways ?icache ?hierarchy ~protocol
+      () =
     if line_size <= 0 then invalid_arg "Coherence.create: line_size <= 0";
     if cache_capacity <= 0 then
       invalid_arg "Coherence.create: cache_capacity <= 0";
@@ -61,6 +96,7 @@ module Ref = struct
       proto = protocol;
       caches = Array.init n (fun _ -> Cache.create ~capacity:cache_capacity ?ways ());
       ic = Option.map (make_ic ~ncpus:n) icache;
+      hx = Option.map (make_hier topo ~ncpus:n) hierarchy;
       directory = Hashtbl.create 4096;
       touched = Hashtbl.create 4096;
       inv_hints = Hashtbl.create 256;
@@ -103,6 +139,29 @@ module Ref = struct
   let count_writeback t cpu =
     t.stats.(cpu).Sim_stats.writebacks <- t.stats.(cpu).Sim_stats.writebacks + 1
 
+  let l1_resident h cpu line = Cache.state h.l1s.(cpu) line <> None
+
+  (* Touch if resident, insert (possibly evicting silently) otherwise. *)
+  let l1_promote h cpu line =
+    match Cache.state h.l1s.(cpu) line with
+    | Some _ -> Cache.touch h.l1s.(cpu) line
+    | None -> ignore (Cache.insert h.l1s.(cpu) line Cache.Shared)
+
+  (* Remove a line from a CPU's L2, back-invalidating its inclusive L1. *)
+  let l2_remove t cpu line =
+    Cache.remove t.caches.(cpu) line;
+    match t.hx with Some h -> Cache.remove h.l1s.(cpu) line | None -> ()
+
+  (* Cell whose victim LLC holds [line], or -1. Exclusivity guarantees at
+     most one holder, so scan order cannot change the answer. *)
+  let llc_find h line =
+    let rec go c =
+      if c >= h.r_ncells then -1
+      else if Cache.state h.llcs.(c) line <> None then c
+      else go (c + 1)
+    in
+    go 0
+
   (* Keep the directory consistent when a cache evicts a victim line. Dirty
      victims (M or O) write back. When the last cached copy goes, the
      directory entry is dropped — and with it any pending invalidation
@@ -121,10 +180,21 @@ module Ref = struct
       Hashtbl.remove t.inv_hints victim_line
     end
 
+  (* Mirror of Memkern.insert_line: under the hierarchy the victim leaves
+     this CPU's L1 (inclusion), drops into the CPU's cell LLC if its last
+     cached copy just died, and the new line is promoted into the L1. *)
   let insert_line t cpu line st =
-    match Cache.insert t.caches.(cpu) line st with
+    (match Cache.insert t.caches.(cpu) line st with
     | None -> ()
-    | Some victim -> note_eviction t cpu victim
+    | Some ((vline, _) as victim) -> (
+      note_eviction t cpu victim;
+      match t.hx with
+      | Some h ->
+        Cache.remove h.l1s.(cpu) vline;
+        if not (Hashtbl.mem t.directory vline) then
+          ignore (Cache.insert h.llcs.(h.r_cellof.(cpu)) vline Cache.Shared)
+      | None -> ()));
+    match t.hx with Some h -> l1_promote h cpu line | None -> ()
 
   (* Invalidate every other copy of [line]; record the writer's byte
      interval so the next miss by an invalidated CPU can be classified.
@@ -137,7 +207,7 @@ module Ref = struct
       (match Cache.state t.caches.(o) line with
       | Some (Cache.Modified | Cache.Owned) -> count_writeback t o
       | Some (Cache.Exclusive | Cache.Shared) | None -> ());
-      Cache.remove t.caches.(o) line;
+      l2_remove t o line;
       hint_set t ~cpu:o ~line interval;
       victims := o :: !victims;
       e.owner <- None
@@ -145,7 +215,7 @@ module Ref = struct
     List.iter
       (fun s ->
         if s <> writer then begin
-          Cache.remove t.caches.(s) line;
+          l2_remove t s line;
           hint_set t ~cpu:s ~line interval;
           victims := s :: !victims
         end)
@@ -171,14 +241,54 @@ module Ref = struct
 
   let lat t = Topology.latencies t.topo
 
+  (* Mirror of Memkern.memory_fetch: no L2 anywhere holds the line, so
+     probe the victim LLCs before memory; a hit consumes the copy and
+     costs the distance to the holding cell, capped at memory latency. *)
+  let memory_fetch t ~cpu ~line =
+    match t.hx with
+    | None -> Topology.memory_latency t.topo
+    | Some h ->
+      let cell = llc_find h line in
+      if cell < 0 then Topology.memory_latency t.topo
+      else begin
+        Cache.remove h.llcs.(cell) line;
+        let st = t.stats.(cpu) in
+        (if cell = h.r_cellof.(cpu) then
+           st.Sim_stats.llc_local_hits <- st.Sim_stats.llc_local_hits + 1
+         else st.Sim_stats.llc_remote_hits <- st.Sim_stats.llc_remote_hits + 1);
+        min
+          (Topology.llc_hit_latency t.topo ~cpu ~cell)
+          (Topology.memory_latency t.topo)
+      end
+
+  (* Mirror of Memkern.l2_hit_cost. *)
+  let l2_hit_cost t cpu line =
+    match t.hx with
+    | Some h ->
+      let st = t.stats.(cpu) in
+      st.Sim_stats.l2_hits <- st.Sim_stats.l2_hits + 1;
+      l1_promote h cpu line;
+      Topology.l2_hit_latency t.topo
+    | None -> (lat t).Topology.l1_hit
+
   let read t ~cpu ~line ~off ~size =
     let cache = t.caches.(cpu) in
     let st = t.stats.(cpu) in
+    match t.hx with
+    | Some h when l1_resident h cpu line ->
+      (* L1 filter hit: inclusion guarantees a readable L2 copy, so the
+         access completes entirely in the private L1 (mirror of
+         Memkern.read's L1 arm; the L2 LRU is deliberately untouched). *)
+      Cache.touch h.l1s.(cpu) line;
+      st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+      st.Sim_stats.l1_hits <- st.Sim_stats.l1_hits + 1;
+      (lat t).Topology.l1_hit
+    | _ -> (
     match Cache.state cache line with
     | Some _ ->
       Cache.touch cache line;
       st.Sim_stats.hits <- st.Sim_stats.hits + 1;
-      (lat t).Topology.l1_hit
+      l2_hit_cost t cpu line
     | None ->
       classify_miss t ~cpu ~line ~off ~size;
       let e = dir_entry t line in
@@ -220,31 +330,42 @@ module Ref = struct
             nearest
           end
           else begin
-            (* No cached copy anywhere: fetch from memory, Exclusive. *)
+            (* No cached copy anywhere: LLC probe or memory fetch, Exclusive. *)
             e.owner <- Some cpu;
-            Topology.memory_latency t.topo
+            memory_fetch t ~cpu ~line
           end
       in
       let state = if e.owner = Some cpu then Cache.Exclusive else Cache.Shared in
       insert_line t cpu line state;
-      latency
+      latency)
 
   let write t ~cpu ~line ~off ~size =
     let cache = t.caches.(cpu) in
     let st = t.stats.(cpu) in
     let interval = (off, size) in
+    match t.hx with
+    | Some h when l1_resident h cpu line && Cache.state cache line = Some Cache.Modified
+      ->
+      (* The only write the L1 filter can absorb alone: the line is
+         already Modified, so no directory action or state change is
+         needed (mirror of Memkern.write's L1 arm). *)
+      Cache.touch h.l1s.(cpu) line;
+      st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+      st.Sim_stats.l1_hits <- st.Sim_stats.l1_hits + 1;
+      (lat t).Topology.l1_hit
+    | _ -> (
     match Cache.state cache line with
     | Some Cache.Modified ->
       Cache.touch cache line;
       st.Sim_stats.hits <- st.Sim_stats.hits + 1;
-      (lat t).Topology.l1_hit
+      l2_hit_cost t cpu line
     | Some Cache.Exclusive ->
       (* Silent E->M upgrade. *)
       Cache.set_state cache line Cache.Modified;
       let e = dir_entry t line in
       e.owner <- Some cpu;
       st.Sim_stats.hits <- st.Sim_stats.hits + 1;
-      (lat t).Topology.l1_hit
+      l2_hit_cost t cpu line
     | Some (Cache.Shared | Cache.Owned) ->
       (* Upgrade: invalidate every other copy; we already have the data. *)
       st.Sim_stats.hits <- st.Sim_stats.hits + 1;
@@ -260,7 +381,7 @@ module Ref = struct
       let inv_lat =
         Topology.invalidation_latency t.topo ~writer:cpu ~holders:victims
       in
-      max (lat t).Topology.l1_hit inv_lat
+      max (l2_hit_cost t cpu line) inv_lat
     | None ->
       classify_miss t ~cpu ~line ~off ~size;
       let e = dir_entry t line in
@@ -275,7 +396,7 @@ module Ref = struct
               (fun acc s ->
                 min acc (Topology.transfer_latency t.topo ~src:s ~dst:cpu))
               max_int e.sharers
-          else Topology.memory_latency t.topo
+          else memory_fetch t ~cpu ~line
       in
       let victims = invalidate_others t ~line ~writer:cpu ~interval in
       st.Sim_stats.invalidations <-
@@ -287,7 +408,7 @@ module Ref = struct
       e.owner <- Some cpu;
       e.sharers <- [];
       insert_line t cpu line Cache.Modified;
-      max fetch_latency inv_lat
+      max fetch_latency inv_lat)
 
   let access t ~cpu ~addr ~size ~is_write =
     if cpu < 0 || cpu >= Array.length t.caches then
@@ -352,6 +473,16 @@ module Ref = struct
     match t.ic with
     | None -> false
     | Some ic -> Cache.state ic.icaches.(cpu) line <> None
+
+  let l1_resident_at t ~cpu ~line =
+    match t.hx with None -> false | Some h -> l1_resident h cpu line
+
+  let llc_cell t ~line =
+    match t.hx with
+    | None -> None
+    | Some h ->
+      let c = llc_find h line in
+      if c < 0 then None else Some c
 
   let check_invariants t =
     let fail fmt = Format.kasprintf invalid_arg fmt in
@@ -424,7 +555,32 @@ module Ref = struct
           fail "Coherence invariant: empty hint list kept for line %d" line;
         if not (Hashtbl.mem t.directory line) then
           fail "Coherence invariant: invalidation hint outlives line %d" line)
-      t.inv_hints
+      t.inv_hints;
+    (* Hierarchy: L1 inclusion, LLC exclusivity and single-cell residency. *)
+    match t.hx with
+    | None -> ()
+    | Some h ->
+      Array.iteri
+        (fun cpu l1 ->
+          Cache.iter l1 (fun line _ ->
+              if Cache.state t.caches.(cpu) line = None then
+                fail "Coherence invariant: L1 line %d of cpu %d not in L2" line
+                  cpu))
+        h.l1s;
+      let seen = Hashtbl.create 64 in
+      Array.iteri
+        (fun cell llc ->
+          Cache.iter llc (fun line _ ->
+              if Hashtbl.mem t.directory line then
+                fail
+                  "Coherence invariant: LLC line %d coexists with a directory \
+                   entry"
+                  line;
+              if Hashtbl.mem seen line then
+                fail "Coherence invariant: LLC line %d resident in two cells"
+                  line;
+              Hashtbl.replace seen line cell))
+        h.llcs
 end
 
 (* Dispatcher: the flat kernel is the default everyone rides (Machine,
@@ -432,15 +588,17 @@ end
    differential tests and as the bench sim_scale baseline. *)
 type t = Flat_k of Memkern.t | Ref_k of Ref.t
 
-let create topo ~line_size ~cache_capacity ?ways ?icache ?(protocol = Mesi)
-    ?(backend = Flat) () =
+let create topo ~line_size ~cache_capacity ?ways ?icache ?hierarchy
+    ?(protocol = Mesi) ?(backend = Flat) () =
   match backend with
   | Flat ->
     Flat_k
-      (Memkern.create topo ~line_size ~cache_capacity ?ways ?icache
+      (Memkern.create topo ~line_size ~cache_capacity ?ways ?icache ?hierarchy
          ~moesi:(protocol = Moesi) ())
   | Reference ->
-    Ref_k (Ref.create topo ~line_size ~cache_capacity ?ways ?icache ~protocol ())
+    Ref_k
+      (Ref.create topo ~line_size ~cache_capacity ?ways ?icache ?hierarchy
+         ~protocol ())
 
 let backend = function Flat_k _ -> Flat | Ref_k _ -> Reference
 
@@ -481,6 +639,25 @@ let icache_resident t ~cpu ~line =
   match t with
   | Flat_k k -> Memkern.icache_resident k ~cpu ~line
   | Ref_k r -> Ref.icache_resident r ~cpu ~line
+
+let has_hierarchy = function
+  | Flat_k k -> Memkern.has_hierarchy k
+  | Ref_k r -> r.Ref.hx <> None
+
+let l1_resident t ~cpu ~line =
+  match t with
+  | Flat_k k -> Memkern.l1_resident k ~cpu ~line
+  | Ref_k r -> Ref.l1_resident_at r ~cpu ~line
+
+let llc_cell t ~line =
+  match t with
+  | Flat_k k -> Memkern.llc_cell k ~line
+  | Ref_k r -> Ref.llc_cell r ~line
+
+let num_cells = function
+  | Flat_k k -> Memkern.num_cells k
+  | Ref_k r -> (
+    match r.Ref.hx with None -> 1 | Some h -> h.Ref.r_ncells)
 
 let stats t ~cpu =
   match t with

@@ -62,20 +62,38 @@ type icache = Memkern.icache = {
   i_line_size : int;  (** I-cache line size in bytes *)
 }
 
+(** Multi-level hierarchy geometry. When given, every CPU gets a private
+    L1 residency filter in front of its coherent cache (which becomes the
+    L2), and every topology cell ({!Topology.num_cells}) gets a shared
+    victim LLC holding lines whose last L2 copy died. L1 hits cost
+    [l1_hit]; L1-miss/L2-hits cost [l2_hit]; an L2 miss with no cached
+    copy anywhere probes the LLCs and pays the topological distance to the
+    holding cell (capped at memory latency) — the asymmetric local/remote
+    cliff the paper's Superdome results hinge on. Both backends implement
+    it and the differential suites compare them level by level. *)
+type hierarchy = Memkern.hierarchy = {
+  h_l1_lines : int;  (** per-CPU L1 capacity in lines *)
+  h_l1_ways : int option;  (** L1 associativity; [None] = fully assoc. *)
+  h_llc_lines : int;  (** per-cell LLC capacity in lines *)
+  h_llc_ways : int option;  (** LLC associativity *)
+}
+
 val create :
   Topology.t ->
   line_size:int ->
   cache_capacity:int ->
   ?ways:int ->
   ?icache:icache ->
+  ?hierarchy:hierarchy ->
   ?protocol:protocol ->
   ?backend:backend ->
   unit ->
   t
 (** [ways] defaults to fully associative; [protocol] to {!Mesi}; [backend]
-    to {!Flat}; [icache] to absent (no instruction side is simulated).
+    to {!Flat}; [icache] to absent (no instruction side is simulated);
+    [hierarchy] to absent (a single private cache level per CPU).
     @raise Invalid_argument on non-positive sizes or invalid
-    associativity (for the data cache or the I-cache). *)
+    associativity (for the data cache, the I-cache or the hierarchy). *)
 
 val line_size : t -> int
 val topology : t -> Topology.t
@@ -108,6 +126,20 @@ val ifetch : t -> cpu:int -> addr:int -> size:int -> int
 val icache_resident : t -> cpu:int -> line:int -> bool
 (** Whether the I-cache line is resident in [cpu]'s I-cache (false when no
     I-cache is configured). Introspection for the differential tests. *)
+
+val has_hierarchy : t -> bool
+
+val l1_resident : t -> cpu:int -> line:int -> bool
+(** Whether the line is resident in [cpu]'s private L1 filter (false when
+    no hierarchy is configured). Introspection for the differential
+    tests. *)
+
+val llc_cell : t -> line:int -> int option
+(** The cell whose victim LLC holds the line — at most one by the LLC
+    exclusivity invariant. [None] when absent or no hierarchy. *)
+
+val num_cells : t -> int
+(** Number of LLC cells simulated (1 when no hierarchy is configured). *)
 
 val stats : t -> cpu:int -> Sim_stats.t
 val total_stats : t -> Sim_stats.t

@@ -21,6 +21,7 @@ type config = {
   trace : bool;
   backend : Coherence.backend;
   icache : Coherence.icache option;
+  hierarchy : Coherence.hierarchy option;
 }
 
 type trace_event = {
@@ -35,7 +36,7 @@ let default_config topology =
   { topology; line_size = 128; cache_lines = 4096; cache_ways = None;
     protocol = Coherence.Mesi; sample_period = None; seed = 42;
     load_base = 2; store_base = 8; trace = false;
-    backend = Coherence.Flat; icache = None }
+    backend = Coherence.Flat; icache = None; hierarchy = None }
 
 let call_overhead = 5
 
@@ -227,8 +228,8 @@ let create config program =
     coherence =
       Coherence.create config.topology ~line_size:config.line_size
         ~cache_capacity:config.cache_lines ?ways:config.cache_ways
-        ?icache:config.icache ~protocol:config.protocol
-        ~backend:config.backend ();
+        ?icache:config.icache ?hierarchy:config.hierarchy
+        ~protocol:config.protocol ~backend:config.backend ();
     memory = Flat_tab.create ~capacity:4096 ();
     layouts;
     arena_next = 0;
@@ -842,6 +843,13 @@ let run t =
     Obs.incr ~by:stats.Sim_stats.imisses "sim.icache.misses";
     Obs.incr ~by:stats.Sim_stats.istall_cycles "sim.icache.stall_cycles"
   end;
+  if t.config.hierarchy <> None then begin
+    Obs.incr "sim.llc.runs";
+    Obs.incr ~by:stats.Sim_stats.l1_hits "sim.llc.l1_hits";
+    Obs.incr ~by:stats.Sim_stats.l2_hits "sim.llc.l2_hits";
+    Obs.incr ~by:stats.Sim_stats.llc_local_hits "sim.llc.local_hits";
+    Obs.incr ~by:stats.Sim_stats.llc_remote_hits "sim.llc.remote_hits"
+  end;
   (match Coherence.kstats t.coherence with
   | Some k ->
     Obs.incr "sim.kernel.runs";
@@ -850,6 +858,8 @@ let run t =
       "sim.kernel.accesses";
     Obs.incr ~by:k.Memkern.k_hint_drops "sim.kernel.hint_drops";
     Obs.incr ~by:k.Memkern.k_probe_steps "sim.kernel.probe_steps";
+    if t.config.hierarchy <> None then
+      Obs.incr ~by:k.Memkern.k_llc_fills "sim.kernel.llc_fills";
     let peak = float_of_int k.Memkern.k_dir_peak in
     let prev =
       match Obs.gauge "sim.kernel.dir_peak_entries" with

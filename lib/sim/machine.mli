@@ -43,6 +43,12 @@ type config = {
           block's code-address range through a private per-CPU I-cache and
           pays the fetch latency. [None] (default) leaves the machine
           byte-identical to the fetch-free model. *)
+  hierarchy : Coherence.hierarchy option;
+      (** simulate the multi-level NUMA memory hierarchy: a private L1
+          filter per CPU in front of the coherent cache (now the L2) and a
+          shared victim LLC per topology cell, with asymmetric local /
+          remote LLC latencies. [None] (default) keeps the single-level
+          machine byte-identical to the pre-hierarchy model. *)
 }
 
 (** One struct/global memory access, as recorded when [config.trace] is
@@ -59,7 +65,8 @@ type trace_event = {
 
 val default_config : Topology.t -> config
 (** line_size 128, 4096 fully-associative lines, MESI, no sampling,
-    seed 42, load_base 2, store_base 8, flat kernel backend, no I-cache. *)
+    seed 42, load_base 2, store_base 8, flat kernel backend, no I-cache,
+    no multi-level hierarchy. *)
 
 val call_overhead : int
 

@@ -33,13 +33,26 @@ let bit_index b =
    machinery below — just packed slots and LRU chains. *)
 type icache = { i_lines : int; i_ways : int option; i_line_size : int }
 
-(* Flat per-CPU instruction caches: the same packed-slot + array-index LRU
-   representation as the data caches, minus states (a slot word is just
-   the line index; -1 = empty) and minus the directory. *)
+(* Multi-level hierarchy geometry: a private per-CPU L1 residency filter
+   in front of the coherent L2 below, plus one shared victim LLC per
+   topology cell. Line size is inherited from the L2. *)
+type hierarchy = {
+  h_l1_lines : int;
+  h_l1_ways : int option;
+  h_llc_lines : int;
+  h_llc_ways : int option;
+}
+
+(* Flat residency-only caches: the same packed-slot + array-index LRU
+   representation as the coherent caches, minus states (a slot word is
+   just the line index; -1 = empty) and minus the directory. One [ic]
+   serves [nunits] units — per-CPU for the I-cache and the L1 filter,
+   per-cell for the shared LLC. *)
 type ic = {
   ic_lsize : int;
   ic_nsets : int;
   ic_nways : int;
+  ic_scan : bool; (* narrow sets: look lines up by scanning the set block *)
   ic_slots : int array;
   ic_nxt : int array;
   ic_prv : int array;
@@ -47,7 +60,163 @@ type ic = {
   ic_tail : int array;
   ic_fill : int array;
   ic_free : int array;
-  ic_where : Flat_tab.t array; (* per CPU: line -> slot index *)
+  ic_where : Flat_tab.t array; (* per unit: line -> slot index; hashed mode *)
+}
+
+(* Sets of at most this many ways are probed by scanning their slot words
+   directly instead of through the per-unit hash table: a handful of
+   contiguous int compares beats a multiply + probe chain, and eviction
+   churn stops paying the table's backward-shift deletes. The tiny L1
+   filters (and direct-mapped I-caches) live on the access fast path, so
+   this is where the multi-level throughput gate is won. *)
+let scan_ways_max = 16
+
+let make_rc ~what ~nunits ~lines ~ways ~line_size =
+  let bad fmt = Printf.ksprintf invalid_arg ("Memkern.create: " ^^ fmt) in
+  if line_size <= 0 then bad "%s line_size <= 0" what;
+  if lines <= 0 then bad "%s lines <= 0" what;
+  let nways = match ways with Some w -> w | None -> lines in
+  if nways <= 0 then bad "%s ways <= 0" what;
+  if lines mod nways <> 0 then bad "%s ways must divide capacity" what;
+  let nsets = lines / nways in
+  let nslots = nunits * lines in
+  let ic =
+    {
+      ic_lsize = line_size;
+      ic_nsets = nsets;
+      ic_nways = nways;
+      ic_scan = nways <= scan_ways_max;
+      ic_slots = Array.make nslots (-1);
+      ic_nxt = Array.make nslots (-1);
+      ic_prv = Array.make nslots (-1);
+      ic_head = Array.make (nunits * nsets) (-1);
+      ic_tail = Array.make (nunits * nsets) (-1);
+      ic_fill = Array.make (nunits * nsets) 0;
+      ic_free = Array.make (nunits * nsets) (-1);
+      ic_where =
+        Array.init nunits (fun _ ->
+            Flat_tab.create ~capacity:(min (2 * lines) 8192) ());
+    }
+  in
+  for sb = 0 to (nunits * nsets) - 1 do
+    let base = sb * nways in
+    for w = 0 to nways - 1 do
+      ic.ic_nxt.(base + w) <- (if w = nways - 1 then -1 else base + w + 1)
+    done;
+    ic.ic_free.(sb) <- base
+  done;
+  ic
+
+let make_ic ~ncpus { i_lines; i_ways; i_line_size } =
+  make_rc ~what:"icache" ~nunits:ncpus ~lines:i_lines ~ways:i_ways
+    ~line_size:i_line_size
+
+(* ---------- residency-cache primitives (mirror cache.ml, stateless) ---------- *)
+
+(* Fully-associative units (the common L1 shape) have one set, and
+   [mod 1] would still cost a hardware divide on the per-access path. *)
+let ic_sb ic u line =
+  if ic.ic_nsets = 1 then u else (u * ic.ic_nsets) + (line mod ic.ic_nsets)
+
+(* Slot of [line] in unit [u], or -1. Scan mode walks the set's LRU chain
+   MRU-first: hits are temporally clustered at the front (the head alone
+   absorbs most of them), and a miss only traverses the live fill, never
+   the free slots. Hashed mode probes the per-unit table. *)
+let ic_find ic u line =
+  if ic.ic_scan then begin
+    let sb = ic_sb ic u line in
+    let s = ref ic.ic_head.(sb) in
+    while !s >= 0 && ic.ic_slots.(!s) <> line do
+      s := ic.ic_nxt.(!s)
+    done;
+    !s
+  end
+  else Flat_tab.find ic.ic_where.(u) line ~default:(-1)
+
+let ic_unlink ic sb s =
+  let p = ic.ic_prv.(s) and n = ic.ic_nxt.(s) in
+  if p >= 0 then ic.ic_nxt.(p) <- n else ic.ic_head.(sb) <- n;
+  if n >= 0 then ic.ic_prv.(n) <- p else ic.ic_tail.(sb) <- p;
+  ic.ic_prv.(s) <- -1;
+  ic.ic_nxt.(s) <- -1;
+  ic.ic_fill.(sb) <- ic.ic_fill.(sb) - 1
+
+let ic_push_front ic sb s =
+  let h = ic.ic_head.(sb) in
+  ic.ic_nxt.(s) <- h;
+  ic.ic_prv.(s) <- -1;
+  if h >= 0 then ic.ic_prv.(h) <- s else ic.ic_tail.(sb) <- s;
+  ic.ic_head.(sb) <- s;
+  ic.ic_fill.(sb) <- ic.ic_fill.(sb) + 1
+
+(* Miss path: evict the set's LRU tail if full (residency caches never
+   write back — the coherent level below owns the data), place the line,
+   mark MRU. Returns the evicted line, or -1 if the set had room. *)
+let ic_insert ic u line =
+  let sb = ic_sb ic u line in
+  if ic.ic_fill.(sb) >= ic.ic_nways then begin
+    let v = ic.ic_tail.(sb) in
+    let vline = ic.ic_slots.(v) in
+    ic_unlink ic sb v;
+    ic.ic_slots.(v) <- line;
+    ic_push_front ic sb v;
+    if not ic.ic_scan then begin
+      Flat_tab.remove ic.ic_where.(u) vline;
+      Flat_tab.set ic.ic_where.(u) line v
+    end;
+    vline
+  end
+  else begin
+    let s = ic.ic_free.(sb) in
+    ic.ic_free.(sb) <- ic.ic_nxt.(s);
+    ic.ic_slots.(s) <- line;
+    ic_push_front ic sb s;
+    if not ic.ic_scan then Flat_tab.set ic.ic_where.(u) line s;
+    -1
+  end
+
+let ic_resident ic u line = ic_find ic u line >= 0
+
+(* Mark MRU with the slot already in hand; already-MRU lines are left
+   alone (an LRU move of the head is observationally a no-op). *)
+let ic_touch_slot ic u line s =
+  let sb = ic_sb ic u line in
+  if ic.ic_head.(sb) <> s then begin
+    ic_unlink ic sb s;
+    ic_push_front ic sb s
+  end
+
+(* Mirror of Cache.remove (no-op when absent). *)
+let ic_remove ic u line =
+  let s = ic_find ic u line in
+  if s >= 0 then begin
+    let sb = ic_sb ic u line in
+    ic_unlink ic sb s;
+    ic.ic_slots.(s) <- -1;
+    ic.ic_nxt.(s) <- ic.ic_free.(sb);
+    ic.ic_free.(sb) <- s;
+    if not ic.ic_scan then Flat_tab.remove ic.ic_where.(u) line
+  end
+
+(* Iterate unit [u]'s resident (line, slot) pairs in either mode. *)
+let ic_iter_unit ic u f =
+  if ic.ic_scan then begin
+    let base = u * ic.ic_nsets * ic.ic_nways in
+    for s = base to base + (ic.ic_nsets * ic.ic_nways) - 1 do
+      if ic.ic_slots.(s) >= 0 then f ic.ic_slots.(s) s
+    done
+  end
+  else Flat_tab.iter ic.ic_where.(u) f
+
+(* Hierarchy state: the L1 filter is unit-per-CPU, the victim LLC is
+   unit-per-cell, and [h_where] indexes the (at most one, by exclusivity)
+   cell holding each LLC-resident line so the memory path probes in O(1). *)
+type hier = {
+  hl1 : ic;
+  hllc : ic;
+  ncells : int;
+  cellof : int array; (* cpu -> cell *)
+  h_where : Flat_tab.t; (* line -> holding cell *)
 }
 
 type t = {
@@ -95,45 +264,12 @@ type t = {
   mutable dir_live : int;
   mutable dir_peak : int;
   mutable hint_drops : int;
+  mutable llc_fills : int;
   ic : ic option;
+  hx : hier option;
 }
 
-let make_ic ~ncpus { i_lines; i_ways; i_line_size } =
-  if i_line_size <= 0 then invalid_arg "Memkern.create: icache line_size <= 0";
-  if i_lines <= 0 then invalid_arg "Memkern.create: icache lines <= 0";
-  let nways = match i_ways with Some w -> w | None -> i_lines in
-  if nways <= 0 then invalid_arg "Memkern.create: icache ways <= 0";
-  if i_lines mod nways <> 0 then
-    invalid_arg "Memkern.create: icache ways must divide capacity";
-  let nsets = i_lines / nways in
-  let nslots = ncpus * i_lines in
-  let ic =
-    {
-      ic_lsize = i_line_size;
-      ic_nsets = nsets;
-      ic_nways = nways;
-      ic_slots = Array.make nslots (-1);
-      ic_nxt = Array.make nslots (-1);
-      ic_prv = Array.make nslots (-1);
-      ic_head = Array.make (ncpus * nsets) (-1);
-      ic_tail = Array.make (ncpus * nsets) (-1);
-      ic_fill = Array.make (ncpus * nsets) 0;
-      ic_free = Array.make (ncpus * nsets) (-1);
-      ic_where =
-        Array.init ncpus (fun _ ->
-            Flat_tab.create ~capacity:(min (2 * i_lines) 8192) ());
-    }
-  in
-  for sb = 0 to (ncpus * nsets) - 1 do
-    let base = sb * nways in
-    for w = 0 to nways - 1 do
-      ic.ic_nxt.(base + w) <- (if w = nways - 1 then -1 else base + w + 1)
-    done;
-    ic.ic_free.(sb) <- base
-  done;
-  ic
-
-let create topo ~line_size ~cache_capacity ?ways ?icache ~moesi () =
+let create topo ~line_size ~cache_capacity ?ways ?icache ?hierarchy ~moesi () =
   if line_size <= 0 then invalid_arg "Memkern.create: line_size <= 0";
   if cache_capacity <= 0 then invalid_arg "Memkern.create: cache_capacity <= 0";
   let nways = match ways with Some w -> w | None -> cache_capacity in
@@ -144,6 +280,23 @@ let create topo ~line_size ~cache_capacity ?ways ?icache ~moesi () =
   let ncpus = Topology.num_cpus topo in
   let nwords = (ncpus + bpw - 1) / bpw in
   let nslots = ncpus * cache_capacity in
+  let hx =
+    Option.map
+      (fun h ->
+        let ncells = Topology.num_cells topo in
+        {
+          hl1 =
+            make_rc ~what:"L1" ~nunits:ncpus ~lines:h.h_l1_lines
+              ~ways:h.h_l1_ways ~line_size;
+          hllc =
+            make_rc ~what:"LLC" ~nunits:ncells ~lines:h.h_llc_lines
+              ~ways:h.h_llc_ways ~line_size;
+          ncells;
+          cellof = Array.init ncpus (Topology.cell_of topo);
+          h_where = Flat_tab.create ~capacity:4096 ();
+        })
+      hierarchy
+  in
   let t =
     {
       topo;
@@ -178,7 +331,9 @@ let create topo ~line_size ~cache_capacity ?ways ?icache ~moesi () =
       dir_live = 0;
       dir_peak = 0;
       hint_drops = 0;
+      llc_fills = 0;
       ic = Option.map (make_ic ~ncpus) icache;
+      hx;
     }
   in
   (* Chain every way of every set onto its free list. *)
@@ -233,10 +388,14 @@ let free_pop t sb =
   s
 
 (* Mirror of Cache.touch — but with the slot already in hand, so the
-   re-find the reference pays inside set_state never happens here. *)
+   re-find the reference pays inside set_state never happens here.
+   Already-MRU slots stay put: moving the head is observationally a
+   no-op, and repeat hits on one line are the common case. *)
 let touch_slot t sb s =
-  unlink t sb s;
-  push_front t sb s
+  if t.head.(sb) <> s then begin
+    unlink t sb s;
+    push_front t sb s
+  end
 
 (* Mirror of Cache.set_state: update the state bits and mark MRU. One
    table lookup total (the satellite-1 discipline). *)
@@ -247,14 +406,17 @@ let cache_set_state t cpu line code =
   t.slots.(s) <- t.slots.(s) land lnot 3 lor code;
   touch_slot t (sb_of t cpu line) s
 
-(* Mirror of Cache.remove (no-op when absent). *)
+(* Mirror of Cache.remove (no-op when absent). Removing a line from the
+   L2 back-invalidates the CPU's L1 filter: the L1 is strictly inclusive,
+   so an L1 copy may never outlive its L2 line. *)
 let cache_remove t cpu line =
   let s = cache_slot t cpu line in
   if s >= 0 then begin
     let sb = sb_of t cpu line in
     unlink t sb s;
     free_push t sb s;
-    Flat_tab.remove t.where.(cpu) line
+    Flat_tab.remove t.where.(cpu) line;
+    match t.hx with Some h -> ic_remove h.hl1 cpu line | None -> ()
   end
 
 (* ---------- directory entry pool ---------- *)
@@ -365,6 +527,25 @@ let set_hint t e line cpu off size =
 let count_writeback t cpu =
   t.stats.(cpu).Sim_stats.writebacks <- t.stats.(cpu).Sim_stats.writebacks + 1
 
+(* ---------- victim LLC (exclusive of the L2 layer) ----------
+
+   A line enters a cell's LLC only at the moment its last L2 copy dies
+   (the directory entry is removed), and is consumed again by the next L2
+   fill. So an LLC-resident line has, by construction, no cached copy and
+   no directory entry anywhere: it can never be stale and never needs
+   invalidation traffic. Exclusivity also means at most one cell holds a
+   line, which is what lets [h_where] be a single line -> cell index. *)
+
+let llc_fill t h ~cell ~line =
+  let v = ic_insert h.hllc cell line in
+  if v >= 0 then Flat_tab.remove h.h_where v;
+  Flat_tab.set h.h_where line cell;
+  t.llc_fills <- t.llc_fills + 1
+
+let llc_consume h ~cell ~line =
+  ic_remove h.hllc cell line;
+  Flat_tab.remove h.h_where line
+
 (* Mirror of coherence.ml note_eviction. *)
 let note_eviction t cpu vline vst =
   let e = dir_entry t vline in
@@ -380,27 +561,41 @@ let note_eviction t cpu vline vst =
 
 (* Mirror of Cache.insert followed by note_eviction (insert_line in the
    reference): evict the set's LRU tail if full, place the new line, then
-   reconcile the victim with the directory. *)
+   reconcile the victim with the directory. Under the multi-level
+   hierarchy the victim also leaves this CPU's L1 (inclusion), drops into
+   the evicting CPU's cell LLC if its last cached copy just died, and the
+   new line is promoted into the L1 filter. *)
 let insert_line t cpu line code =
   let sb = sb_of t cpu line in
-  if t.fill.(sb) >= t.nways then begin
-    let v = t.tail.(sb) in
-    let w = t.slots.(v) in
-    unlink t sb v;
-    Flat_tab.remove t.where.(cpu) (w asr 2);
-    free_push t sb v;
-    let s = free_pop t sb in
-    t.slots.(s) <- (line lsl 2) lor code;
-    push_front t sb s;
-    Flat_tab.set t.where.(cpu) line s;
-    note_eviction t cpu (w asr 2) (w land 3)
-  end
-  else begin
-    let s = free_pop t sb in
-    t.slots.(s) <- (line lsl 2) lor code;
-    push_front t sb s;
-    Flat_tab.set t.where.(cpu) line s
-  end
+  (if t.fill.(sb) >= t.nways then begin
+     let v = t.tail.(sb) in
+     let w = t.slots.(v) in
+     let vline = w asr 2 in
+     unlink t sb v;
+     Flat_tab.remove t.where.(cpu) vline;
+     free_push t sb v;
+     let s = free_pop t sb in
+     t.slots.(s) <- (line lsl 2) lor code;
+     push_front t sb s;
+     Flat_tab.set t.where.(cpu) line s;
+     note_eviction t cpu vline (w land 3);
+     match t.hx with
+     | Some h ->
+       ic_remove h.hl1 cpu vline;
+       if dir_find t vline < 0 then llc_fill t h ~cell:h.cellof.(cpu) ~line:vline
+     | None -> ()
+   end
+   else begin
+     let s = free_pop t sb in
+     t.slots.(s) <- (line lsl 2) lor code;
+     push_front t sb s;
+     Flat_tab.set t.where.(cpu) line s
+   end);
+  (* The new line was just absent from the L2, so by inclusion it cannot
+     be L1-resident: promote is a plain insert, no lookup needed. *)
+  match t.hx with
+  | Some h -> ignore (ic_insert h.hl1 cpu line : int)
+  | None -> ()
 
 (* Walk one sharer-mask word invalidating everyone but the writer,
    accumulating victim count and worst invalidation latency into the
@@ -449,8 +644,13 @@ let invalidate_others t ~line ~writer ~off ~size =
    bit when the hint is consumed so the hint mask stays exact. *)
 let classify_miss t ~cpu ~line ~off ~size =
   let st = t.stats.(cpu) in
-  if Flat_tab.find t.touched line ~default:0 = 0 then
+  (* [touched] only advances here: a hit means the line is cached, and a
+     line only enters a cache through a miss that already ran this
+     classifier — so the per-access set in [access] would be redundant. *)
+  if Flat_tab.find t.touched line ~default:0 = 0 then begin
+    Flat_tab.set t.touched line 1;
     st.Sim_stats.cold_misses <- st.Sim_stats.cold_misses + 1
+  end
   else begin
     let key = (line * t.ncpus) + cpu in
     let h = Flat_tab.find t.hints key ~default:(-1) in
@@ -489,116 +689,182 @@ let nearest_sharer t e cpu =
 
 let lat t = Topology.latencies t.topo
 
+(* Memory-arm fetch: no L2 anywhere holds the line, so probe the victim
+   LLCs before going to memory. An LLC hit consumes the copy (the line
+   re-enters an L2, so the exclusive LLC must give it up) and costs the
+   topological distance to the holding cell, capped at the memory latency
+   — memory can always serve in parallel with a farther remote cell. *)
+let memory_fetch t ~cpu ~line =
+  match t.hx with
+  | None -> Topology.memory_latency t.topo
+  | Some h ->
+    let cell = Flat_tab.find h.h_where line ~default:(-1) in
+    if cell < 0 then Topology.memory_latency t.topo
+    else begin
+      llc_consume h ~cell ~line;
+      let st = t.stats.(cpu) in
+      (if cell = h.cellof.(cpu) then
+         st.Sim_stats.llc_local_hits <- st.Sim_stats.llc_local_hits + 1
+       else st.Sim_stats.llc_remote_hits <- st.Sim_stats.llc_remote_hits + 1);
+      min
+        (Topology.llc_hit_latency t.topo ~cpu ~cell)
+        (Topology.memory_latency t.topo)
+    end
+
+(* Cost of an access served by the private L2: l2_hit under the hierarchy
+   (the L1 was missed), the flat l1_hit cost otherwise. Also promotes the
+   line into the L1 filter so the next access hits there. [l1s] is the
+   line's L1 slot if the caller already looked it up (-1 when absent or
+   no hierarchy), so the promote never re-probes. *)
+let l2_hit_cost t cpu line ~l1s =
+  match t.hx with
+  | Some h ->
+    let st = t.stats.(cpu) in
+    st.Sim_stats.l2_hits <- st.Sim_stats.l2_hits + 1;
+    if l1s >= 0 then ic_touch_slot h.hl1 cpu line l1s
+    else ignore (ic_insert h.hl1 cpu line : int);
+    Topology.l2_hit_latency t.topo
+  | None -> (lat t).Topology.l1_hit
+
 (* ---------- protocol (mirrors coherence.ml read / write / access) ---------- *)
 
 let read t ~cpu ~line ~off ~size =
   let st = t.stats.(cpu) in
-  let s = cache_slot t cpu line in
-  if s >= 0 then begin
-    touch_slot t (sb_of t cpu line) s;
+  let l1s = match t.hx with Some h -> ic_find h.hl1 cpu line | None -> -1 in
+  if l1s >= 0 then begin
+    (* L1 filter hit: inclusion guarantees an L2 copy in some readable
+       state, so the access completes entirely in the private L1. The L2
+       LRU is deliberately not touched — a real L1 shields it. *)
+    (match t.hx with
+    | Some h -> ic_touch_slot h.hl1 cpu line l1s
+    | None -> assert false);
     st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+    st.Sim_stats.l1_hits <- st.Sim_stats.l1_hits + 1;
     (lat t).Topology.l1_hit
   end
   else begin
-    classify_miss t ~cpu ~line ~off ~size;
-    let e = dir_entry t line in
-    let latency =
-      let o = t.owner.(e) in
-      if o >= 0 then begin
-        (* Owner supplies the data cache-to-cache. MESI: M downgrades to S
-           with a writeback; MOESI: M downgrades to O, deferring the
-           writeback; E downgrades to S (clean); O stays O. *)
-        let c = cache_state_code t o line in
-        if c = st_m then
-          if not t.moesi then begin
-            count_writeback t o;
+    let s = cache_slot t cpu line in
+    if s >= 0 then begin
+      touch_slot t (sb_of t cpu line) s;
+      st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+      l2_hit_cost t cpu line ~l1s
+    end
+    else begin
+      classify_miss t ~cpu ~line ~off ~size;
+      let e = dir_entry t line in
+      let latency =
+        let o = t.owner.(e) in
+        if o >= 0 then begin
+          (* Owner supplies the data cache-to-cache. MESI: M downgrades to S
+             with a writeback; MOESI: M downgrades to O, deferring the
+             writeback; E downgrades to S (clean); O stays O. *)
+          let c = cache_state_code t o line in
+          if c = st_m then
+            if not t.moesi then begin
+              count_writeback t o;
+              cache_set_state t o line st_s;
+              t.owner.(e) <- -1;
+              add_sharer t e o
+            end
+            else cache_set_state t o line st_o
+          else if c = st_e then begin
             cache_set_state t o line st_s;
             t.owner.(e) <- -1;
             add_sharer t e o
           end
-          else cache_set_state t o line st_o
-        else if c = st_e then begin
-          cache_set_state t o line st_s;
-          t.owner.(e) <- -1;
-          add_sharer t e o
+          else if c = st_o then ()
+          else
+            (* Directory said owner but cache disagrees: repair. *)
+            t.owner.(e) <- -1;
+          add_sharer t e cpu;
+          Topology.transfer_latency t.topo ~src:o ~dst:cpu
         end
-        else if c = st_o then ()
-        else
-          (* Directory said owner but cache disagrees: repair. *)
-          t.owner.(e) <- -1;
-        add_sharer t e cpu;
-        Topology.transfer_latency t.topo ~src:o ~dst:cpu
-      end
-      else if not (sharers_empty t e) then begin
-        let nearest = nearest_sharer t e cpu in
-        add_sharer t e cpu;
-        nearest
-      end
-      else begin
-        (* No cached copy anywhere: fetch from memory, Exclusive. *)
-        t.owner.(e) <- cpu;
-        Topology.memory_latency t.topo
-      end
-    in
-    let code = if t.owner.(e) = cpu then st_e else st_s in
-    insert_line t cpu line code;
-    latency
+        else if not (sharers_empty t e) then begin
+          let nearest = nearest_sharer t e cpu in
+          add_sharer t e cpu;
+          nearest
+        end
+        else begin
+          (* No cached copy anywhere: LLC probe or memory fetch, Exclusive. *)
+          t.owner.(e) <- cpu;
+          memory_fetch t ~cpu ~line
+        end
+      in
+      let code = if t.owner.(e) = cpu then st_e else st_s in
+      insert_line t cpu line code;
+      latency
+    end
   end
 
 let write t ~cpu ~line ~off ~size =
   let st = t.stats.(cpu) in
+  let l1s = match t.hx with Some h -> ic_find h.hl1 cpu line | None -> -1 in
   let s = cache_slot t cpu line in
-  if s >= 0 then begin
-    let c = t.slots.(s) land 3 in
-    if c = st_m then begin
-      touch_slot t (sb_of t cpu line) s;
-      st.Sim_stats.hits <- st.Sim_stats.hits + 1;
-      (lat t).Topology.l1_hit
-    end
-    else if c = st_e then begin
-      (* Silent E->M upgrade. *)
-      t.slots.(s) <- t.slots.(s) land lnot 3 lor st_m;
-      touch_slot t (sb_of t cpu line) s;
-      let e = dir_entry t line in
-      t.owner.(e) <- cpu;
-      st.Sim_stats.hits <- st.Sim_stats.hits + 1;
-      (lat t).Topology.l1_hit
+  if l1s >= 0 && s >= 0 && t.slots.(s) land 3 = st_m then begin
+    (* The only write the L1 filter can absorb alone: the line is already
+       Modified, so no directory action or state change is needed. Every
+       other L1-resident write (E silent upgrade, S/O upgrade) must reach
+       the L2, where the coherence state lives. *)
+    (match t.hx with
+    | Some h -> ic_touch_slot h.hl1 cpu line l1s
+    | None -> assert false);
+    st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+    st.Sim_stats.l1_hits <- st.Sim_stats.l1_hits + 1;
+    (lat t).Topology.l1_hit
+  end
+  else begin
+    if s >= 0 then begin
+      let c = t.slots.(s) land 3 in
+      if c = st_m then begin
+        touch_slot t (sb_of t cpu line) s;
+        st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+        l2_hit_cost t cpu line ~l1s
+      end
+      else if c = st_e then begin
+        (* Silent E->M upgrade. *)
+        t.slots.(s) <- t.slots.(s) land lnot 3 lor st_m;
+        touch_slot t (sb_of t cpu line) s;
+        let e = dir_entry t line in
+        t.owner.(e) <- cpu;
+        st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+        l2_hit_cost t cpu line ~l1s
+      end
+      else begin
+        (* S or O. Upgrade: invalidate every other copy; we have the data. *)
+        st.Sim_stats.hits <- st.Sim_stats.hits + 1;
+        st.Sim_stats.upgrades <- st.Sim_stats.upgrades + 1;
+        invalidate_others t ~line ~writer:cpu ~off ~size;
+        st.Sim_stats.invalidations <- st.Sim_stats.invalidations + t.iv_count;
+        let e = dir_entry t line in
+        t.owner.(e) <- cpu;
+        clear_sharers t e;
+        (* invalidate_others can't evict this CPU's copy, so slot s stands. *)
+        t.slots.(s) <- t.slots.(s) land lnot 3 lor st_m;
+        touch_slot t (sb_of t cpu line) s;
+        max (l2_hit_cost t cpu line ~l1s) t.iv_lat
+      end
     end
     else begin
-      (* S or O. Upgrade: invalidate every other copy; we have the data. *)
-      st.Sim_stats.hits <- st.Sim_stats.hits + 1;
-      st.Sim_stats.upgrades <- st.Sim_stats.upgrades + 1;
+      classify_miss t ~cpu ~line ~off ~size;
+      let e = dir_entry t line in
+      let fetch_latency =
+        let o = t.owner.(e) in
+        if o >= 0 then Topology.transfer_latency t.topo ~src:o ~dst:cpu
+        else if not (sharers_empty t e) then
+          (* Data can come from a sharer; invalidations proceed in parallel;
+             pay the farther of the two below. *)
+          nearest_sharer t e cpu
+        else memory_fetch t ~cpu ~line
+      in
       invalidate_others t ~line ~writer:cpu ~off ~size;
       st.Sim_stats.invalidations <- st.Sim_stats.invalidations + t.iv_count;
+      let inv_lat = t.iv_lat in
       let e = dir_entry t line in
       t.owner.(e) <- cpu;
       clear_sharers t e;
-      (* invalidate_others can't evict this CPU's copy, so slot s stands. *)
-      t.slots.(s) <- t.slots.(s) land lnot 3 lor st_m;
-      touch_slot t (sb_of t cpu line) s;
-      max (lat t).Topology.l1_hit t.iv_lat
+      insert_line t cpu line st_m;
+      max fetch_latency inv_lat
     end
-  end
-  else begin
-    classify_miss t ~cpu ~line ~off ~size;
-    let e = dir_entry t line in
-    let fetch_latency =
-      let o = t.owner.(e) in
-      if o >= 0 then Topology.transfer_latency t.topo ~src:o ~dst:cpu
-      else if not (sharers_empty t e) then
-        (* Data can come from a sharer; invalidations proceed in parallel;
-           pay the farther of the two below. *)
-        nearest_sharer t e cpu
-      else Topology.memory_latency t.topo
-    in
-    invalidate_others t ~line ~writer:cpu ~off ~size;
-    st.Sim_stats.invalidations <- st.Sim_stats.invalidations + t.iv_count;
-    let inv_lat = t.iv_lat in
-    let e = dir_entry t line in
-    t.owner.(e) <- cpu;
-    clear_sharers t e;
-    insert_line t cpu line st_m;
-    max fetch_latency inv_lat
   end
 
 let access t ~cpu ~addr ~size ~is_write =
@@ -619,49 +885,10 @@ let access t ~cpu ~addr ~size ~is_write =
     if is_write then write t ~cpu ~line ~off ~size
     else read t ~cpu ~line ~off ~size
   in
-  Flat_tab.set t.touched line 1;
   st.Sim_stats.stall_cycles <- st.Sim_stats.stall_cycles + latency;
   latency
 
 (* ---------- instruction fetch (mirrors Coherence.Ref.ifetch) ---------- *)
-
-let ic_sb ic cpu line = (cpu * ic.ic_nsets) + (line mod ic.ic_nsets)
-
-let ic_unlink ic sb s =
-  let p = ic.ic_prv.(s) and n = ic.ic_nxt.(s) in
-  if p >= 0 then ic.ic_nxt.(p) <- n else ic.ic_head.(sb) <- n;
-  if n >= 0 then ic.ic_prv.(n) <- p else ic.ic_tail.(sb) <- p;
-  ic.ic_prv.(s) <- -1;
-  ic.ic_nxt.(s) <- -1;
-  ic.ic_fill.(sb) <- ic.ic_fill.(sb) - 1
-
-let ic_push_front ic sb s =
-  let h = ic.ic_head.(sb) in
-  ic.ic_nxt.(s) <- h;
-  ic.ic_prv.(s) <- -1;
-  if h >= 0 then ic.ic_prv.(h) <- s else ic.ic_tail.(sb) <- s;
-  ic.ic_head.(sb) <- s;
-  ic.ic_fill.(sb) <- ic.ic_fill.(sb) + 1
-
-(* Miss path: evict the set's LRU tail if full (no writeback — code is
-   clean), place the line, mark MRU. *)
-let ic_insert ic cpu line =
-  let sb = ic_sb ic cpu line in
-  if ic.ic_fill.(sb) >= ic.ic_nways then begin
-    let v = ic.ic_tail.(sb) in
-    ic_unlink ic sb v;
-    Flat_tab.remove ic.ic_where.(cpu) ic.ic_slots.(v);
-    ic.ic_slots.(v) <- line;
-    ic_push_front ic sb v;
-    Flat_tab.set ic.ic_where.(cpu) line v
-  end
-  else begin
-    let s = ic.ic_free.(sb) in
-    ic.ic_free.(sb) <- ic.ic_nxt.(s);
-    ic.ic_slots.(s) <- line;
-    ic_push_front ic sb s;
-    Flat_tab.set ic.ic_where.(cpu) line s
-  end
 
 let has_icache t = t.ic <> None
 
@@ -687,16 +914,14 @@ let ifetch t ~cpu ~addr ~size =
     let total = ref 0 in
     for line = first to last do
       st.Sim_stats.ifetches <- st.Sim_stats.ifetches + 1;
-      let s = Flat_tab.find ic.ic_where.(cpu) line ~default:(-1) in
+      let s = ic_find ic cpu line in
       if s >= 0 then begin
-        let sb = ic_sb ic cpu line in
-        ic_unlink ic sb s;
-        ic_push_front ic sb s;
+        ic_touch_slot ic cpu line s;
         total := !total + (lat t).Topology.l1_hit
       end
       else begin
         st.Sim_stats.imisses <- st.Sim_stats.imisses + 1;
-        ic_insert ic cpu line;
+        ignore (ic_insert ic cpu line : int);
         total := !total + Topology.memory_latency t.topo
       end
     done;
@@ -706,7 +931,7 @@ let ifetch t ~cpu ~addr ~size =
 let icache_resident t ~cpu ~line =
   match t.ic with
   | None -> false
-  | Some ic -> Flat_tab.find ic.ic_where.(cpu) line ~default:(-1) >= 0
+  | Some ic -> ic_resident ic cpu line
 
 let stats t ~cpu = t.stats.(cpu)
 let total_stats t = Sim_stats.sum (Array.to_list t.stats)
@@ -763,25 +988,48 @@ let iter_cache t ~cpu f =
     (fun line -> f line (state_of_code (cache_state_code t cpu line)))
     (List.sort compare lines)
 
+let has_hierarchy t = t.hx <> None
+
+let l1_resident t ~cpu ~line =
+  match t.hx with None -> false | Some h -> ic_resident h.hl1 cpu line
+
+let llc_cell t ~line =
+  match t.hx with
+  | None -> None
+  | Some h ->
+    let c = Flat_tab.find h.h_where line ~default:(-1) in
+    if c < 0 then None else Some c
+
+let num_cells t = match t.hx with None -> 1 | Some h -> h.ncells
+
 type kstats = {
   k_dir_live : int;
   k_dir_peak : int;
   k_hint_drops : int;
   k_probe_steps : int;
+  k_llc_fills : int;
 }
 
 let kstats t =
+  let rc_probes ic =
+    Array.fold_left (fun acc w -> acc + Flat_tab.probe_steps w) 0 ic.ic_where
+  in
   let probes =
     Array.fold_left (fun acc w -> acc + Flat_tab.probe_steps w) 0 t.where
     + Flat_tab.probe_steps t.dir
     + Flat_tab.probe_steps t.hints
     + Flat_tab.probe_steps t.touched
+    + (match t.hx with
+      | None -> 0
+      | Some h ->
+        rc_probes h.hl1 + rc_probes h.hllc + Flat_tab.probe_steps h.h_where)
   in
   {
     k_dir_live = t.dir_live;
     k_dir_peak = t.dir_peak;
     k_hint_drops = t.hint_drops;
     k_probe_steps = probes;
+    k_llc_fills = t.llc_fills;
   }
 
 (* ---------- invariants ---------- *)
@@ -906,59 +1154,87 @@ let check_invariants t =
       if t.hintm.((e * t.nwords) + (cpu / bpw)) land (1 lsl (cpu mod bpw)) = 0
       then fail "Memkern invariant: hint for cpu %d line %d not in hint mask"
           cpu line);
-  (* I-cache representation: LRU chains and fill counts agree, chained
-     slots belong to the where table, live + free slots account for every
-     way of every set. *)
-  match t.ic with
-  | None -> ()
-  | Some ic ->
-    for cpu = 0 to t.ncpus - 1 do
-      Flat_tab.iter ic.ic_where.(cpu) (fun line s ->
+  (* Residency-cache representation (I-cache, L1 filter, victim LLC): LRU
+     chains and fill counts agree, chained slots belong to the where
+     table, live + free slots account for every way of every set. *)
+  let check_rc what ic nunits =
+    for u = 0 to nunits - 1 do
+      ic_iter_unit ic u (fun line s ->
           if ic.ic_slots.(s) <> line then
-            fail "Memkern invariant: icache slot %d disagrees with line %d" s
+            fail "Memkern invariant: %s slot %d disagrees with line %d" what s
               line;
-          if s / (ic.ic_nsets * ic.ic_nways) <> cpu then
-            fail "Memkern invariant: icache line %d of cpu %d in foreign slot"
-              line cpu;
+          if s / (ic.ic_nsets * ic.ic_nways) <> u then
+            fail "Memkern invariant: %s line %d of unit %d in foreign slot"
+              what line u;
           if s / ic.ic_nways mod ic.ic_nsets <> line mod ic.ic_nsets then
-            fail "Memkern invariant: icache line %d of cpu %d in wrong set"
-              line cpu);
+            fail "Memkern invariant: %s line %d of unit %d in wrong set" what
+              line u);
       for set = 0 to ic.ic_nsets - 1 do
-        let sb = (cpu * ic.ic_nsets) + set in
+        let sb = (u * ic.ic_nsets) + set in
         let n = ref 0 in
         let s = ref ic.ic_head.(sb) in
         let prev = ref (-1) in
         while !s >= 0 do
           incr n;
           if !n > ic.ic_nways then
-            fail "Memkern invariant: icache LRU chain longer than ways";
+            fail "Memkern invariant: %s LRU chain longer than ways" what;
           if ic.ic_prv.(!s) <> !prev then
-            fail "Memkern invariant: icache LRU back-link broken at slot %d" !s;
-          if
-            Flat_tab.find ic.ic_where.(cpu) ic.ic_slots.(!s) ~default:(-1)
-            <> !s
-          then fail "Memkern invariant: chained icache slot %d not in table" !s;
+            fail "Memkern invariant: %s LRU back-link broken at slot %d" what
+              !s;
+          if ic_find ic u ic.ic_slots.(!s) <> !s then
+            fail "Memkern invariant: chained %s slot %d not in table" what !s;
           prev := !s;
           s := ic.ic_nxt.(!s)
         done;
         if ic.ic_tail.(sb) <> !prev then
-          fail "Memkern invariant: icache LRU tail mismatch (cpu %d set %d)"
-            cpu set;
+          fail "Memkern invariant: %s LRU tail mismatch (unit %d set %d)" what
+            u set;
         if !n <> ic.ic_fill.(sb) then
-          fail "Memkern invariant: icache fill %d but %d chained (cpu %d)"
-            ic.ic_fill.(sb) !n cpu;
+          fail "Memkern invariant: %s fill %d but %d chained (unit %d)" what
+            ic.ic_fill.(sb) !n u;
         let fr = ref 0 in
         let s = ref ic.ic_free.(sb) in
         while !s >= 0 do
           incr fr;
           if !fr > ic.ic_nways then
-            fail "Memkern invariant: icache free chain cycle";
+            fail "Memkern invariant: %s free chain cycle" what;
           if ic.ic_slots.(!s) <> -1 then
-            fail "Memkern invariant: free icache slot %d holds a line" !s;
+            fail "Memkern invariant: free %s slot %d holds a line" what !s;
           s := ic.ic_nxt.(!s)
         done;
         if !n + !fr <> ic.ic_nways then
-          fail "Memkern invariant: %d live + %d free icache slots != %d ways"
-            !n !fr ic.ic_nways
+          fail "Memkern invariant: %d live + %d free %s slots != %d ways" !n
+            !fr what ic.ic_nways
       done
     done
+  in
+  (match t.ic with None -> () | Some ic -> check_rc "icache" ic t.ncpus);
+  match t.hx with
+  | None -> ()
+  | Some h ->
+    check_rc "L1" h.hl1 t.ncpus;
+    check_rc "LLC" h.hllc h.ncells;
+    (* L1 inclusion: every L1-resident line has a live L2 copy. *)
+    for cpu = 0 to t.ncpus - 1 do
+      ic_iter_unit h.hl1 cpu (fun line _ ->
+          if cache_slot t cpu line < 0 then
+            fail "Memkern invariant: L1 line %d of cpu %d not in L2" line cpu)
+    done;
+    (* LLC exclusivity: a resident line has no directory entry (so it can
+       never be stale), and the line -> cell index matches residency
+       exactly in both directions. *)
+    for cell = 0 to h.ncells - 1 do
+      ic_iter_unit h.hllc cell (fun line _ ->
+          if dir_find t line >= 0 then
+            fail
+              "Memkern invariant: LLC line %d coexists with a directory entry"
+              line;
+          if Flat_tab.find h.h_where line ~default:(-1) <> cell then
+            fail "Memkern invariant: LLC line %d not indexed to cell %d" line
+              cell)
+    done;
+    Flat_tab.iter h.h_where (fun line cell ->
+        if cell < 0 || cell >= h.ncells then
+          fail "Memkern invariant: llc index cell %d out of range" cell;
+        if not (ic_resident h.hllc cell line) then
+          fail "Memkern invariant: llc index points at absent line %d" line)

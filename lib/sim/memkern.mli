@@ -41,18 +41,36 @@ type icache = {
   i_line_size : int;  (** I-cache line size in bytes *)
 }
 
+(** Multi-level hierarchy geometry. When given, every CPU gets a private
+    L1 residency filter in front of its coherent cache (which becomes the
+    L2), and every topology cell ({!Topology.num_cells}) gets a shared
+    victim LLC. The L1 is strictly inclusive in the L2 (back-invalidated
+    whenever a line leaves the L2); the LLC is exclusive of the whole L2
+    layer — a line enters a cell's LLC only when its last L2 copy dies,
+    and is consumed again by the next L2 fill anywhere, so an LLC line can
+    never be stale and at most one cell holds any line. Line size is the
+    data [line_size]. *)
+type hierarchy = {
+  h_l1_lines : int;  (** per-CPU L1 capacity in lines *)
+  h_l1_ways : int option;  (** L1 associativity; [None] = fully assoc. *)
+  h_llc_lines : int;  (** per-cell LLC capacity in lines *)
+  h_llc_ways : int option;  (** LLC associativity *)
+}
+
 val create :
   Topology.t ->
   line_size:int ->
   cache_capacity:int ->
   ?ways:int ->
   ?icache:icache ->
+  ?hierarchy:hierarchy ->
   moesi:bool ->
   unit ->
   t
 (** Same validation as {!Coherence.create}: positive sizes, [ways]
     (default: fully associative) dividing [cache_capacity]; the same rules
-    again for [icache] when given (no I-cache is simulated otherwise). *)
+    again for [icache] and [hierarchy] when given (no I-cache / single
+    cache level is simulated otherwise). *)
 
 val line_size : t -> int
 val topology : t -> Topology.t
@@ -80,6 +98,19 @@ val ifetch : t -> cpu:int -> addr:int -> size:int -> int
 val icache_resident : t -> cpu:int -> line:int -> bool
 (** Whether the I-cache line is resident in [cpu]'s I-cache (false when no
     I-cache is configured). Introspection for the differential tests. *)
+
+val has_hierarchy : t -> bool
+
+val l1_resident : t -> cpu:int -> line:int -> bool
+(** Whether the line is resident in [cpu]'s L1 filter (false when no
+    hierarchy is configured). Introspection for the differential tests. *)
+
+val llc_cell : t -> line:int -> int option
+(** The cell whose victim LLC holds the line, if any — at most one by the
+    exclusivity invariant. [None] when no hierarchy is configured. *)
+
+val num_cells : t -> int
+(** Number of LLC cells simulated (1 when no hierarchy is configured). *)
 
 val stats : t -> cpu:int -> Sim_stats.t
 val total_stats : t -> Sim_stats.t
@@ -116,7 +147,10 @@ val check_invariants : t -> unit
     directory-tracked — plus the representation invariants: LRU chains
     and fill counts agree, the line→slot tables agree with the slot words,
     free chains account for every way, and every pending hint belongs to a
-    live directory entry. @raise Invalid_argument on violation. *)
+    live directory entry. Under the multi-level hierarchy, additionally:
+    L1 inclusion (every L1 line has a live L2 copy) and LLC exclusivity
+    (no LLC line has a directory entry; the line→cell index is exact).
+    @raise Invalid_argument on violation. *)
 
 (** Kernel-health numbers behind the [sim.kernel.*] observability
     counters; cumulative since [create]. *)
@@ -128,6 +162,9 @@ type kstats = {
           their line was evicted (the sharing episode ended) *)
   k_probe_steps : int;
       (** cumulative {!Flat_tab} probe steps beyond the home slot *)
+  k_llc_fills : int;
+      (** lines dropped into a cell LLC on last-copy eviction (0 unless
+          the multi-level hierarchy is simulated) *)
 }
 
 val kstats : t -> kstats

@@ -13,6 +13,10 @@ type t = {
   mutable ifetches : int;
   mutable imisses : int;
   mutable istall_cycles : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable llc_local_hits : int;
+  mutable llc_remote_hits : int;
 }
 
 let create () =
@@ -31,6 +35,10 @@ let create () =
     ifetches = 0;
     imisses = 0;
     istall_cycles = 0;
+    l1_hits = 0;
+    l2_hits = 0;
+    llc_local_hits = 0;
+    llc_remote_hits = 0;
   }
 
 let accesses t = t.loads + t.stores
@@ -59,7 +67,11 @@ let add_into acc x =
   acc.stall_cycles <- acc.stall_cycles + x.stall_cycles;
   acc.ifetches <- acc.ifetches + x.ifetches;
   acc.imisses <- acc.imisses + x.imisses;
-  acc.istall_cycles <- acc.istall_cycles + x.istall_cycles
+  acc.istall_cycles <- acc.istall_cycles + x.istall_cycles;
+  acc.l1_hits <- acc.l1_hits + x.l1_hits;
+  acc.l2_hits <- acc.l2_hits + x.l2_hits;
+  acc.llc_local_hits <- acc.llc_local_hits + x.llc_local_hits;
+  acc.llc_remote_hits <- acc.llc_remote_hits + x.llc_remote_hits
 
 let sum xs =
   let acc = create () in
@@ -84,4 +96,11 @@ let pp ppf t =
       "@,@[ifetches: %d, imisses: %d (%.1f%%), istall cycles: %d@]" t.ifetches
       t.imisses
       (100.0 *. imiss_rate t)
-      t.istall_cycles
+      t.istall_cycles;
+  (* Likewise, the per-level breakdown only prints when a multi-level
+     hierarchy was simulated: single-level runs never touch these counters,
+     so their output stays byte-identical to the pre-hierarchy format. *)
+  if t.l1_hits + t.l2_hits + t.llc_local_hits + t.llc_remote_hits > 0 then
+    Format.fprintf ppf
+      "@,@[levels: L1 hits %d, L2 hits %d, LLC local %d, LLC remote %d@]"
+      t.l1_hits t.l2_hits t.llc_local_hits t.llc_remote_hits

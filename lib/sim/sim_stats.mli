@@ -27,6 +27,15 @@ type t = {
           block-address range); 0 unless an I-cache is simulated *)
   mutable imisses : int;  (** instruction-cache line misses *)
   mutable istall_cycles : int;  (** cycles spent waiting on ifetch misses *)
+  mutable l1_hits : int;
+      (** hits satisfied entirely by the private L1 filter; 0 unless the
+          multi-level hierarchy is simulated. [hits = l1_hits + l2_hits]
+          in hierarchy runs *)
+  mutable l2_hits : int;  (** L1 misses that hit the private L2 *)
+  mutable llc_local_hits : int;
+      (** L2 misses served by the CPU's own cell's shared LLC (a subset of
+          the miss classification above — LLC hits are still misses) *)
+  mutable llc_remote_hits : int;  (** L2 misses served by a remote cell's LLC *)
 }
 
 val create : unit -> t

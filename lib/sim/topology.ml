@@ -1,5 +1,6 @@
 type latencies = {
   l1_hit : int;
+  l2_hit : int;
   same_chip : int;
   same_bus : int;
   same_cell : int;
@@ -13,6 +14,7 @@ type t = { cpus : int; lat : latencies; hierarchical : bool }
 let superdome_latencies =
   {
     l1_hit = 1;
+    l2_hit = 10;
     same_chip = 60;
     same_bus = 120;
     same_cell = 200;
@@ -26,6 +28,7 @@ let superdome_latencies =
 let bus_latencies =
   {
     l1_hit = 1;
+    l2_hit = 10;
     same_chip = 110;
     same_bus = 110;
     same_cell = 110;
@@ -72,6 +75,35 @@ let transfer_latency t ~src ~dst =
   else t.lat.cross_crossbar
 
 let memory_latency t = t.lat.memory
+let l2_hit_latency t = t.lat.l2_hit
+
+(* Cells of 8 CPUs on the hierarchical machine; a bus machine is one cell.
+   Machines smaller than a cell (superdome ~cpus:2..4) are also one cell. *)
+let cpus_per_cell = 8
+let cells_per_crossbar = 4 (* 32 CPUs per crossbar / 8 per cell *)
+let num_cells t = if t.hierarchical then max 1 (t.cpus / cpus_per_cell) else 1
+
+let cell_of t cpu =
+  check_cpu t "cell_of" cpu;
+  if num_cells t = 1 then 0 else cpu / cpus_per_cell
+
+let check_cell t who cell =
+  if cell < 0 || cell >= num_cells t then
+    invalid_arg (Printf.sprintf "Topology.%s: cell %d out of range" who cell)
+
+(* Latency of an L2 miss served by a cell's shared LLC, as seen from [cpu]:
+   a cell-local hit costs an intra-cell transfer; a remote cell costs the
+   crossbar distance between the CPU's cell and the holder's cell. The
+   memory cap belongs to the caller (a remote LLC can be farther than local
+   memory; the coherence kernel pays the cheaper of the two). *)
+let llc_hit_latency t ~cpu ~cell =
+  check_cpu t "llc_hit_latency" cpu;
+  check_cell t "llc_hit_latency" cell;
+  if not t.hierarchical || num_cells t = 1 then t.lat.same_cell
+  else if cell_of t cpu = cell then t.lat.same_cell
+  else if cell_of t cpu / cells_per_crossbar = cell / cells_per_crossbar then
+    t.lat.same_crossbar
+  else t.lat.cross_crossbar
 
 let invalidation_latency t ~writer ~holders =
   check_cpu t "invalidation_latency" writer;

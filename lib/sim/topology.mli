@@ -15,6 +15,10 @@
 
 type latencies = {
   l1_hit : int;  (** cost charged for a cache hit *)
+  l2_hit : int;
+      (** cost of an access that misses the private L1 but hits the private
+          L2 — only charged when the multi-level hierarchy is simulated
+          (single-level runs keep charging [l1_hit] for every hit) *)
   same_chip : int;  (** cache-to-cache within a dual-CPU chip *)
   same_bus : int;
   same_cell : int;
@@ -45,6 +49,23 @@ val transfer_latency : t -> src:int -> dst:int -> int
     @raise Invalid_argument on out-of-range CPU ids or [src = dst]. *)
 
 val memory_latency : t -> int
+
+val l2_hit_latency : t -> int
+(** Cost of an L1-miss/L2-hit access under the multi-level hierarchy. *)
+
+val num_cells : t -> int
+(** Number of cells — the LLC-sharing domains. Hierarchical machines have
+    one cell per 8 CPUs (minimum 1); a bus machine is a single cell. *)
+
+val cell_of : t -> int -> int
+(** The cell a CPU belongs to. @raise Invalid_argument on out-of-range. *)
+
+val llc_hit_latency : t -> cpu:int -> cell:int -> int
+(** Latency of an L2 miss served by [cell]'s shared LLC as seen from
+    [cpu]: an intra-cell transfer locally, the crossbar distance for a
+    remote cell. Monotone in topological distance (a pinned law). Callers
+    cap it at {!memory_latency} — memory can always serve in parallel.
+    @raise Invalid_argument on out-of-range [cpu] or [cell]. *)
 
 val invalidation_latency : t -> writer:int -> holders:int list -> int
 (** Cost of invalidating every holder: the farthest round trip (holders are

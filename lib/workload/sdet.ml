@@ -59,6 +59,7 @@ let build_and_run cfg =
         trace = cfg.trace;
         backend = cfg.backend;
         icache = cfg.icache;
+        hierarchy = None;
       }
       program
   in

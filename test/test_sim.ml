@@ -54,6 +54,128 @@ let test_invalidation_latency () =
     (Topology.invalidation_latency t ~writer:5 ~holders:[ 5 ])
 
 (* ------------------------------------------------------------------ *)
+(* Topology latency laws (properties).
+
+   The transfer latency of a hierarchical machine is a tree metric: the
+   cost depends only on the shallowest enclosure level shared by the two
+   CPUs. That gives symmetry, the ultrametric ("triangle-shape")
+   inequality d(a,c) <= max(d(a,b), d(b,c)) — strictly stronger than the
+   ordinary triangle inequality — and strict monotonicity in the
+   topological distance. All three must hold at every machine scale,
+   because scaled-down Superdomes keep the full-size divisors. *)
+
+let topo_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun k -> Topology.superdome ~cpus:(1 lsl k) ()) (int_range 1 7);
+        map (fun n -> Topology.bus ~cpus:n ()) (int_range 2 64);
+      ])
+
+let topo_print t =
+  Printf.sprintf "%s" (Topology.describe t)
+
+(* Shallowest shared enclosure: 0 = chip, 1 = bus, 2 = cell, 3 = crossbar,
+   4 = cross-crossbar (mirrors the divisor ladder in topology.ml). *)
+let lca_level a b =
+  if a / 2 = b / 2 then 0
+  else if a / 4 = b / 4 then 1
+  else if a / 8 = b / 8 then 2
+  else if a / 32 = b / 32 then 3
+  else 4
+
+let prop_transfer_symmetry =
+  QCheck2.Test.make ~count:300 ~name:"transfer_latency is symmetric"
+    ~print:(fun (t, a, b) -> Printf.sprintf "%s a=%d b=%d" (topo_print t) a b)
+    QCheck2.Gen.(triple topo_gen (int_bound 1000) (int_bound 1000))
+    (fun (t, a, b) ->
+      let n = Topology.num_cpus t in
+      let a = a mod n and b = b mod n in
+      if a = b then QCheck2.assume_fail ()
+      else
+        Topology.transfer_latency t ~src:a ~dst:b
+        = Topology.transfer_latency t ~src:b ~dst:a)
+
+let prop_transfer_ultrametric =
+  QCheck2.Test.make ~count:300
+    ~name:"transfer_latency is an ultrametric: d(a,c) <= max(d(a,b), d(b,c))"
+    ~print:(fun (t, (a, b, c)) ->
+      Printf.sprintf "%s a=%d b=%d c=%d" (topo_print t) a b c)
+    QCheck2.Gen.(
+      pair topo_gen (triple (int_bound 1000) (int_bound 1000) (int_bound 1000)))
+    (fun (t, (a, b, c)) ->
+      let n = Topology.num_cpus t in
+      let a = a mod n and b = b mod n and c = c mod n in
+      if a = b || b = c || a = c then QCheck2.assume_fail ()
+      else
+        let d x y = Topology.transfer_latency t ~src:x ~dst:y in
+        d a c <= max (d a b) (d b c))
+
+let prop_invalidation_is_farthest_holder =
+  QCheck2.Test.make ~count:300
+    ~name:"invalidation_latency = max over non-writer holders"
+    ~print:(fun (t, w, hs) ->
+      Printf.sprintf "%s writer=%d holders=[%s]" (topo_print t) w
+        (String.concat ";" (List.map string_of_int hs)))
+    QCheck2.Gen.(
+      triple topo_gen (int_bound 1000) (list_size (int_bound 6) (int_bound 1000)))
+    (fun (t, w, hs) ->
+      let n = Topology.num_cpus t in
+      let w = w mod n in
+      let hs = List.map (fun h -> h mod n) hs in
+      let expected =
+        List.fold_left
+          (fun acc h ->
+            if h = w then acc
+            else max acc (Topology.transfer_latency t ~src:w ~dst:h))
+          0 hs
+      in
+      Topology.invalidation_latency t ~writer:w ~holders:hs = expected)
+
+let prop_superdome_monotone_in_distance =
+  QCheck2.Test.make ~count:300
+    ~name:"scaled superdome: latency strictly monotone in topological distance"
+    ~print:(fun (k, (a, b, c)) ->
+      Printf.sprintf "cpus=%d a=%d b=%d c=%d" (1 lsl k) a b c)
+    QCheck2.Gen.(
+      pair (int_range 1 7)
+        (triple (int_bound 1000) (int_bound 1000) (int_bound 1000)))
+    (fun (k, (a, b, c)) ->
+      let n = 1 lsl k in
+      let t = Topology.superdome ~cpus:n () in
+      let a = a mod n and b = b mod n and c = c mod n in
+      if a = b || a = c then QCheck2.assume_fail ()
+      else
+        let d x y = Topology.transfer_latency t ~src:x ~dst:y in
+        let la = lca_level a b and lc = lca_level a c in
+        if la < lc then d a b < d a c
+        else if la = lc then d a b = d a c
+        else d a b > d a c)
+
+let prop_llc_local_cheapest =
+  QCheck2.Test.make ~count:300
+    ~name:"llc_hit_latency: own cell cheapest, monotone in crossbar distance"
+    ~print:(fun (t, cpu, cell) ->
+      Printf.sprintf "%s cpu=%d cell=%d" (topo_print t) cpu cell)
+    QCheck2.Gen.(triple topo_gen (int_bound 1000) (int_bound 1000))
+    (fun (t, cpu, cell) ->
+      let cpu = cpu mod Topology.num_cpus t in
+      let cell = cell mod Topology.num_cells t in
+      let here = Topology.cell_of t cpu in
+      let local = Topology.llc_hit_latency t ~cpu ~cell:here in
+      let this = Topology.llc_hit_latency t ~cpu ~cell in
+      local <= this
+      && (cell = here || this > local || Topology.num_cells t = 1)
+      &&
+      (* farther cells never get cheaper: a same-crossbar cell costs at
+         most what any cross-crossbar cell costs *)
+      let lat = Topology.latencies t in
+      if cell = here then this = lat.Topology.same_cell
+      else if Topology.num_cells t = 1 then this = lat.Topology.same_cell
+      else if cell / 4 = here / 4 then this = lat.Topology.same_crossbar
+      else this = lat.Topology.cross_crossbar)
+
+(* ------------------------------------------------------------------ *)
 (* Cache *)
 
 let test_cache_insert_lookup () =
@@ -388,6 +510,11 @@ let suites =
         Alcotest.test_case "bus flat" `Quick test_topology_bus_flat;
         Alcotest.test_case "validation" `Quick test_topology_validation;
         Alcotest.test_case "invalidation latency" `Quick test_invalidation_latency;
+        QCheck_alcotest.to_alcotest prop_transfer_symmetry;
+        QCheck_alcotest.to_alcotest prop_transfer_ultrametric;
+        QCheck_alcotest.to_alcotest prop_invalidation_is_farthest_holder;
+        QCheck_alcotest.to_alcotest prop_superdome_monotone_in_distance;
+        QCheck_alcotest.to_alcotest prop_llc_local_cheapest;
       ] );
     ( "sim.cache",
       [

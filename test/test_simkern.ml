@@ -703,6 +703,270 @@ let test_kstats_exposure () =
   | None -> ()
   | Some _ -> Alcotest.fail "Reference backend must not expose kstats"
 
+(* ------------------------------------------------------------------ *)
+(* Multi-level hierarchy. The L1 filter, the coherent L2 and the per-cell
+   victim LLCs must behave identically in the flat kernel and the boxed
+   reference — per-access latencies, the per-level hit counters, L1
+   residency and LLC placement — across protocols, topologies, and
+   associativities at every level. *)
+
+let hier_variants =
+  [
+    ( "tiny",
+      { Coherence.h_l1_lines = 1; h_l1_ways = Some 1; h_llc_lines = 2; h_llc_ways = Some 1 } );
+    ( "small",
+      { Coherence.h_l1_lines = 2; h_l1_ways = None; h_llc_lines = 4; h_llc_ways = Some 2 } );
+    ( "roomy",
+      { Coherence.h_l1_lines = 4; h_l1_ways = None; h_llc_lines = 8; h_llc_ways = None } );
+  ]
+
+let run_both_hier ~topology ~protocol ~ways ~hierarchy trace =
+  let mk backend =
+    Coherence.create topology ~line_size:128 ~cache_capacity:8 ?ways ~hierarchy
+      ~protocol ~backend ()
+  in
+  let fl = mk Coherence.Flat and rf = mk Coherence.Reference in
+  let cpus = Topology.num_cpus topology in
+  if Coherence.num_cells fl <> Coherence.num_cells rf then
+    Alcotest.failf "cell count diverged";
+  List.iter
+    (fun (cpu, line, off, w) ->
+      let cpu = cpu mod cpus and addr = (line * 128) + (off * 8) in
+      let a = Coherence.access fl ~cpu ~addr ~size:8 ~is_write:w in
+      let b = Coherence.access rf ~cpu ~addr ~size:8 ~is_write:w in
+      if a <> b then
+        Alcotest.failf "hier latency diverged (cpu %d line %d w %b): %d vs %d"
+          cpu line w a b)
+    trace;
+  Coherence.check_invariants fl;
+  Coherence.check_invariants rf;
+  for cpu = 0 to cpus - 1 do
+    (* Sim_stats equality covers the per-level counters: l1/l2 hits and
+       local/remote LLC hits diverge structurally, not just in sums. *)
+    if Coherence.stats fl ~cpu <> Coherence.stats rf ~cpu then
+      Alcotest.failf "per-cpu stats diverged on cpu %d" cpu
+  done;
+  for line = 0 to lines_in_play - 1 do
+    if Coherence.holders fl ~line <> Coherence.holders rf ~line then
+      Alcotest.failf "holders diverged on line %d" line;
+    if Coherence.owner fl ~line <> Coherence.owner rf ~line then
+      Alcotest.failf "owner diverged on line %d" line;
+    if Coherence.llc_cell fl ~line <> Coherence.llc_cell rf ~line then
+      Alcotest.failf "LLC placement diverged on line %d" line;
+    for cpu = 0 to cpus - 1 do
+      if
+        Coherence.cache_state fl ~cpu ~line
+        <> Coherence.cache_state rf ~cpu ~line
+      then Alcotest.failf "cache state diverged: cpu %d line %d" cpu line;
+      if
+        Coherence.l1_resident fl ~cpu ~line
+        <> Coherence.l1_resident rf ~cpu ~line
+      then Alcotest.failf "L1 residency diverged: cpu %d line %d" cpu line
+    done
+  done
+
+let prop_hier_differential =
+  QCheck2.Test.make
+    ~name:
+      "hierarchy: flat == reference (per-level latencies, counters, L1/LLC \
+       residency) across protocols x topologies x associativities" ~count:25
+    trace_gen
+    (fun trace ->
+      List.iter
+        (fun (_, topology) ->
+          List.iter
+            (fun protocol ->
+              List.iter
+                (fun (_, ways) ->
+                  List.iter
+                    (fun (_, hierarchy) ->
+                      run_both_hier ~topology ~protocol ~ways ~hierarchy trace)
+                    hier_variants)
+                assoc_variants)
+            [ Coherence.Mesi; Coherence.Moesi ])
+        topologies;
+      true)
+
+(* Pinned per-level semantics on a two-cell machine (superdome16: cells
+   {0..7} and {8..15}). Walks one access sequence through L1 hit, L2 hit,
+   victim-LLC fill, local and remote LLC hits, and the L1 write fast
+   path, asserting the exact latency and counter at every step. *)
+let test_hier_level_walk backend () =
+  let topo = Topology.superdome ~cpus:16 () in
+  let c =
+    Coherence.create topo ~line_size:128 ~cache_capacity:2 ~ways:1
+      ~hierarchy:
+        { Coherence.h_l1_lines = 1; h_l1_ways = Some 1; h_llc_lines = 4; h_llc_ways = None }
+      ~backend ()
+  in
+  Alcotest.(check bool) "hierarchy on" true (Coherence.has_hierarchy c);
+  check_int "two cells" 2 (Coherence.num_cells c);
+  let access cpu line w = Coherence.access c ~cpu ~addr:(line * 128) ~size:8 ~is_write:w in
+  let st cpu = Coherence.stats c ~cpu in
+  (* cold miss straight to memory *)
+  check_int "cold miss costs memory" 300 (access 0 0 false);
+  (* L1 hit: the line was promoted on the fill *)
+  check_int "L1 hit costs 1" 1 (access 0 0 false);
+  check_int "l1_hits counted" 1 (st 0).Sim_stats.l1_hits;
+  Alcotest.(check bool) "L1 resident" true (Coherence.l1_resident c ~cpu:0 ~line:0);
+  (* a second line displaces the 1-line L1 but not the L2 *)
+  check_int "second cold miss" 300 (access 0 1 false);
+  Alcotest.(check bool) "L1 displaced" false (Coherence.l1_resident c ~cpu:0 ~line:0);
+  check_int "L1-miss L2-hit costs l2_hit" 10 (access 0 0 false);
+  check_int "l2_hits counted" 1 (st 0).Sim_stats.l2_hits;
+  (* line 2 conflicts with line 0 (2 sets, 1 way): the dead victim drops
+     into cell 0's LLC *)
+  check_int "conflict miss" 300 (access 0 2 false);
+  Alcotest.(check (option int)) "victim parked in cell 0" (Some 0)
+    (Coherence.llc_cell c ~line:0);
+  (* a CPU in the other cell re-fetches it: remote LLC hit, capped at
+     memory latency (the crossbar is farther than local memory) *)
+  check_int "remote LLC hit capped at memory" 300 (access 8 0 false);
+  check_int "remote LLC hit counted" 1 (st 8).Sim_stats.llc_remote_hits;
+  Alcotest.(check (option int)) "LLC copy consumed" None
+    (Coherence.llc_cell c ~line:0);
+  (* park a line in cell 1's LLC and take the local hit: an intra-cell
+     transfer (200) beats memory (300). Lines 5 and 7 are untouched, so
+     both fills go to memory and the victim's directory entry is dead. *)
+  check_int "cold miss in cell 1" 300 (access 8 5 false);
+  check_int "conflict evicts line 5 to cell 1's LLC" 300 (access 8 7 false);
+  Alcotest.(check (option int)) "victim parked in cell 1" (Some 1)
+    (Coherence.llc_cell c ~line:5);
+  check_int "local LLC hit costs same_cell" 200 (access 8 5 false);
+  check_int "local LLC hit counted" 1 (st 8).Sim_stats.llc_local_hits;
+  (* E -> M silent upgrade is an L2 hit (it must reach the directory),
+     then the M + L1-resident write takes the fast path *)
+  check_int "silent upgrade costs l2_hit" 10 (access 8 0 true);
+  check_int "upgrade counted as L2 hit" 1 (st 8).Sim_stats.l2_hits;
+  check_int "M write through L1 costs 1" 1 (access 8 0 true);
+  check_int "fast path counted as L1 hit" 1 (st 8).Sim_stats.l1_hits;
+  Coherence.check_invariants c
+
+let test_hier_validation backend () =
+  let mk hierarchy =
+    Coherence.create (Topology.bus ~cpus:2 ()) ~line_size:128 ~cache_capacity:4
+      ~hierarchy ~backend ()
+  in
+  let expect_invalid label h =
+    match mk h with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" label
+  in
+  expect_invalid "zero L1 lines"
+    { Coherence.h_l1_lines = 0; h_l1_ways = None; h_llc_lines = 4; h_llc_ways = None };
+  expect_invalid "zero LLC lines"
+    { Coherence.h_l1_lines = 2; h_l1_ways = None; h_llc_lines = 0; h_llc_ways = None };
+  expect_invalid "bad L1 associativity"
+    { Coherence.h_l1_lines = 2; h_l1_ways = Some 3; h_llc_lines = 4; h_llc_ways = None };
+  let c =
+    mk { Coherence.h_l1_lines = 2; h_l1_ways = None; h_llc_lines = 4; h_llc_ways = None }
+  in
+  Alcotest.(check bool) "valid geometry accepted" true (Coherence.has_hierarchy c)
+
+(* Exhaustive interleaving check (the Modelcheck analog for the
+   hierarchy): breadth-first exploration of every reachable state of a
+   2-CPU x 3-line multi-level config whose geometry is fully
+   deterministic (direct-mapped at every level), comparing the flat
+   kernel against the boxed reference on every edge and pinning the
+   reachable-state count against drift. *)
+
+let hier_mc_lines = 3
+let hier_mc_cpus = 2
+
+let hier_mc_mk protocol backend =
+  Coherence.create
+    (Topology.bus ~cpus:hier_mc_cpus ())
+    ~line_size:128 ~cache_capacity:2 ~ways:1
+    ~hierarchy:
+      { Coherence.h_l1_lines = 1; h_l1_ways = Some 1; h_llc_lines = 1; h_llc_ways = Some 1 }
+    ~protocol ~backend ()
+
+(* Canonical observable state: with every level direct-mapped there is no
+   hidden replacement state, so the introspection API determines future
+   behavior completely. *)
+let hier_mc_key c =
+  let buf = Buffer.create 64 in
+  for line = 0 to hier_mc_lines - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "o%s;s%s;t%b;l%s|"
+         (match Coherence.owner c ~line with None -> "-" | Some o -> string_of_int o)
+         (String.concat "," (List.map string_of_int (Coherence.sharers c ~line)))
+         (Coherence.touched c ~line)
+         (match Coherence.llc_cell c ~line with None -> "-" | Some cl -> string_of_int cl));
+    for cpu = 0 to hier_mc_cpus - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "c%s;r%b;h%s|"
+           (match Coherence.cache_state c ~cpu ~line with
+           | None -> "-"
+           | Some Cache.Modified -> "M"
+           | Some Cache.Exclusive -> "E"
+           | Some Cache.Shared -> "S"
+           | Some Cache.Owned -> "O")
+           (Coherence.l1_resident c ~cpu ~line)
+           (match Coherence.inv_hint c ~cpu ~line with
+           | None -> "-"
+           | Some (off, len) -> Printf.sprintf "%d.%d" off len))
+    done
+  done;
+  Buffer.contents buf
+
+let test_hier_exhaustive protocol pinned () =
+  let alphabet =
+    List.concat_map
+      (fun cpu ->
+        List.concat_map
+          (fun line -> [ (cpu, line, false); (cpu, line, true) ])
+          (List.init hier_mc_lines Fun.id))
+      (List.init hier_mc_cpus Fun.id)
+  in
+  (* Replay a trace on fresh instances of both backends, checking latency
+     identity on every access; return the pair for inspection. *)
+  let replay trace =
+    let fl = hier_mc_mk protocol Coherence.Flat
+    and rf = hier_mc_mk protocol Coherence.Reference in
+    List.iter
+      (fun (cpu, line, w) ->
+        let a = Coherence.access fl ~cpu ~addr:(line * 128) ~size:8 ~is_write:w in
+        let b = Coherence.access rf ~cpu ~addr:(line * 128) ~size:8 ~is_write:w in
+        if a <> b then
+          Alcotest.failf "latency diverged (cpu %d line %d w %b): %d vs %d"
+            cpu line w a b)
+      trace;
+    (fl, rf)
+  in
+  let visited = Hashtbl.create 1024 in
+  let frontier = Queue.create () in
+  let visit trace =
+    let fl, rf = replay trace in
+    let k = hier_mc_key fl in
+    if hier_mc_key rf <> k then
+      Alcotest.failf "observable state diverged after %d steps"
+        (List.length trace);
+    if not (Hashtbl.mem visited k) then begin
+      Hashtbl.replace visited k ();
+      Coherence.check_invariants fl;
+      Coherence.check_invariants rf;
+      for cpu = 0 to hier_mc_cpus - 1 do
+        if Coherence.stats fl ~cpu <> Coherence.stats rf ~cpu then
+          Alcotest.failf "stats diverged on cpu %d after %d steps" cpu
+            (List.length trace)
+      done;
+      Queue.add trace frontier
+    end
+  in
+  visit [];
+  while not (Queue.is_empty frontier) do
+    let trace = Queue.pop frontier in
+    List.iter (fun op -> visit (trace @ [ op ])) alphabet
+  done;
+  check_int "pinned reachable-state count" pinned (Hashtbl.length visited)
+
+(* Reachable-state pins for the exhaustive multi-level configs. Any
+   semantic drift in the hierarchy (L1 filtering, LLC fill/consume, the
+   directory interplay) changes these counts and fails loudly. *)
+let hier_mc_pin_mesi = 988
+let hier_mc_pin_moesi = 1838
+
 let suites =
   [
     ( "sim.kernel.flat_tab",
@@ -766,5 +1030,24 @@ let suites =
           test_machine_fetch_identity;
         Alcotest.test_case "set_code_layout validation" `Quick
           test_set_code_layout_validation;
+      ] );
+    ( "sim.kernel.hierarchy",
+      [
+        QCheck_alcotest.to_alcotest prop_hier_differential;
+        Alcotest.test_case "per-level latency walk on two cells (flat)" `Quick
+          (test_hier_level_walk Coherence.Flat);
+        Alcotest.test_case "per-level latency walk on two cells (reference)"
+          `Quick
+          (test_hier_level_walk Coherence.Reference);
+        Alcotest.test_case "geometry validation (flat)" `Quick
+          (test_hier_validation Coherence.Flat);
+        Alcotest.test_case "geometry validation (reference)" `Quick
+          (test_hier_validation Coherence.Reference);
+        Alcotest.test_case "exhaustive interleavings, pinned states (MESI)"
+          `Quick
+          (test_hier_exhaustive Coherence.Mesi hier_mc_pin_mesi);
+        Alcotest.test_case "exhaustive interleavings, pinned states (MOESI)"
+          `Quick
+          (test_hier_exhaustive Coherence.Moesi hier_mc_pin_moesi);
       ] );
   ]
